@@ -1,0 +1,131 @@
+//! The agent behaviour model.
+//!
+//! A mobile agent is a state machine ([`AgentBehavior`]) whose state is
+//! `Wire`-serializable. The hosting runtime calls its handlers; every
+//! handler returns an [`Action`] telling the runtime whether the agent
+//! stays, migrates, or disposes itself. While a handler runs it can talk
+//! to the *local* host through the `Host` parameter (this is the paper's
+//! "taking advantage of being in the same site as the peer process": host
+//! interaction is a direct call, not a message) and to the rest of the
+//! system through the [`AgentEnv`].
+
+use crate::envelope::AgentEnvelope;
+use crate::id::AgentId;
+use bytes::Bytes;
+use marp_sim::{Context, NodeId, SimTime, TimerId, TraceEvent};
+use marp_wire::Wire;
+use std::collections::HashMap;
+use std::time::Duration;
+
+/// What the agent does next, decided by each behaviour handler.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Action {
+    /// Remain at the current host, waiting for messages or timers.
+    Stay,
+    /// Serialize and travel to another host.
+    Migrate(NodeId),
+    /// Terminate; the paper's `dispose`.
+    Dispose,
+}
+
+/// A mobile agent's behaviour state machine.
+///
+/// The state must round-trip through the wire codec — that *is* the
+/// migration mechanism.
+pub trait AgentBehavior: Wire + Send + 'static {
+    /// The interface the local host exposes to visiting agents (for
+    /// MARP this is the replica server's lock/gossip/store surface).
+    type Host: ?Sized;
+
+    /// This agent's identity (stable across migrations).
+    fn id(&self) -> AgentId;
+
+    /// The agent's state just arrived (or was created) at a host.
+    fn on_arrive(&mut self, host: &mut Self::Host, env: &mut AgentEnv<'_>) -> Action;
+
+    /// A [`AgentEnvelope::ToAgent`] payload addressed to this agent.
+    fn on_agent_message(
+        &mut self,
+        _from: NodeId,
+        _payload: Bytes,
+        _host: &mut Self::Host,
+        _env: &mut AgentEnv<'_>,
+    ) -> Action {
+        Action::Stay
+    }
+
+    /// A timer this agent armed through [`AgentEnv::set_timer`] fired.
+    fn on_timer(&mut self, _tag: u64, _host: &mut Self::Host, _env: &mut AgentEnv<'_>) -> Action {
+        Action::Stay
+    }
+
+    /// Migration to `dest` was abandoned after `attempts` tries. The
+    /// paper's rule: declare the replica unavailable and continue with
+    /// the rest of the itinerary.
+    fn on_migrate_failed(
+        &mut self,
+        dest: NodeId,
+        attempts: u32,
+        host: &mut Self::Host,
+        env: &mut AgentEnv<'_>,
+    ) -> Action;
+}
+
+/// Encodes an [`AgentEnvelope`] into the owner process's message space.
+/// The owner's message enum must have a variant wrapping envelopes; this
+/// function performs that wrapping plus wire encoding.
+pub type WrapFn = fn(AgentEnvelope) -> Bytes;
+
+/// Services available to a behaviour handler: the clock, messaging, and
+/// host-local timers. Timers are volatile — they do not survive
+/// migration or a host crash, matching real agent platforms.
+pub struct AgentEnv<'a> {
+    pub(crate) ctx: &'a mut dyn Context,
+    pub(crate) wrap: WrapFn,
+    pub(crate) agent: AgentId,
+    pub(crate) agent_timers: &'a mut HashMap<TimerId, (AgentId, u64)>,
+}
+
+impl AgentEnv<'_> {
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.ctx.now()
+    }
+
+    /// The node currently hosting the agent.
+    pub fn here(&self) -> NodeId {
+        self.ctx.me()
+    }
+
+    /// Send a raw, already-encoded message to a node's owner process
+    /// (used for protocol traffic such as the MARP `UPDATE`/`COMMIT`
+    /// broadcasts).
+    pub fn send_raw(&mut self, to: NodeId, msg: Bytes) {
+        self.ctx.send(to, msg);
+    }
+
+    /// Send a payload to an agent believed to reside at `node`.
+    pub fn send_to_agent(&mut self, node: NodeId, agent: AgentId, payload: Bytes) {
+        let msg = (self.wrap)(AgentEnvelope::ToAgent { agent, payload });
+        self.ctx.send(node, msg);
+    }
+
+    /// Arm a host-local timer for this agent; `tag` is returned to
+    /// [`AgentBehavior::on_timer`].
+    pub fn set_timer(&mut self, after: Duration, tag: u64) -> TimerId {
+        let id = self.ctx.set_timer(after, tag);
+        self.agent_timers.insert(id, (self.agent, tag));
+        id
+    }
+
+    /// Cancel a timer armed by this agent.
+    pub fn cancel_timer(&mut self, id: TimerId) {
+        self.agent_timers.remove(&id);
+        self.ctx.cancel_timer(id);
+    }
+
+    /// Emit a structured trace event.
+    pub fn trace(&mut self, event: TraceEvent) {
+        self.ctx.trace(event);
+    }
+}

@@ -1,0 +1,141 @@
+//! The agent-transport envelope.
+//!
+//! Code mobility is emulated (see `DESIGN.md`): an agent "moves" by
+//! having its behaviour state serialized into [`AgentEnvelope::Migrate`]
+//! and shipped to the destination host, which decodes it and resumes the
+//! state machine. Migration is acknowledged so the source can retry and —
+//! after enough failures — declare the destination unavailable, exactly
+//! as the paper prescribes for unreachable replicas.
+
+use crate::id::AgentId;
+use bytes::{Bytes, BytesMut};
+use marp_wire::{Wire, WireError};
+
+/// Messages exchanged by agent runtimes on different hosts. Host
+/// processes embed this in their own message enum and hand received
+/// envelopes to their [`AgentRuntime`](crate::AgentRuntime).
+#[derive(Debug, Clone, PartialEq)]
+pub enum AgentEnvelope {
+    /// An agent's serialized state moving to a new host.
+    Migrate {
+        /// The migrating agent.
+        agent: AgentId,
+        /// Hop counter (completed migrations before this one).
+        hop: u32,
+        /// Wire-encoded behaviour state.
+        state: Bytes,
+    },
+    /// Destination confirms it now hosts the agent.
+    MigrateAck {
+        /// The migrated agent.
+        agent: AgentId,
+        /// Hop the ack refers to (for retry deduplication).
+        hop: u32,
+    },
+    /// A message addressed to an agent resident at the destination host.
+    ToAgent {
+        /// The addressee.
+        agent: AgentId,
+        /// Opaque payload, interpreted by the behaviour.
+        payload: Bytes,
+    },
+}
+
+const TAG_MIGRATE: u8 = 0;
+const TAG_MIGRATE_ACK: u8 = 1;
+const TAG_TO_AGENT: u8 = 2;
+
+impl Wire for AgentEnvelope {
+    fn encode(&self, buf: &mut BytesMut) {
+        match self {
+            AgentEnvelope::Migrate { agent, hop, state } => {
+                TAG_MIGRATE.encode(buf);
+                agent.encode(buf);
+                hop.encode(buf);
+                state.encode(buf);
+            }
+            AgentEnvelope::MigrateAck { agent, hop } => {
+                TAG_MIGRATE_ACK.encode(buf);
+                agent.encode(buf);
+                hop.encode(buf);
+            }
+            AgentEnvelope::ToAgent { agent, payload } => {
+                TAG_TO_AGENT.encode(buf);
+                agent.encode(buf);
+                payload.encode(buf);
+            }
+        }
+    }
+
+    fn decode(buf: &mut Bytes) -> Result<Self, WireError> {
+        match u8::decode(buf)? {
+            TAG_MIGRATE => Ok(AgentEnvelope::Migrate {
+                agent: AgentId::decode(buf)?,
+                hop: u32::decode(buf)?,
+                state: Bytes::decode(buf)?,
+            }),
+            TAG_MIGRATE_ACK => Ok(AgentEnvelope::MigrateAck {
+                agent: AgentId::decode(buf)?,
+                hop: u32::decode(buf)?,
+            }),
+            TAG_TO_AGENT => Ok(AgentEnvelope::ToAgent {
+                agent: AgentId::decode(buf)?,
+                payload: Bytes::decode(buf)?,
+            }),
+            tag => Err(WireError::InvalidTag {
+                type_name: "AgentEnvelope",
+                tag: u32::from(tag),
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use marp_sim::SimTime;
+
+    fn sample_id() -> AgentId {
+        AgentId::new(2, SimTime::from_millis(10), 7)
+    }
+
+    #[test]
+    fn migrate_roundtrips() {
+        let env = AgentEnvelope::Migrate {
+            agent: sample_id(),
+            hop: 3,
+            state: Bytes::from_static(b"state-bytes"),
+        };
+        let bytes = marp_wire::to_bytes(&env);
+        assert_eq!(marp_wire::from_bytes::<AgentEnvelope>(&bytes).unwrap(), env);
+    }
+
+    #[test]
+    fn ack_roundtrips() {
+        let env = AgentEnvelope::MigrateAck {
+            agent: sample_id(),
+            hop: 3,
+        };
+        let bytes = marp_wire::to_bytes(&env);
+        assert_eq!(marp_wire::from_bytes::<AgentEnvelope>(&bytes).unwrap(), env);
+    }
+
+    #[test]
+    fn to_agent_roundtrips() {
+        let env = AgentEnvelope::ToAgent {
+            agent: sample_id(),
+            payload: Bytes::from_static(b"ack:17"),
+        };
+        let bytes = marp_wire::to_bytes(&env);
+        assert_eq!(marp_wire::from_bytes::<AgentEnvelope>(&bytes).unwrap(), env);
+    }
+
+    #[test]
+    fn unknown_tag_is_rejected() {
+        let bytes = Bytes::from_static(&[9]);
+        assert!(matches!(
+            marp_wire::from_bytes::<AgentEnvelope>(&bytes),
+            Err(WireError::InvalidTag { .. })
+        ));
+    }
+}

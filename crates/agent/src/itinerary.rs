@@ -1,0 +1,298 @@
+//! Agent itineraries: the paper's Un-visited Servers List (USL).
+//!
+//! Paper §3.2: "Un-visited Servers List (USL): a list of servers which
+//! have not been visited by this mobile agent. Initially, this list
+//! contains all the replicated servers in the system and is sorted by
+//! the cost of travelling from the current location." The USL travels
+//! with the agent (it is part of the serialized state), and its ordering
+//! policy is the subject of ablation experiment E9.
+
+use bytes::{Bytes, BytesMut};
+use marp_sim::{splitmix64, NodeId};
+use marp_wire::{Wire, WireError};
+
+/// How the next destination is chosen from the unvisited set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ItineraryPolicy {
+    /// The paper's default: cheapest-from-here first, using the current
+    /// host's routing-table costs.
+    CostSorted,
+    /// Ignore costs; always travel to the lowest unvisited node id
+    /// (a fixed ring order).
+    FixedOrder,
+    /// Pseudorandom order, deterministic per (seed, decision index).
+    Random {
+        /// Seed mixed into every pick.
+        seed: u64,
+    },
+}
+
+impl Wire for ItineraryPolicy {
+    fn encode(&self, buf: &mut BytesMut) {
+        match self {
+            ItineraryPolicy::CostSorted => 0u8.encode(buf),
+            ItineraryPolicy::FixedOrder => 1u8.encode(buf),
+            ItineraryPolicy::Random { seed } => {
+                2u8.encode(buf);
+                seed.encode(buf);
+            }
+        }
+    }
+    fn decode(buf: &mut Bytes) -> Result<Self, WireError> {
+        match u8::decode(buf)? {
+            0 => Ok(ItineraryPolicy::CostSorted),
+            1 => Ok(ItineraryPolicy::FixedOrder),
+            2 => Ok(ItineraryPolicy::Random {
+                seed: u64::decode(buf)?,
+            }),
+            tag => Err(WireError::InvalidTag {
+                type_name: "ItineraryPolicy",
+                tag: u32::from(tag),
+            }),
+        }
+    }
+}
+
+/// The travelling USL plus the set of replicas the agent has declared
+/// unavailable for this round (paper §2: after repeated failed migration
+/// attempts the replica "is not visited again until the next round").
+#[derive(Debug, Clone, PartialEq)]
+pub struct Itinerary {
+    unvisited: Vec<NodeId>,
+    unavailable: Vec<NodeId>,
+    policy: ItineraryPolicy,
+    decisions: u64,
+}
+
+impl Itinerary {
+    /// All nodes in `0..n` except `home`, under the given policy.
+    pub fn for_system(n: usize, home: NodeId, policy: ItineraryPolicy) -> Self {
+        let unvisited = (0..n as NodeId).filter(|&node| node != home).collect();
+        Itinerary {
+            unvisited,
+            unavailable: Vec::new(),
+            policy,
+            decisions: 0,
+        }
+    }
+
+    /// Remaining unvisited nodes (excluding unavailable ones).
+    pub fn remaining(&self) -> usize {
+        self.unvisited.len()
+    }
+
+    /// True when every reachable server has been visited.
+    pub fn exhausted(&self) -> bool {
+        self.unvisited.is_empty()
+    }
+
+    /// Nodes declared unavailable so far.
+    pub fn unavailable(&self) -> &[NodeId] {
+        &self.unavailable
+    }
+
+    /// The configured policy.
+    pub fn policy(&self) -> ItineraryPolicy {
+        self.policy
+    }
+
+    /// Choose (and remove) the next destination. `cost_of` supplies the
+    /// current host's routing-table estimate to each candidate — the
+    /// paper re-sorts the USL at every hop because costs are relative to
+    /// the agent's present location.
+    pub fn next_destination<F>(&mut self, cost_of: F) -> Option<NodeId>
+    where
+        F: Fn(NodeId) -> f64,
+    {
+        if self.unvisited.is_empty() {
+            return None;
+        }
+        self.decisions += 1;
+        let idx = match self.policy {
+            ItineraryPolicy::CostSorted => self
+                .unvisited
+                .iter()
+                .enumerate()
+                .min_by(|(_, &a), (_, &b)| {
+                    cost_of(a)
+                        .partial_cmp(&cost_of(b))
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                        // Tie on cost: lower node id for determinism.
+                        .then(a.cmp(&b))
+                })
+                .map(|(i, _)| i)
+                .expect("non-empty"),
+            ItineraryPolicy::FixedOrder => self
+                .unvisited
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, &node)| node)
+                .map(|(i, _)| i)
+                .expect("non-empty"),
+            ItineraryPolicy::Random { seed } => {
+                let roll = splitmix64(seed ^ self.decisions);
+                (roll % self.unvisited.len() as u64) as usize
+            }
+        };
+        Some(self.unvisited.swap_remove(idx))
+    }
+
+    /// Declare a node unavailable for this round: it will not be offered
+    /// again by [`Itinerary::next_destination`].
+    pub fn mark_unavailable(&mut self, node: NodeId) {
+        self.unvisited.retain(|&n| n != node);
+        if !self.unavailable.contains(&node) {
+            self.unavailable.push(node);
+        }
+    }
+
+    /// Put a node back at the end of the unvisited set (used when a
+    /// migration attempt is abandoned but the replica should be retried
+    /// after others).
+    pub fn requeue(&mut self, node: NodeId) {
+        if !self.unvisited.contains(&node) && !self.unavailable.contains(&node) {
+            self.unvisited.push(node);
+        }
+    }
+
+    /// Start a "next round" for the replicas previously declared
+    /// unavailable (the paper skips an unreachable replica only "until
+    /// the next round of request"): they become visitable again.
+    /// Returns how many were re-queued.
+    pub fn begin_next_round(&mut self) -> usize {
+        let restored = self.unavailable.len();
+        self.unvisited.append(&mut self.unavailable);
+        restored
+    }
+}
+
+impl Wire for Itinerary {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.unvisited.encode(buf);
+        self.unavailable.encode(buf);
+        self.policy.encode(buf);
+        self.decisions.encode(buf);
+    }
+    fn decode(buf: &mut Bytes) -> Result<Self, WireError> {
+        Ok(Itinerary {
+            unvisited: Vec::decode(buf)?,
+            unavailable: Vec::decode(buf)?,
+            policy: ItineraryPolicy::decode(buf)?,
+            decisions: u64::decode(buf)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn costs(from_costs: &[(NodeId, f64)]) -> impl Fn(NodeId) -> f64 + '_ {
+        move |node| {
+            from_costs
+                .iter()
+                .find(|(n, _)| *n == node)
+                .map(|(_, c)| *c)
+                .unwrap_or(f64::MAX)
+        }
+    }
+
+    #[test]
+    fn for_system_excludes_home() {
+        let it = Itinerary::for_system(5, 2, ItineraryPolicy::FixedOrder);
+        assert_eq!(it.remaining(), 4);
+    }
+
+    #[test]
+    fn cost_sorted_picks_cheapest() {
+        let mut it = Itinerary::for_system(4, 0, ItineraryPolicy::CostSorted);
+        let table = [(1u16, 10.0), (2, 3.0), (3, 7.0)];
+        assert_eq!(it.next_destination(costs(&table)), Some(2));
+        assert_eq!(it.next_destination(costs(&table)), Some(3));
+        assert_eq!(it.next_destination(costs(&table)), Some(1));
+        assert_eq!(it.next_destination(costs(&table)), None);
+        assert!(it.exhausted());
+    }
+
+    #[test]
+    fn cost_ties_break_by_node_id() {
+        let mut it = Itinerary::for_system(4, 0, ItineraryPolicy::CostSorted);
+        assert_eq!(it.next_destination(|_| 1.0), Some(1));
+        assert_eq!(it.next_destination(|_| 1.0), Some(2));
+        assert_eq!(it.next_destination(|_| 1.0), Some(3));
+    }
+
+    #[test]
+    fn fixed_order_ignores_costs() {
+        let mut it = Itinerary::for_system(4, 2, ItineraryPolicy::FixedOrder);
+        let table = [(0u16, 99.0), (1, 50.0), (3, 1.0)];
+        assert_eq!(it.next_destination(costs(&table)), Some(0));
+        assert_eq!(it.next_destination(costs(&table)), Some(1));
+        assert_eq!(it.next_destination(costs(&table)), Some(3));
+    }
+
+    #[test]
+    fn random_policy_is_deterministic_and_complete() {
+        let run = |seed| {
+            let mut it = Itinerary::for_system(6, 0, ItineraryPolicy::Random { seed });
+            let mut order = Vec::new();
+            while let Some(node) = it.next_destination(|_| 0.0) {
+                order.push(node);
+            }
+            order
+        };
+        let a = run(9);
+        let b = run(9);
+        assert_eq!(a, b);
+        let mut sorted = a.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![1, 2, 3, 4, 5]);
+        // A different seed should usually shuffle differently.
+        assert_ne!(run(9), run(10));
+    }
+
+    #[test]
+    fn mark_unavailable_removes_candidate() {
+        let mut it = Itinerary::for_system(4, 0, ItineraryPolicy::FixedOrder);
+        it.mark_unavailable(1);
+        assert_eq!(it.remaining(), 2);
+        assert_eq!(it.unavailable(), &[1]);
+        assert_eq!(it.next_destination(|_| 0.0), Some(2));
+        // Requeue of an unavailable node is refused.
+        it.requeue(1);
+        assert_eq!(it.remaining(), 1);
+    }
+
+    #[test]
+    fn requeue_restores_visited_node() {
+        let mut it = Itinerary::for_system(3, 0, ItineraryPolicy::FixedOrder);
+        assert_eq!(it.next_destination(|_| 0.0), Some(1));
+        it.requeue(1);
+        assert_eq!(it.remaining(), 2);
+        // Duplicate requeue is a no-op.
+        it.requeue(1);
+        assert_eq!(it.remaining(), 2);
+    }
+
+    #[test]
+    fn next_round_restores_unavailable_nodes() {
+        let mut it = Itinerary::for_system(4, 0, ItineraryPolicy::FixedOrder);
+        it.mark_unavailable(1);
+        it.mark_unavailable(3);
+        assert_eq!(it.remaining(), 1);
+        assert_eq!(it.begin_next_round(), 2);
+        assert_eq!(it.remaining(), 3);
+        assert!(it.unavailable().is_empty());
+        assert_eq!(it.begin_next_round(), 0);
+    }
+
+    #[test]
+    fn wire_roundtrip_preserves_state() {
+        let mut it = Itinerary::for_system(5, 1, ItineraryPolicy::Random { seed: 3 });
+        it.next_destination(|_| 0.0);
+        it.mark_unavailable(4);
+        let bytes = marp_wire::to_bytes(&it);
+        let back: Itinerary = marp_wire::from_bytes(&bytes).unwrap();
+        assert_eq!(back, it);
+    }
+}

@@ -1,0 +1,364 @@
+//! The per-host agent runtime.
+//!
+//! Each agent-enabled server embeds an [`AgentRuntime`]. It hosts
+//! resident agents, performs migration (serialize → ship → ack), retries
+//! timed-out migrations, and applies the paper's unavailability rule:
+//! "If a mobile agent cannot migrate to a replicated server host after a
+//! certain amount of time, the protocol assumes the replica process at
+//! the host has temporarily failed. After a certain number of such
+//! unsuccessful attempts, the protocol declares the replica unavailable."
+
+use crate::behavior::{Action, AgentBehavior, AgentEnv, WrapFn};
+use crate::envelope::AgentEnvelope;
+use crate::id::AgentId;
+use bytes::Bytes;
+use marp_sim::{Context, NodeId, TimerId, TraceEvent};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::time::Duration;
+
+/// Migration policy knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct AgentConfig {
+    /// How long to wait for a migration ack before retrying. Must be
+    /// comfortably above the maximum plausible round-trip time — a
+    /// retry that races a slow ack can clone the agent (the duplicate is
+    /// harmless to MARP, whose server-side structures are keyed by agent
+    /// id and deduplicate by request id, but it wastes traffic).
+    pub migrate_timeout: Duration,
+    /// Migration attempts before the destination is declared
+    /// unavailable and [`AgentBehavior::on_migrate_failed`] runs.
+    pub max_attempts: u32,
+}
+
+impl Default for AgentConfig {
+    fn default() -> Self {
+        AgentConfig {
+            migrate_timeout: Duration::from_millis(500),
+            max_attempts: 3,
+        }
+    }
+}
+
+struct Resident<B> {
+    behavior: B,
+    hops: u32,
+}
+
+struct Outbound<B> {
+    behavior: B,
+    dest: NodeId,
+    hop: u32,
+    attempts: u32,
+    timer: TimerId,
+    state: Bytes,
+}
+
+/// Hosts agents of behaviour type `B` on one node.
+pub struct AgentRuntime<B: AgentBehavior> {
+    cfg: AgentConfig,
+    wrap: WrapFn,
+    resident: BTreeMap<AgentId, Resident<B>>,
+    outbound: BTreeMap<AgentId, Outbound<B>>,
+    agent_timers: HashMap<TimerId, (AgentId, u64)>,
+    migrate_timers: HashMap<TimerId, AgentId>,
+    seen_migrations: BTreeSet<(AgentId, u32)>,
+}
+
+impl<B: AgentBehavior> AgentRuntime<B> {
+    /// Create a runtime; `wrap` lifts envelopes into the owner process's
+    /// message encoding.
+    pub fn new(cfg: AgentConfig, wrap: WrapFn) -> Self {
+        AgentRuntime {
+            cfg,
+            wrap,
+            resident: BTreeMap::new(),
+            outbound: BTreeMap::new(),
+            agent_timers: HashMap::new(),
+            migrate_timers: HashMap::new(),
+            seen_migrations: BTreeSet::new(),
+        }
+    }
+
+    /// Number of agents currently hosted here.
+    pub fn resident_count(&self) -> usize {
+        self.resident.len()
+    }
+
+    /// Iterate over resident agent ids.
+    pub fn resident_ids(&self) -> impl Iterator<Item = AgentId> + '_ {
+        self.resident.keys().copied()
+    }
+
+    /// Inspect a resident agent's behaviour state.
+    pub fn resident(&self, id: AgentId) -> Option<&B> {
+        self.resident.get(&id).map(|r| &r.behavior)
+    }
+
+    /// Number of migrations currently awaiting acks from this host.
+    pub fn in_flight(&self) -> usize {
+        self.outbound.len()
+    }
+
+    /// Create an agent at this (its home) host and run its first
+    /// `on_arrive`.
+    pub fn spawn(&mut self, behavior: B, host: &mut B::Host, ctx: &mut dyn Context) {
+        let id = behavior.id();
+        self.resident.insert(
+            id,
+            Resident {
+                behavior,
+                hops: 0,
+            },
+        );
+        self.dispatch_callback(id, host, ctx, |b, h, env| b.on_arrive(h, env));
+    }
+
+    /// Handle an envelope addressed to this host. Call from the owner's
+    /// `on_message` after decoding its own message enum.
+    pub fn handle_envelope(
+        &mut self,
+        from: NodeId,
+        envelope: AgentEnvelope,
+        host: &mut B::Host,
+        ctx: &mut dyn Context,
+    ) {
+        match envelope {
+            AgentEnvelope::Migrate { agent, hop, state } => {
+                self.handle_migrate(from, agent, hop, state, host, ctx)
+            }
+            AgentEnvelope::MigrateAck { agent, hop } => {
+                if self
+                    .outbound
+                    .get(&agent)
+                    .is_some_and(|out| out.hop == hop)
+                {
+                    let out = self.outbound.remove(&agent).expect("checked");
+                    self.migrate_timers.remove(&out.timer);
+                    ctx.cancel_timer(out.timer);
+                }
+            }
+            AgentEnvelope::ToAgent { agent, payload } => {
+                if self.resident.contains_key(&agent) {
+                    self.dispatch_callback(agent, host, ctx, |b, h, env| {
+                        b.on_agent_message(from, payload, h, env)
+                    });
+                } else {
+                    ctx.trace(TraceEvent::Custom {
+                        kind: "agent-msg-missed",
+                        a: agent.key(),
+                        b: u64::from(from),
+                    });
+                }
+            }
+        }
+    }
+
+    /// Offer a fired timer to the runtime. Returns `true` if the timer
+    /// belonged to an agent or a pending migration; `false` means it is
+    /// the owner's own timer.
+    pub fn handle_timer(
+        &mut self,
+        timer: TimerId,
+        host: &mut B::Host,
+        ctx: &mut dyn Context,
+    ) -> bool {
+        if let Some((agent, tag)) = self.agent_timers.remove(&timer) {
+            if self.resident.contains_key(&agent) {
+                self.dispatch_callback(agent, host, ctx, |b, h, env| b.on_timer(tag, h, env));
+            }
+            return true;
+        }
+        if let Some(agent) = self.migrate_timers.remove(&timer) {
+            self.retry_or_fail(agent, host, ctx);
+            return true;
+        }
+        false
+    }
+
+    /// Drop all volatile state after a host crash: resident agents,
+    /// in-flight migrations, timers. (Agents hosted here at crash time
+    /// are lost, exactly like aglets on a killed server; their lock
+    /// entries elsewhere expire via the servers' lock leases.)
+    pub fn clear_volatile(&mut self) {
+        self.resident.clear();
+        self.outbound.clear();
+        self.agent_timers.clear();
+        self.migrate_timers.clear();
+        // seen_migrations is also volatile, but keeping it is harmless
+        // and avoids re-running a duplicate arrival after recovery.
+    }
+
+    fn handle_migrate(
+        &mut self,
+        from: NodeId,
+        agent: AgentId,
+        hop: u32,
+        state: Bytes,
+        host: &mut B::Host,
+        ctx: &mut dyn Context,
+    ) {
+        // Always (re-)ack so a retry caused by a lost ack terminates.
+        let ack = (self.wrap)(AgentEnvelope::MigrateAck { agent, hop });
+        ctx.send(from, ack);
+        if !self.seen_migrations.insert((agent, hop)) {
+            return; // duplicate delivery of a retried migration
+        }
+        let behavior = match marp_wire::from_bytes::<B>(&state) {
+            Ok(b) => b,
+            Err(_) => {
+                // Corrupt state should be impossible (reliable channels);
+                // record and drop rather than crash the server.
+                ctx.trace(TraceEvent::Custom {
+                    kind: "agent-state-corrupt",
+                    a: agent.key(),
+                    b: u64::from(from),
+                });
+                return;
+            }
+        };
+        debug_assert_eq!(behavior.id(), agent, "envelope/state identity mismatch");
+        ctx.trace(TraceEvent::AgentMigrated {
+            agent: agent.key(),
+            from,
+            to: ctx.me(),
+            hops: hop,
+        });
+        self.resident.insert(
+            agent,
+            Resident {
+                behavior,
+                hops: hop,
+            },
+        );
+        self.dispatch_callback(agent, host, ctx, |b, h, env| b.on_arrive(h, env));
+    }
+
+    fn retry_or_fail(&mut self, agent: AgentId, host: &mut B::Host, ctx: &mut dyn Context) {
+        let Some(out) = self.outbound.get_mut(&agent) else {
+            return; // ack won the race
+        };
+        ctx.trace(TraceEvent::AgentMigrateFailed {
+            agent: agent.key(),
+            from: ctx.me(),
+            to: out.dest,
+        });
+        if out.attempts < self.cfg.max_attempts {
+            out.attempts += 1;
+            let msg = (self.wrap)(AgentEnvelope::Migrate {
+                agent,
+                hop: out.hop,
+                state: out.state.clone(),
+            });
+            ctx.send(out.dest, msg);
+            let timer = ctx.set_timer(self.cfg.migrate_timeout, 0);
+            out.timer = timer;
+            self.migrate_timers.insert(timer, agent);
+            return;
+        }
+        // Give up: the destination is declared unavailable and the agent
+        // resumes execution here.
+        let out = self.outbound.remove(&agent).expect("present above");
+        ctx.trace(TraceEvent::ReplicaDeclaredUnavailable {
+            agent: agent.key(),
+            node: out.dest,
+        });
+        let attempts = out.attempts;
+        let dest = out.dest;
+        self.resident.insert(
+            agent,
+            Resident {
+                behavior: out.behavior,
+                hops: out.hop.saturating_sub(1),
+            },
+        );
+        self.dispatch_callback(agent, host, ctx, |b, h, env| {
+            b.on_migrate_failed(dest, attempts, h, env)
+        });
+    }
+
+    /// Run one behaviour callback and apply the resulting action.
+    fn dispatch_callback<F>(
+        &mut self,
+        id: AgentId,
+        host: &mut B::Host,
+        ctx: &mut dyn Context,
+        callback: F,
+    ) where
+        F: FnOnce(&mut B, &mut B::Host, &mut AgentEnv<'_>) -> Action,
+    {
+        let Some(resident) = self.resident.get_mut(&id) else {
+            return;
+        };
+        let action = {
+            let mut env = AgentEnv {
+                ctx,
+                wrap: self.wrap,
+                agent: id,
+                agent_timers: &mut self.agent_timers,
+            };
+            callback(&mut resident.behavior, host, &mut env)
+        };
+        match action {
+            Action::Stay => {}
+            Action::Dispose => self.dispose(id, ctx),
+            Action::Migrate(dest) => {
+                if dest == ctx.me() {
+                    debug_assert!(false, "agent asked to migrate to its current host");
+                    return;
+                }
+                self.begin_migration(id, dest, ctx);
+            }
+        }
+    }
+
+    fn dispose(&mut self, id: AgentId, ctx: &mut dyn Context) {
+        if let Some(resident) = self.resident.remove(&id) {
+            self.drop_agent_timers(id, ctx);
+            ctx.trace(TraceEvent::AgentDisposed {
+                agent: id.key(),
+                born: resident.behavior.id().born,
+            });
+        }
+    }
+
+    fn begin_migration(&mut self, id: AgentId, dest: NodeId, ctx: &mut dyn Context) {
+        let Some(resident) = self.resident.remove(&id) else {
+            return;
+        };
+        self.drop_agent_timers(id, ctx);
+        let hop = resident.hops + 1;
+        let state = marp_wire::to_bytes(&resident.behavior);
+        let msg = (self.wrap)(AgentEnvelope::Migrate {
+            agent: id,
+            hop,
+            state: state.clone(),
+        });
+        ctx.send(dest, msg);
+        let timer = ctx.set_timer(self.cfg.migrate_timeout, 0);
+        self.migrate_timers.insert(timer, id);
+        self.outbound.insert(
+            id,
+            Outbound {
+                behavior: resident.behavior,
+                dest,
+                hop,
+                attempts: 1,
+                timer,
+                state,
+            },
+        );
+    }
+
+    fn drop_agent_timers(&mut self, id: AgentId, ctx: &mut dyn Context) {
+        let stale: Vec<TimerId> = self
+            .agent_timers
+            .iter()
+            .filter(|(_, (agent, _))| *agent == id)
+            .map(|(&t, _)| t)
+            .collect();
+        for timer in stale {
+            self.agent_timers.remove(&timer);
+            ctx.cancel_timer(timer);
+        }
+    }
+}

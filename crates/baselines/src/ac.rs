@@ -1,0 +1,476 @@
+//! Available Copy (AC) — write-all-available / read-one.
+//!
+//! The optimistic baseline the paper discusses (§3.1, citing Bernstein
+//! et al.): "Update operations must be applied at all available
+//! replicas. If all available replicas participated in the last update,
+//! an application can read from any replica and observe the update."
+//! There is no quorum and no global order — replicas converge through
+//! last-writer-wins timestamps — so the protocol is cheap and fast but
+//! "vulnerable to communication partitions", which experiment E7 makes
+//! visible.
+
+use crate::common::{LwwStore, LwwTs};
+use bytes::{Bytes, BytesMut};
+use marp_replica::{ClientReply, ClientRequest, Operation};
+use marp_sim::{
+    impl_as_any, Context, NodeId, Process, SimTime, TimerId, TraceEvent,
+};
+use marp_wire::{Wire, WireError};
+use std::collections::{BTreeSet, HashMap};
+use std::time::Duration;
+
+/// AC deployment knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct AcConfig {
+    /// Number of replica servers.
+    pub n_servers: usize,
+    /// Safety net: complete a write anyway after this long even if some
+    /// ack never came (e.g. it raced a crash the detector has not
+    /// reported yet).
+    pub ack_timeout: Duration,
+}
+
+impl AcConfig {
+    /// Defaults.
+    pub fn new(n_servers: usize) -> Self {
+        assert!(n_servers >= 1);
+        AcConfig {
+            n_servers,
+            ack_timeout: Duration::from_millis(500),
+        }
+    }
+
+    /// Scale the write-ack safety net to the deployment's worst one-way
+    /// latency.
+    pub fn scaled_to_latency(mut self, max_latency: Duration) -> Self {
+        self.ack_timeout = self.ack_timeout.max(max_latency * 5);
+        self
+    }
+}
+
+/// AC wire messages.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AcMsg {
+    /// Client traffic.
+    Client(ClientRequest),
+    /// Propagate a write to an available replica.
+    Write {
+        /// Originating request.
+        request: u64,
+        /// Key.
+        key: u64,
+        /// Value.
+        value: u64,
+        /// Last-writer-wins timestamp.
+        ts: LwwTs,
+    },
+    /// Replica acknowledges a propagated write.
+    WriteAck {
+        /// The request being acked.
+        request: u64,
+    },
+    /// Recovery: ask a peer for its full store.
+    StatePull,
+    /// Recovery: the peer's store contents.
+    StatePush {
+        /// `(key, value, ts)` triples.
+        dump: Vec<(u64, u64, LwwTs)>,
+    },
+}
+
+impl Wire for AcMsg {
+    fn encode(&self, buf: &mut BytesMut) {
+        match self {
+            AcMsg::Client(req) => {
+                0u8.encode(buf);
+                req.encode(buf);
+            }
+            AcMsg::Write {
+                request,
+                key,
+                value,
+                ts,
+            } => {
+                1u8.encode(buf);
+                request.encode(buf);
+                key.encode(buf);
+                value.encode(buf);
+                ts.encode(buf);
+            }
+            AcMsg::WriteAck { request } => {
+                2u8.encode(buf);
+                request.encode(buf);
+            }
+            AcMsg::StatePull => 3u8.encode(buf),
+            AcMsg::StatePush { dump } => {
+                4u8.encode(buf);
+                dump.encode(buf);
+            }
+        }
+    }
+    fn decode(buf: &mut Bytes) -> Result<Self, WireError> {
+        match u8::decode(buf)? {
+            0 => Ok(AcMsg::Client(ClientRequest::decode(buf)?)),
+            1 => Ok(AcMsg::Write {
+                request: u64::decode(buf)?,
+                key: u64::decode(buf)?,
+                value: u64::decode(buf)?,
+                ts: LwwTs::decode(buf)?,
+            }),
+            2 => Ok(AcMsg::WriteAck {
+                request: u64::decode(buf)?,
+            }),
+            3 => Ok(AcMsg::StatePull),
+            4 => Ok(AcMsg::StatePush {
+                dump: Vec::decode(buf)?,
+            }),
+            tag => Err(WireError::InvalidTag {
+                type_name: "AcMsg",
+                tag: u32::from(tag),
+            }),
+        }
+    }
+}
+
+/// Encode a [`ClientRequest`] into the AC node message space.
+pub fn wrap_client_request(request: ClientRequest) -> Bytes {
+    marp_wire::to_bytes(&AcMsg::Client(request))
+}
+
+const TAG_ACK_TIMEOUT: u64 = 1;
+
+struct PendingWrite {
+    client: NodeId,
+    arrived: SimTime,
+    waiting: BTreeSet<NodeId>,
+    version: u64,
+}
+
+/// One Available Copy replica server.
+pub struct AcNode {
+    cfg: AcConfig,
+    me: NodeId,
+    /// The replicated data (LWW convergent).
+    pub store: LwwStore,
+    up: Vec<bool>,
+    pending: HashMap<u64, PendingWrite>,
+}
+
+impl AcNode {
+    /// Build the node for server `me`.
+    pub fn new(me: NodeId, cfg: AcConfig) -> Self {
+        AcNode {
+            me,
+            up: vec![true; cfg.n_servers],
+            store: LwwStore::new(),
+            pending: HashMap::new(),
+            cfg,
+        }
+    }
+
+    /// Writes accepted but not yet fully acknowledged.
+    pub fn pending_writes(&self) -> usize {
+        self.pending.len()
+    }
+
+    fn complete(&mut self, request: u64, ctx: &mut dyn Context) {
+        if let Some(done) = self.pending.remove(&request) {
+            ctx.trace(TraceEvent::UpdateCompleted {
+                request,
+                home: self.me,
+                arrived: done.arrived,
+                dispatched: done.arrived,
+                locked: ctx.now(),
+                visits: 0,
+            });
+            let reply = ClientReply::WriteDone {
+                id: request,
+                version: done.version,
+            };
+            ctx.send(done.client, marp_wire::to_bytes(&reply));
+        }
+    }
+
+    fn handle_msg(&mut self, from: NodeId, msg: AcMsg, ctx: &mut dyn Context) {
+        match msg {
+            AcMsg::Client(request) => {
+                ctx.trace(TraceEvent::RequestArrived {
+                    node: self.me,
+                    request: request.id,
+                    write: request.op.is_write(),
+                });
+                match request.op {
+                    // AC has no freshness guarantee to offer: both read
+                    // flavours are local (the protocol's documented
+                    // weakness).
+                    Operation::Read { key } | Operation::ReadFresh { key } => {
+                        let held = self.store.get(key);
+                        ctx.trace(TraceEvent::ReadServed {
+                            node: self.me,
+                            request: request.id,
+                            version: held.map_or(0, |(_, ts)| ts.counter),
+                        });
+                        let reply = ClientReply::ReadOk {
+                            id: request.id,
+                            key,
+                            value: held.map(|(v, _)| v),
+                            version: held.map_or(0, |(_, ts)| ts.counter),
+                        };
+                        ctx.send(from, marp_wire::to_bytes(&reply));
+                    }
+                    Operation::Write { key, value } => {
+                        let ts = self.store.stamp(self.me);
+                        self.store.apply(key, value, ts);
+                        // Write to every *available* replica.
+                        let waiting: BTreeSet<NodeId> = (0..self.cfg.n_servers as NodeId)
+                            .filter(|&s| s != self.me && self.up[usize::from(s)])
+                            .collect();
+                        let payload = marp_wire::to_bytes(&AcMsg::Write {
+                            request: request.id,
+                            key,
+                            value,
+                            ts,
+                        });
+                        for &server in &waiting {
+                            ctx.send(server, payload.clone());
+                        }
+                        self.pending.insert(
+                            request.id,
+                            PendingWrite {
+                                client: from,
+                                arrived: ctx.now(),
+                                waiting,
+                                version: ts.counter,
+                            },
+                        );
+                        ctx.set_timer(self.cfg.ack_timeout, (request.id << 8) | TAG_ACK_TIMEOUT);
+                        // No other available replica: done immediately.
+                        self.sweep_complete(request.id, ctx);
+                    }
+                }
+            }
+            AcMsg::Write {
+                request,
+                key,
+                value,
+                ts,
+            } => {
+                self.store.apply(key, value, ts);
+                ctx.trace(TraceEvent::CommitApplied {
+                    node: self.me,
+                    version: ts.counter,
+                    agent: request,
+                    key,
+                });
+                ctx.send(from, marp_wire::to_bytes(&AcMsg::WriteAck { request }));
+            }
+            AcMsg::WriteAck { request } => {
+                if let Some(pending) = self.pending.get_mut(&request) {
+                    pending.waiting.remove(&from);
+                }
+                self.sweep_complete(request, ctx);
+            }
+            AcMsg::StatePull => {
+                let reply = AcMsg::StatePush {
+                    dump: self.store.dump(),
+                };
+                ctx.send(from, marp_wire::to_bytes(&reply));
+            }
+            AcMsg::StatePush { dump } => self.store.absorb(dump),
+        }
+    }
+
+    fn sweep_complete(&mut self, request: u64, ctx: &mut dyn Context) {
+        if self
+            .pending
+            .get(&request)
+            .is_some_and(|p| p.waiting.is_empty())
+        {
+            self.complete(request, ctx);
+        }
+    }
+}
+
+impl Process for AcNode {
+    fn on_message(&mut self, from: NodeId, msg: Bytes, ctx: &mut dyn Context) {
+        if let Ok(msg) = marp_wire::from_bytes::<AcMsg>(&msg) {
+            self.handle_msg(from, msg, ctx);
+        }
+    }
+
+    fn on_timer(&mut self, _timer: TimerId, tag: u64, ctx: &mut dyn Context) {
+        if tag & 0xFF == TAG_ACK_TIMEOUT {
+            let request = tag >> 8;
+            // Give up on missing acks: the replicas that answered have
+            // the write; the silent ones are treated as failed (the
+            // paper's fail-stop detection will confirm or they will
+            // recover and pull state).
+            if self.pending.contains_key(&request) {
+                ctx.trace(TraceEvent::Custom {
+                    kind: "ac-write-timeout",
+                    a: request,
+                    b: u64::from(self.me),
+                });
+                self.complete(request, ctx);
+            }
+        }
+    }
+
+    fn on_node_status(&mut self, node: NodeId, up: bool, ctx: &mut dyn Context) {
+        if usize::from(node) < self.up.len() {
+            self.up[usize::from(node)] = up;
+        }
+        if !up {
+            // Stop waiting on the failed replica.
+            let stalled: Vec<u64> = self
+                .pending
+                .iter_mut()
+                .filter_map(|(&req, p)| {
+                    p.waiting.remove(&node);
+                    p.waiting.is_empty().then_some(req)
+                })
+                .collect();
+            for request in stalled {
+                self.complete(request, ctx);
+            }
+        }
+    }
+
+    fn on_recover(&mut self, ctx: &mut dyn Context) {
+        self.pending.clear();
+        self.up = vec![true; self.cfg.n_servers];
+        // Pull the writes we missed from a peer.
+        let peer = (self.me + 1) % self.cfg.n_servers as NodeId;
+        if peer != self.me {
+            ctx.send(peer, marp_wire::to_bytes(&AcMsg::StatePull));
+        }
+    }
+
+    impl_as_any!();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use marp_net::{FaultPlan, LinkModel, SimTransport, Topology};
+    use marp_replica::{ClientProcess, ScriptedSource};
+    use marp_sim::{SimRng, SimTime, Simulation, TraceLevel};
+
+    fn build(n: usize, seed: u64) -> Simulation {
+        let topo = Topology::uniform_lan(n * 2 + 2, Duration::from_millis(2));
+        let transport = SimTransport::new(topo, LinkModel::ideal(), SimRng::from_seed(seed));
+        let mut sim = Simulation::new(Box::new(transport), TraceLevel::Protocol);
+        for me in 0..n as NodeId {
+            sim.add_process(Box::new(AcNode::new(me, AcConfig::new(n))));
+        }
+        sim
+    }
+
+    #[test]
+    fn write_reaches_all_available_replicas() {
+        let mut sim = build(4, 1);
+        sim.add_process(Box::new(ClientProcess::new(
+            0,
+            Box::new(ScriptedSource::new([(
+                Duration::from_millis(1),
+                Operation::Write { key: 2, value: 22 },
+            )])),
+            wrap_client_request,
+        )));
+        sim.run_until(SimTime::from_secs(1));
+        for server in 0..4u16 {
+            let node = sim.process::<AcNode>(server).unwrap();
+            assert_eq!(node.store.get(2).map(|(v, _)| v), Some(22));
+            assert_eq!(node.pending_writes(), 0);
+        }
+    }
+
+    #[test]
+    fn concurrent_writes_converge_via_lww() {
+        let mut sim = build(3, 2);
+        for server in 0..3u16 {
+            sim.add_process(Box::new(ClientProcess::new(
+                server,
+                Box::new(ScriptedSource::new([(
+                    Duration::from_millis(1),
+                    Operation::Write {
+                        key: 1,
+                        value: u64::from(server) + 10,
+                    },
+                )])),
+                wrap_client_request,
+            )));
+        }
+        sim.run_until(SimTime::from_secs(2));
+        let values: Vec<u64> = (0..3u16)
+            .map(|s| sim.process::<AcNode>(s).unwrap().store.get(1).unwrap().0)
+            .collect();
+        assert_eq!(values[0], values[1]);
+        assert_eq!(values[1], values[2]);
+    }
+
+    #[test]
+    fn down_replica_is_skipped_and_catches_up_on_recovery() {
+        let mut sim = build(3, 3);
+        let plan = FaultPlan::new(3)
+            .detect_delay(Duration::from_millis(20))
+            .crash(2, SimTime::from_millis(1), Duration::from_secs(1));
+        plan.schedule_controls(&mut sim);
+        sim.add_process(Box::new(ClientProcess::new(
+            0,
+            Box::new(ScriptedSource::new([(
+                Duration::from_millis(100),
+                Operation::Write { key: 5, value: 50 },
+            )])),
+            wrap_client_request,
+        )));
+        sim.run_until(SimTime::from_secs(5));
+        // Completed despite server 2 being down...
+        assert_eq!(
+            sim.trace()
+                .count(|e| matches!(e, TraceEvent::UpdateCompleted { .. })),
+            1
+        );
+        // ...and server 2 pulled the write on recovery.
+        let node2 = sim.process::<AcNode>(2).unwrap();
+        assert_eq!(node2.store.get(5).map(|(v, _)| v), Some(50));
+    }
+
+    #[test]
+    fn reads_are_local_and_fast() {
+        let mut sim = build(3, 4);
+        let client = sim.add_process(Box::new(ClientProcess::new(
+            1,
+            Box::new(ScriptedSource::new([(
+                Duration::from_millis(1),
+                Operation::Read { key: 9 },
+            )])),
+            wrap_client_request,
+        )));
+        sim.run_until(SimTime::from_secs(1));
+        let proc = sim.process::<ClientProcess>(client).unwrap();
+        assert_eq!(proc.stats.read_latencies.len(), 1);
+        assert_eq!(proc.stats.mean_read_ms(), Some(4.0));
+    }
+
+    #[test]
+    fn msg_roundtrip() {
+        let msgs = vec![
+            AcMsg::Write {
+                request: 1,
+                key: 2,
+                value: 3,
+                ts: LwwTs { counter: 4, node: 5 },
+            },
+            AcMsg::WriteAck { request: 1 },
+            AcMsg::StatePull,
+            AcMsg::StatePush {
+                dump: vec![(1, 2, LwwTs { counter: 3, node: 4 })],
+            },
+        ];
+        for msg in msgs {
+            let bytes = marp_wire::to_bytes(&msg);
+            assert_eq!(marp_wire::from_bytes::<AcMsg>(&bytes).unwrap(), msg);
+        }
+    }
+}

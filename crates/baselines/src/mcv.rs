@@ -1,0 +1,539 @@
+//! Majority Consensus Voting (MCV) — the message-passing comparator.
+//!
+//! This is the scheme the paper's protocol is "based on" (Thomas 1979),
+//! implemented the conventional way the paper argues against: the home
+//! server acts as a stationary coordinator that *exchanges messages*
+//! with every replica — a vote-collection round, then an apply
+//! broadcast — instead of sending an agent to interact locally.
+//! Contention shows up as rejected rounds and backoff retries, the
+//! "sessions of passing messages and waiting for replies" of §1.
+
+use crate::common::{Ballot, Promise};
+use bytes::{Bytes, BytesMut};
+use marp_replica::{
+    ClientRequest, CommitRecord, ServerConfig, ServerCore, SyncMsg, WriteRequest,
+};
+use marp_sim::{
+    impl_as_any, Context, NodeId, Process, SimTime, TimerId, TraceEvent,
+};
+use marp_wire::{Wire, WireError};
+use std::collections::VecDeque;
+use std::time::Duration;
+
+/// MCV deployment knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct McvConfig {
+    /// Number of replica servers.
+    pub n_servers: usize,
+    /// How long a vote promise binds a replica.
+    pub promise_lease: Duration,
+    /// Coordinator round timeout before aborting and backing off.
+    pub round_timeout: Duration,
+    /// Base backoff after a failed round (scaled by attempt count).
+    pub backoff_base: Duration,
+    /// Maintenance cadence (anti-entropy checks).
+    pub maintenance_interval: Duration,
+}
+
+impl McvConfig {
+    /// Defaults matched to the MARP LAN configuration for fair
+    /// comparison.
+    pub fn new(n_servers: usize) -> Self {
+        assert!(n_servers >= 1);
+        McvConfig {
+            n_servers,
+            promise_lease: Duration::from_secs(2),
+            round_timeout: Duration::from_millis(100),
+            backoff_base: Duration::from_millis(8),
+            maintenance_interval: Duration::from_millis(500),
+        }
+    }
+
+    fn majority(&self) -> usize {
+        self.n_servers / 2 + 1
+    }
+
+    /// Scale the coordinator's timeouts to a deployment whose worst
+    /// one-way latency is `max_latency`: a vote round cannot finish
+    /// inside the physical round trip, and a shorter timeout turns every
+    /// round into an abort.
+    pub fn scaled_to_latency(mut self, max_latency: std::time::Duration) -> Self {
+        let lat = max_latency.max(Duration::from_millis(1));
+        self.round_timeout = self.round_timeout.max(lat * 5);
+        self.backoff_base = self.backoff_base.max(lat);
+        self.promise_lease = self.promise_lease.max(self.round_timeout * 10);
+        self
+    }
+}
+
+/// MCV wire messages.
+#[derive(Debug, Clone, PartialEq)]
+pub enum McvMsg {
+    /// Client traffic.
+    Client(ClientRequest),
+    /// Coordinator requests a vote for its round.
+    VoteReq {
+        /// The round.
+        ballot: Ballot,
+    },
+    /// A replica's vote.
+    Vote {
+        /// The round voted on.
+        ballot: Ballot,
+        /// Granted or refused.
+        granted: bool,
+        /// The replica's applied version (winner writes above the max).
+        store_version: u64,
+    },
+    /// Commit broadcast after a successful round.
+    Apply {
+        /// The winning round.
+        ballot: Ballot,
+        /// Records to apply.
+        records: Vec<CommitRecord>,
+    },
+    /// Abort broadcast after a failed round.
+    Release {
+        /// The aborted round.
+        ballot: Ballot,
+    },
+    /// Anti-entropy.
+    Sync(SyncMsg),
+}
+
+impl Wire for McvMsg {
+    fn encode(&self, buf: &mut BytesMut) {
+        match self {
+            McvMsg::Client(req) => {
+                0u8.encode(buf);
+                req.encode(buf);
+            }
+            McvMsg::VoteReq { ballot } => {
+                1u8.encode(buf);
+                ballot.encode(buf);
+            }
+            McvMsg::Vote {
+                ballot,
+                granted,
+                store_version,
+            } => {
+                2u8.encode(buf);
+                ballot.encode(buf);
+                granted.encode(buf);
+                store_version.encode(buf);
+            }
+            McvMsg::Apply { ballot, records } => {
+                3u8.encode(buf);
+                ballot.encode(buf);
+                records.encode(buf);
+            }
+            McvMsg::Release { ballot } => {
+                4u8.encode(buf);
+                ballot.encode(buf);
+            }
+            McvMsg::Sync(sync) => {
+                5u8.encode(buf);
+                sync.encode(buf);
+            }
+        }
+    }
+    fn decode(buf: &mut Bytes) -> Result<Self, WireError> {
+        match u8::decode(buf)? {
+            0 => Ok(McvMsg::Client(ClientRequest::decode(buf)?)),
+            1 => Ok(McvMsg::VoteReq {
+                ballot: Ballot::decode(buf)?,
+            }),
+            2 => Ok(McvMsg::Vote {
+                ballot: Ballot::decode(buf)?,
+                granted: bool::decode(buf)?,
+                store_version: u64::decode(buf)?,
+            }),
+            3 => Ok(McvMsg::Apply {
+                ballot: Ballot::decode(buf)?,
+                records: Vec::decode(buf)?,
+            }),
+            4 => Ok(McvMsg::Release {
+                ballot: Ballot::decode(buf)?,
+            }),
+            5 => Ok(McvMsg::Sync(SyncMsg::decode(buf)?)),
+            tag => Err(WireError::InvalidTag {
+                type_name: "McvMsg",
+                tag: u32::from(tag),
+            }),
+        }
+    }
+}
+
+/// Encode a [`ClientRequest`] into the MCV node message space.
+pub fn wrap_client_request(request: ClientRequest) -> Bytes {
+    marp_wire::to_bytes(&McvMsg::Client(request))
+}
+
+fn wrap_sync(msg: SyncMsg) -> Bytes {
+    marp_wire::to_bytes(&McvMsg::Sync(msg))
+}
+
+const TAG_ROUND_TIMEOUT: u64 = 1;
+const TAG_RETRY: u64 = 2;
+const TAG_MAINTENANCE: u64 = 3;
+
+struct Round {
+    ballot: Ballot,
+    request: WriteRequest,
+    grants: Vec<(NodeId, u64)>,
+    rejects: Vec<NodeId>,
+    started: SimTime,
+}
+
+/// One MCV replica server.
+pub struct McvNode {
+    cfg: McvConfig,
+    /// Shared replica substrate (store, client bookkeeping, sync).
+    pub core: ServerCore,
+    promise: Promise,
+    queue: VecDeque<WriteRequest>,
+    round: Option<Round>,
+    ballot_seq: u64,
+    attempts: u32,
+    retry_armed: bool,
+}
+
+impl McvNode {
+    /// Build the node for server `me`.
+    pub fn new(me: NodeId, cfg: McvConfig) -> Self {
+        McvNode {
+            cfg,
+            core: ServerCore::new(me, ServerConfig::default(), wrap_sync),
+            promise: Promise::new(),
+            queue: VecDeque::new(),
+            round: None,
+            ballot_seq: 0,
+            attempts: 0,
+            retry_armed: false,
+        }
+    }
+
+    fn me(&self) -> NodeId {
+        self.core.me()
+    }
+
+    /// Pending writes queued at this coordinator.
+    pub fn queued_writes(&self) -> usize {
+        self.queue.len() + usize::from(self.round.is_some())
+    }
+
+    fn broadcast(&self, msg: &McvMsg, ctx: &mut dyn Context) {
+        let bytes = marp_wire::to_bytes(msg);
+        for server in 0..self.cfg.n_servers as NodeId {
+            ctx.send(server, bytes.clone());
+        }
+    }
+
+    fn try_start_round(&mut self, ctx: &mut dyn Context) {
+        if self.round.is_some() || self.retry_armed {
+            return;
+        }
+        let Some(request) = self.queue.pop_front() else {
+            return;
+        };
+        self.ballot_seq += 1;
+        let ballot = Ballot {
+            seq: self.ballot_seq,
+            coordinator: self.me(),
+        };
+        self.round = Some(Round {
+            ballot,
+            request,
+            grants: Vec::new(),
+            rejects: Vec::new(),
+            started: ctx.now(),
+        });
+        self.broadcast(&McvMsg::VoteReq { ballot }, ctx);
+        ctx.set_timer(
+            self.cfg.round_timeout,
+            (ballot.seq << 8) | TAG_ROUND_TIMEOUT,
+        );
+    }
+
+    fn abort_round(&mut self, ctx: &mut dyn Context) {
+        let Some(round) = self.round.take() else {
+            return;
+        };
+        self.broadcast(
+            &McvMsg::Release {
+                ballot: round.ballot,
+            },
+            ctx,
+        );
+        // Retry the same write later.
+        self.queue.push_front(round.request);
+        self.attempts += 1;
+        // Linear backoff with a deterministic per-node stagger.
+        let backoff = self.cfg.backoff_base * self.attempts.min(16)
+            + Duration::from_micros(u64::from(self.me()) * 500);
+        self.retry_armed = true;
+        ctx.set_timer(backoff, TAG_RETRY);
+    }
+
+    fn on_vote(&mut self, from: NodeId, ballot: Ballot, granted: bool, version: u64, ctx: &mut dyn Context) {
+        let maj = self.cfg.majority();
+        let n = self.cfg.n_servers;
+        let Some(round) = &mut self.round else {
+            return;
+        };
+        if round.ballot != ballot
+            || round.grants.iter().any(|&(s, _)| s == from)
+            || round.rejects.contains(&from)
+        {
+            return;
+        }
+        if granted {
+            round.grants.push((from, version));
+            if round.grants.len() >= maj {
+                let round = self.round.take().expect("checked");
+                let base = round.grants.iter().map(|&(_, v)| v).max().unwrap_or(0);
+                let record = CommitRecord {
+                    version: base + 1,
+                    key: round.request.key,
+                    value: round.request.value,
+                    agent: u64::from(self.me()) << 32 | round.ballot.seq,
+                    request: round.request.id,
+                    committed_at: ctx.now(),
+                };
+                self.broadcast(
+                    &McvMsg::Apply {
+                        ballot: round.ballot,
+                        records: vec![record],
+                    },
+                    ctx,
+                );
+                ctx.trace(TraceEvent::UpdateCompleted {
+                    request: round.request.id,
+                    home: self.me(),
+                    arrived: round.request.arrived,
+                    dispatched: round.started,
+                    locked: ctx.now(),
+                    visits: 0,
+                });
+                self.attempts = 0;
+                self.try_start_round(ctx);
+            }
+        } else {
+            round.rejects.push(from);
+            if round.rejects.len() > n - maj {
+                self.abort_round(ctx);
+            }
+        }
+    }
+
+    fn handle_msg(&mut self, from: NodeId, msg: McvMsg, ctx: &mut dyn Context) {
+        match msg {
+            McvMsg::Client(request) => {
+                match self.core.handle_client_request(from, request, ctx) {
+                    marp_replica::ClientAction::Done => {}
+                    marp_replica::ClientAction::Write(write) => {
+                        self.queue.push_back(write);
+                        self.try_start_round(ctx);
+                    }
+                    // MCV has no quorum-read machinery: consistent reads
+                    // are downgraded to local reads.
+                    marp_replica::ClientAction::FreshRead(read) => {
+                        self.core.serve_fresh_read_locally(read, ctx);
+                    }
+                }
+            }
+            McvMsg::VoteReq { ballot } => {
+                let granted =
+                    self.promise
+                        .try_grant(ballot, ctx.now(), self.cfg.promise_lease);
+                let reply = McvMsg::Vote {
+                    ballot,
+                    granted,
+                    store_version: self.core.store.applied_version(),
+                };
+                ctx.send(ballot.coordinator, marp_wire::to_bytes(&reply));
+            }
+            McvMsg::Vote {
+                ballot,
+                granted,
+                store_version,
+            } => self.on_vote(from, ballot, granted, store_version, ctx),
+            McvMsg::Apply { ballot, records } => {
+                self.core.apply_commits(records, ctx);
+                self.promise.release(ballot);
+            }
+            McvMsg::Release { ballot } => self.promise.release(ballot),
+            McvMsg::Sync(sync) => self.core.handle_sync(from, sync, ctx),
+        }
+    }
+}
+
+impl Process for McvNode {
+    fn on_start(&mut self, ctx: &mut dyn Context) {
+        ctx.set_timer(self.cfg.maintenance_interval, TAG_MAINTENANCE);
+    }
+
+    fn on_message(&mut self, from: NodeId, msg: Bytes, ctx: &mut dyn Context) {
+        if let Ok(msg) = marp_wire::from_bytes::<McvMsg>(&msg) {
+            self.handle_msg(from, msg, ctx);
+        }
+    }
+
+    fn on_timer(&mut self, _timer: TimerId, tag: u64, ctx: &mut dyn Context) {
+        match tag & 0xFF {
+            TAG_ROUND_TIMEOUT => {
+                let seq = tag >> 8;
+                if self.round.as_ref().is_some_and(|r| r.ballot.seq == seq) {
+                    self.abort_round(ctx);
+                }
+            }
+            TAG_RETRY => {
+                self.retry_armed = false;
+                self.try_start_round(ctx);
+            }
+            TAG_MAINTENANCE => {
+                let peer = (self.me() + 1) % self.cfg.n_servers as NodeId;
+                if peer != self.me() {
+                    self.core.pull_if_behind(peer, ctx);
+                }
+                ctx.set_timer(self.cfg.maintenance_interval, TAG_MAINTENANCE);
+            }
+            _ => {}
+        }
+    }
+
+    fn on_recover(&mut self, ctx: &mut dyn Context) {
+        self.core.on_recover();
+        self.promise.clear();
+        self.queue.clear();
+        self.round = None;
+        self.retry_armed = false;
+        self.attempts = 0;
+        ctx.set_timer(self.cfg.maintenance_interval, TAG_MAINTENANCE);
+        let peer = (self.me() + 1) % self.cfg.n_servers as NodeId;
+        if peer != self.me() {
+            self.core.pull_from(peer, ctx);
+        }
+    }
+
+    impl_as_any!();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use marp_net::{LinkModel, SimTransport, Topology};
+    use marp_replica::{ClientProcess, Operation, ScriptedSource};
+    use marp_sim::{SimRng, Simulation, TraceLevel};
+
+    fn build(n: usize, seed: u64) -> Simulation {
+        let topo = Topology::uniform_lan(n * 2 + 2, Duration::from_millis(2));
+        let transport = SimTransport::new(topo, LinkModel::ideal(), SimRng::from_seed(seed));
+        let mut sim = Simulation::new(Box::new(transport), TraceLevel::Protocol);
+        for me in 0..n as NodeId {
+            sim.add_process(Box::new(McvNode::new(me, McvConfig::new(n))));
+        }
+        sim
+    }
+
+    #[test]
+    fn single_write_commits_everywhere() {
+        let mut sim = build(5, 1);
+        sim.add_process(Box::new(ClientProcess::new(
+            0,
+            Box::new(ScriptedSource::new([(
+                Duration::from_millis(1),
+                Operation::Write { key: 4, value: 44 },
+            )])),
+            wrap_client_request,
+        )));
+        sim.run_until(SimTime::from_secs(2));
+        for server in 0..5u16 {
+            let node = sim.process::<McvNode>(server).unwrap();
+            assert_eq!(node.core.store.get(4).map(|s| s.value), Some(44));
+        }
+    }
+
+    #[test]
+    fn concurrent_coordinators_serialize() {
+        let mut sim = build(5, 2);
+        for server in 0..2u16 {
+            let script: Vec<(Duration, Operation)> = (0..5)
+                .map(|i| {
+                    (
+                        Duration::from_millis(4),
+                        Operation::Write {
+                            key: u64::from(server),
+                            value: i,
+                        },
+                    )
+                })
+                .collect();
+            sim.add_process(Box::new(ClientProcess::new(
+                server,
+                Box::new(ScriptedSource::new(script)),
+                wrap_client_request,
+            )));
+        }
+        sim.run_until(SimTime::from_secs(30));
+        let logs: Vec<Vec<u64>> = (0..5u16)
+            .map(|s| {
+                sim.process::<McvNode>(s)
+                    .unwrap()
+                    .core
+                    .store
+                    .log()
+                    .iter()
+                    .map(|r| r.request)
+                    .collect()
+            })
+            .collect();
+        assert_eq!(logs[0].len(), 10, "all writes commit");
+        for log in &logs {
+            assert_eq!(log, &logs[0], "same order everywhere");
+        }
+        assert_eq!(
+            sim.trace()
+                .count(|e| matches!(e, TraceEvent::UpdateCompleted { .. })),
+            10
+        );
+    }
+
+    #[test]
+    fn reads_are_local() {
+        let mut sim = build(3, 3);
+        let client = sim.add_process(Box::new(ClientProcess::new(
+            1,
+            Box::new(ScriptedSource::new([(
+                Duration::from_millis(1),
+                Operation::Read { key: 1 },
+            )])),
+            wrap_client_request,
+        )));
+        sim.run_until(SimTime::from_secs(1));
+        let proc = sim.process::<ClientProcess>(client).unwrap();
+        assert_eq!(proc.stats.read_latencies.len(), 1);
+        assert!(proc.stats.mean_read_ms().unwrap() < 6.0);
+    }
+
+    #[test]
+    fn msg_roundtrip() {
+        let msgs = vec![
+            McvMsg::VoteReq {
+                ballot: Ballot::first(1),
+            },
+            McvMsg::Vote {
+                ballot: Ballot::first(1),
+                granted: true,
+                store_version: 9,
+            },
+            McvMsg::Release {
+                ballot: Ballot::first(2),
+            },
+        ];
+        for msg in msgs {
+            let bytes = marp_wire::to_bytes(&msg);
+            assert_eq!(marp_wire::from_bytes::<McvMsg>(&bytes).unwrap(), msg);
+        }
+    }
+}

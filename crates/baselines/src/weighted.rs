@@ -1,0 +1,802 @@
+//! Gifford weighted voting (1979) — the quorum baseline.
+//!
+//! Every replica holds a number of votes; a read needs a quorum of `r`
+//! votes, a write a quorum of `w` votes, with `r + w` greater than the
+//! total so every read quorum intersects every write quorum (the
+//! consistency argument the paper recounts in §3.1). Unlike MARP,
+//! *reads* pay quorum assembly here — that asymmetry is experiment E13.
+
+use crate::common::{Ballot, Promise};
+use bytes::{Bytes, BytesMut};
+use marp_replica::{ClientReply, ClientRequest, Operation, WriteRequest};
+use marp_sim::{
+    impl_as_any, Context, NodeId, Process, SimTime, TimerId, TraceEvent,
+};
+use marp_wire::{Wire, WireError};
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::time::Duration;
+
+/// Weighted-voting deployment knobs.
+#[derive(Debug, Clone)]
+pub struct WvConfig {
+    /// Votes held by each replica (length = number of servers).
+    pub votes: Vec<u32>,
+    /// Read quorum.
+    pub read_quorum: u32,
+    /// Write quorum.
+    pub write_quorum: u32,
+    /// How long a write-lock promise binds a replica.
+    pub promise_lease: Duration,
+    /// Coordinator round timeout.
+    pub round_timeout: Duration,
+    /// Backoff base after a failed round.
+    pub backoff_base: Duration,
+}
+
+impl WvConfig {
+    /// One vote per replica, majority write quorum, read quorum chosen
+    /// so that `r + w = n + 1`.
+    pub fn uniform(n_servers: usize) -> Self {
+        let w = (n_servers / 2 + 1) as u32;
+        let r = n_servers as u32 + 1 - w;
+        WvConfig {
+            votes: vec![1; n_servers],
+            read_quorum: r,
+            write_quorum: w,
+            promise_lease: Duration::from_secs(2),
+            round_timeout: Duration::from_millis(100),
+            backoff_base: Duration::from_millis(8),
+        }
+    }
+
+    /// Bias for fast reads: `r = 1`, `w = total votes` (ROWA).
+    pub fn read_one_write_all(n_servers: usize) -> Self {
+        WvConfig {
+            votes: vec![1; n_servers],
+            read_quorum: 1,
+            write_quorum: n_servers as u32,
+            promise_lease: Duration::from_secs(2),
+            round_timeout: Duration::from_millis(200),
+            backoff_base: Duration::from_millis(8),
+        }
+    }
+
+    /// Total votes in the system.
+    pub fn total_votes(&self) -> u32 {
+        self.votes.iter().sum()
+    }
+
+    /// Number of servers.
+    pub fn n_servers(&self) -> usize {
+        self.votes.len()
+    }
+
+    /// Scale the coordinator's timeouts to a deployment whose worst
+    /// one-way latency is `max_latency` (see `McvConfig`).
+    pub fn scaled_to_latency(mut self, max_latency: Duration) -> Self {
+        let lat = max_latency.max(Duration::from_millis(1));
+        self.round_timeout = self.round_timeout.max(lat * 5);
+        self.backoff_base = self.backoff_base.max(lat);
+        self.promise_lease = self.promise_lease.max(self.round_timeout * 10);
+        self
+    }
+
+    /// Check the quorum-intersection requirement.
+    pub fn validate(&self) {
+        assert!(
+            self.read_quorum + self.write_quorum > self.total_votes(),
+            "r + w must exceed the total votes"
+        );
+        assert!(self.write_quorum * 2 > self.total_votes(),
+            "w must exceed half the votes so write quorums intersect");
+    }
+}
+
+/// Weighted-voting wire messages.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WvMsg {
+    /// Client traffic.
+    Client(ClientRequest),
+    /// Request a write vote for a round.
+    WReq {
+        /// The round.
+        ballot: Ballot,
+    },
+    /// Grant a write vote.
+    WGrant {
+        /// The round.
+        ballot: Ballot,
+        /// Votes carried by the granting replica.
+        votes: u32,
+        /// The replica's current version for the round's key.
+        version: u64,
+    },
+    /// Refuse a write vote.
+    WReject {
+        /// The round.
+        ballot: Ballot,
+        /// Votes that are hereby unavailable to the round.
+        votes: u32,
+    },
+    /// Apply the write at the granting quorum.
+    WApply {
+        /// The round.
+        ballot: Ballot,
+        /// Key.
+        key: u64,
+        /// Value.
+        value: u64,
+        /// New version (max over quorum + 1).
+        version: u64,
+    },
+    /// Release a round's promises after an abort.
+    WRelease {
+        /// The round.
+        ballot: Ballot,
+    },
+    /// Quorum-read request.
+    RReq {
+        /// Read round id (unique per coordinator).
+        rid: u64,
+        /// Key to read.
+        key: u64,
+    },
+    /// Quorum-read response.
+    RResp {
+        /// Read round id.
+        rid: u64,
+        /// Responder's votes.
+        votes: u32,
+        /// Responder's `(value, version)` for the key, if present.
+        held: Option<(u64, u64)>,
+    },
+}
+
+impl Wire for WvMsg {
+    fn encode(&self, buf: &mut BytesMut) {
+        match self {
+            WvMsg::Client(req) => {
+                0u8.encode(buf);
+                req.encode(buf);
+            }
+            WvMsg::WReq { ballot } => {
+                1u8.encode(buf);
+                ballot.encode(buf);
+            }
+            WvMsg::WGrant {
+                ballot,
+                votes,
+                version,
+            } => {
+                2u8.encode(buf);
+                ballot.encode(buf);
+                votes.encode(buf);
+                version.encode(buf);
+            }
+            WvMsg::WReject { ballot, votes } => {
+                3u8.encode(buf);
+                ballot.encode(buf);
+                votes.encode(buf);
+            }
+            WvMsg::WApply {
+                ballot,
+                key,
+                value,
+                version,
+            } => {
+                4u8.encode(buf);
+                ballot.encode(buf);
+                key.encode(buf);
+                value.encode(buf);
+                version.encode(buf);
+            }
+            WvMsg::WRelease { ballot } => {
+                5u8.encode(buf);
+                ballot.encode(buf);
+            }
+            WvMsg::RReq { rid, key } => {
+                6u8.encode(buf);
+                rid.encode(buf);
+                key.encode(buf);
+            }
+            WvMsg::RResp { rid, votes, held } => {
+                7u8.encode(buf);
+                rid.encode(buf);
+                votes.encode(buf);
+                held.encode(buf);
+            }
+        }
+    }
+    fn decode(buf: &mut Bytes) -> Result<Self, WireError> {
+        match u8::decode(buf)? {
+            0 => Ok(WvMsg::Client(ClientRequest::decode(buf)?)),
+            1 => Ok(WvMsg::WReq {
+                ballot: Ballot::decode(buf)?,
+            }),
+            2 => Ok(WvMsg::WGrant {
+                ballot: Ballot::decode(buf)?,
+                votes: u32::decode(buf)?,
+                version: u64::decode(buf)?,
+            }),
+            3 => Ok(WvMsg::WReject {
+                ballot: Ballot::decode(buf)?,
+                votes: u32::decode(buf)?,
+            }),
+            4 => Ok(WvMsg::WApply {
+                ballot: Ballot::decode(buf)?,
+                key: u64::decode(buf)?,
+                value: u64::decode(buf)?,
+                version: u64::decode(buf)?,
+            }),
+            5 => Ok(WvMsg::WRelease {
+                ballot: Ballot::decode(buf)?,
+            }),
+            6 => Ok(WvMsg::RReq {
+                rid: u64::decode(buf)?,
+                key: u64::decode(buf)?,
+            }),
+            7 => Ok(WvMsg::RResp {
+                rid: u64::decode(buf)?,
+                votes: u32::decode(buf)?,
+                held: Option::decode(buf)?,
+            }),
+            tag => Err(WireError::InvalidTag {
+                type_name: "WvMsg",
+                tag: u32::from(tag),
+            }),
+        }
+    }
+}
+
+/// Encode a [`ClientRequest`] into the weighted-voting message space.
+pub fn wrap_client_request(request: ClientRequest) -> Bytes {
+    marp_wire::to_bytes(&WvMsg::Client(request))
+}
+
+const TAG_ROUND_TIMEOUT: u64 = 1;
+const TAG_RETRY: u64 = 2;
+
+struct WriteRound {
+    ballot: Ballot,
+    request: WriteRequest,
+    granted_votes: u32,
+    granted_nodes: Vec<NodeId>,
+    max_version: u64,
+    rejected_votes: u32,
+    started: SimTime,
+}
+
+struct ReadRound {
+    request: u64,
+    client: NodeId,
+    key: u64,
+    votes: u32,
+    best: Option<(u64, u64)>,
+    done: bool,
+}
+
+/// One weighted-voting replica server.
+pub struct WvNode {
+    cfg: WvConfig,
+    me: NodeId,
+    /// Per-key `(value, version)` — replicas may legitimately hold
+    /// stale versions; quorum intersection masks them.
+    pub store: BTreeMap<u64, (u64, u64)>,
+    promise: Promise,
+    queue: VecDeque<WriteRequest>,
+    round: Option<WriteRound>,
+    reads: HashMap<u64, ReadRound>,
+    ballot_seq: u64,
+    read_seq: u64,
+    attempts: u32,
+    retry_armed: bool,
+}
+
+impl WvNode {
+    /// Build the node for server `me`.
+    pub fn new(me: NodeId, cfg: WvConfig) -> Self {
+        cfg.validate();
+        WvNode {
+            me,
+            store: BTreeMap::new(),
+            promise: Promise::new(),
+            queue: VecDeque::new(),
+            round: None,
+            reads: HashMap::new(),
+            ballot_seq: 0,
+            read_seq: 0,
+            attempts: 0,
+            retry_armed: false,
+            cfg,
+        }
+    }
+
+    fn n(&self) -> usize {
+        self.cfg.n_servers()
+    }
+
+    fn broadcast(&self, msg: &WvMsg, ctx: &mut dyn Context) {
+        let bytes = marp_wire::to_bytes(msg);
+        for server in 0..self.n() as NodeId {
+            ctx.send(server, bytes.clone());
+        }
+    }
+
+    fn try_start_round(&mut self, ctx: &mut dyn Context) {
+        if self.round.is_some() || self.retry_armed {
+            return;
+        }
+        let Some(request) = self.queue.pop_front() else {
+            return;
+        };
+        self.ballot_seq += 1;
+        let ballot = Ballot {
+            seq: self.ballot_seq,
+            coordinator: self.me,
+        };
+        self.round = Some(WriteRound {
+            ballot,
+            request,
+            granted_votes: 0,
+            granted_nodes: Vec::new(),
+            max_version: 0,
+            rejected_votes: 0,
+            started: ctx.now(),
+        });
+        self.broadcast(&WvMsg::WReq { ballot }, ctx);
+        ctx.set_timer(
+            self.cfg.round_timeout,
+            (ballot.seq << 8) | TAG_ROUND_TIMEOUT,
+        );
+    }
+
+    fn abort_round(&mut self, ctx: &mut dyn Context) {
+        let Some(round) = self.round.take() else {
+            return;
+        };
+        self.broadcast(&WvMsg::WRelease { ballot: round.ballot }, ctx);
+        self.queue.push_front(round.request);
+        self.attempts += 1;
+        let backoff = self.cfg.backoff_base * self.attempts.min(16)
+            + Duration::from_micros(u64::from(self.me) * 500);
+        self.retry_armed = true;
+        ctx.set_timer(backoff, TAG_RETRY);
+    }
+
+    fn finish_round(&mut self, ctx: &mut dyn Context) {
+        let Some(round) = self.round.take() else {
+            return;
+        };
+        let version = round.max_version + 1;
+        let apply = WvMsg::WApply {
+            ballot: round.ballot,
+            key: round.request.key,
+            value: round.request.value,
+            version,
+        };
+        let bytes = marp_wire::to_bytes(&apply);
+        // Gifford: the write lands on the granting quorum only.
+        for &server in &round.granted_nodes {
+            ctx.send(server, bytes.clone());
+        }
+        ctx.trace(TraceEvent::UpdateCompleted {
+            request: round.request.id,
+            home: self.me,
+            arrived: round.request.arrived,
+            dispatched: round.started,
+            locked: ctx.now(),
+            visits: 0,
+        });
+        let reply = ClientReply::WriteDone {
+            id: round.request.id,
+            version,
+        };
+        ctx.send(round.request.client, marp_wire::to_bytes(&reply));
+        self.attempts = 0;
+        self.try_start_round(ctx);
+    }
+
+    fn handle_msg(&mut self, from: NodeId, msg: WvMsg, ctx: &mut dyn Context) {
+        match msg {
+            WvMsg::Client(request) => {
+                ctx.trace(TraceEvent::RequestArrived {
+                    node: self.me,
+                    request: request.id,
+                    write: request.op.is_write(),
+                });
+                match request.op {
+                    // Weighted voting already reads through a quorum, so
+                    // plain and consistent reads coincide.
+                    Operation::Read { key } | Operation::ReadFresh { key } => {
+                        self.read_seq += 1;
+                        let rid = (u64::from(self.me) << 40) | self.read_seq;
+                        self.reads.insert(
+                            rid,
+                            ReadRound {
+                                request: request.id,
+                                client: from,
+                                key,
+                                votes: 0,
+                                best: None,
+                                done: false,
+                            },
+                        );
+                        self.broadcast(&WvMsg::RReq { rid, key }, ctx);
+                    }
+                    Operation::Write { key, value } => {
+                        self.queue.push_back(WriteRequest {
+                            id: request.id,
+                            client: from,
+                            key,
+                            value,
+                            arrived: ctx.now(),
+                        });
+                        self.try_start_round(ctx);
+                    }
+                }
+            }
+            WvMsg::WReq { ballot } => {
+                let my_votes = self.cfg.votes[usize::from(self.me)];
+                let reply = if self
+                    .promise
+                    .try_grant(ballot, ctx.now(), self.cfg.promise_lease)
+                {
+                    // The WReq names only the ballot, not the key, so a
+                    // grant reports the highest version this replica
+                    // holds for *any* key — an upper bound on the
+                    // per-key version, which keeps the coordinator's
+                    // `max + 1` strictly increasing.
+                    WvMsg::WGrant {
+                        ballot,
+                        votes: my_votes,
+                        version: self.store.values().map(|&(_, v)| v).max().unwrap_or(0),
+                    }
+                } else {
+                    WvMsg::WReject {
+                        ballot,
+                        votes: my_votes,
+                    }
+                };
+                ctx.send(ballot.coordinator, marp_wire::to_bytes(&reply));
+            }
+            WvMsg::WGrant {
+                ballot,
+                votes,
+                version,
+            } => {
+                let write_quorum = self.cfg.write_quorum;
+                if let Some(round) = &mut self.round {
+                    if round.ballot == ballot && !round.granted_nodes.contains(&from) {
+                        round.granted_nodes.push(from);
+                        round.granted_votes += votes;
+                        round.max_version = round.max_version.max(version);
+                        if round.granted_votes >= write_quorum {
+                            self.finish_round(ctx);
+                        }
+                    }
+                }
+            }
+            WvMsg::WReject { ballot, votes } => {
+                let total = self.cfg.total_votes();
+                let write_quorum = self.cfg.write_quorum;
+                let mut abort = false;
+                if let Some(round) = &mut self.round {
+                    if round.ballot == ballot {
+                        round.rejected_votes += votes;
+                        abort = total - round.rejected_votes < write_quorum;
+                    }
+                }
+                if abort {
+                    self.abort_round(ctx);
+                }
+            }
+            WvMsg::WApply {
+                ballot,
+                key,
+                value,
+                version,
+            } => {
+                let held = self.store.get(&key).map_or(0, |&(_, v)| v);
+                if version > held {
+                    self.store.insert(key, (value, version));
+                    ctx.trace(TraceEvent::CommitApplied {
+                        node: self.me,
+                        version,
+                        agent: (u64::from(ballot.coordinator) << 32) | ballot.seq,
+                        key,
+                    });
+                }
+                self.promise.release(ballot);
+            }
+            WvMsg::WRelease { ballot } => self.promise.release(ballot),
+            WvMsg::RReq { rid, key } => {
+                let reply = WvMsg::RResp {
+                    rid,
+                    votes: self.cfg.votes[usize::from(self.me)],
+                    held: self.store.get(&key).copied(),
+                };
+                ctx.send(from, marp_wire::to_bytes(&reply));
+            }
+            WvMsg::RResp { rid, votes, held } => {
+                let read_quorum = self.cfg.read_quorum;
+                let mut finished: Option<(u64, NodeId, u64, Option<u64>, u64)> = None;
+                if let Some(read) = self.reads.get_mut(&rid) {
+                    if read.done {
+                        return;
+                    }
+                    read.votes += votes;
+                    if let Some((value, version)) = held {
+                        if read.best.is_none_or(|(_, bv)| version > bv) {
+                            read.best = Some((value, version));
+                        }
+                    }
+                    if read.votes >= read_quorum {
+                        read.done = true;
+                        finished = Some((
+                            read.request,
+                            read.client,
+                            read.key,
+                            read.best.map(|(v, _)| v),
+                            read.best.map_or(0, |(_, ver)| ver),
+                        ));
+                    }
+                }
+                if let Some((request, client, key, value, version)) = finished {
+                    ctx.trace(TraceEvent::ReadServed {
+                        node: self.me,
+                        request,
+                        version,
+                    });
+                    let reply = ClientReply::ReadOk {
+                        id: request,
+                        key,
+                        value,
+                        version,
+                    };
+                    ctx.send(client, marp_wire::to_bytes(&reply));
+                    self.reads.remove(&rid);
+                }
+            }
+        }
+    }
+}
+
+impl Process for WvNode {
+    fn on_message(&mut self, from: NodeId, msg: Bytes, ctx: &mut dyn Context) {
+        if let Ok(msg) = marp_wire::from_bytes::<WvMsg>(&msg) {
+            self.handle_msg(from, msg, ctx);
+        }
+    }
+
+    fn on_timer(&mut self, _timer: TimerId, tag: u64, ctx: &mut dyn Context) {
+        match tag & 0xFF {
+            TAG_ROUND_TIMEOUT => {
+                let seq = tag >> 8;
+                if self.round.as_ref().is_some_and(|r| r.ballot.seq == seq) {
+                    self.abort_round(ctx);
+                }
+            }
+            TAG_RETRY => {
+                self.retry_armed = false;
+                self.try_start_round(ctx);
+            }
+            _ => {}
+        }
+    }
+
+    fn on_recover(&mut self, _ctx: &mut dyn Context) {
+        self.promise.clear();
+        self.queue.clear();
+        self.round = None;
+        self.reads.clear();
+        self.retry_armed = false;
+        self.attempts = 0;
+        // The store survives (stable storage); stale versions are
+        // masked by quorum intersection.
+    }
+
+    impl_as_any!();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use marp_net::{LinkModel, SimTransport, Topology};
+    use marp_replica::{ClientProcess, ScriptedSource};
+    use marp_sim::{SimRng, Simulation, TraceLevel};
+
+    fn build(cfg: WvConfig, seed: u64) -> Simulation {
+        let n = cfg.n_servers();
+        let topo = Topology::uniform_lan(n * 2 + 2, Duration::from_millis(2));
+        let transport = SimTransport::new(topo, LinkModel::ideal(), SimRng::from_seed(seed));
+        let mut sim = Simulation::new(Box::new(transport), TraceLevel::Protocol);
+        for me in 0..n as NodeId {
+            sim.add_process(Box::new(WvNode::new(me, cfg.clone())));
+        }
+        sim
+    }
+
+    #[test]
+    fn uniform_config_satisfies_intersection() {
+        let cfg = WvConfig::uniform(5);
+        assert_eq!(cfg.write_quorum, 3);
+        assert_eq!(cfg.read_quorum, 3);
+        cfg.validate();
+        WvConfig::read_one_write_all(4).validate();
+    }
+
+    #[test]
+    fn write_then_quorum_read_sees_the_value() {
+        let mut sim = build(WvConfig::uniform(5), 1);
+        let client = sim.add_process(Box::new(ClientProcess::new(
+            0,
+            Box::new(ScriptedSource::new([
+                (Duration::from_millis(1), Operation::Write { key: 3, value: 33 }),
+                (Duration::from_millis(100), Operation::Read { key: 3 }),
+            ])),
+            wrap_client_request,
+        )));
+        sim.run_until(SimTime::from_secs(2));
+        let proc = sim.process::<ClientProcess>(client).unwrap();
+        assert_eq!(proc.stats.write_latencies.len(), 1);
+        assert_eq!(proc.stats.read_latencies.len(), 1);
+        assert_eq!(proc.stats.read_versions, vec![1]);
+        // The write landed on at least a write quorum of replicas.
+        let holders = (0..5u16)
+            .filter(|&s| {
+                sim.process::<WvNode>(s)
+                    .unwrap()
+                    .store
+                    .contains_key(&3)
+            })
+            .count();
+        assert!(holders >= 3, "holders = {holders}");
+    }
+
+    #[test]
+    fn quorum_read_is_slower_than_marp_style_local_read() {
+        let mut sim = build(WvConfig::uniform(3), 2);
+        let client = sim.add_process(Box::new(ClientProcess::new(
+            0,
+            Box::new(ScriptedSource::new([(
+                Duration::from_millis(1),
+                Operation::Read { key: 1 },
+            )])),
+            wrap_client_request,
+        )));
+        sim.run_until(SimTime::from_secs(1));
+        let proc = sim.process::<ClientProcess>(client).unwrap();
+        // Client→server 2 ms, then a quorum round trip (4 ms), then the
+        // reply: strictly more than a local read's 4 ms.
+        assert!(proc.stats.mean_read_ms().unwrap() > 6.0);
+    }
+
+    #[test]
+    fn concurrent_writers_serialize_on_versions() {
+        let mut sim = build(WvConfig::uniform(5), 3);
+        for server in 0..3u16 {
+            let script: Vec<(Duration, Operation)> = (0..3)
+                .map(|i| {
+                    (
+                        Duration::from_millis(4),
+                        Operation::Write {
+                            key: 7,
+                            value: u64::from(server) * 10 + i,
+                        },
+                    )
+                })
+                .collect();
+            sim.add_process(Box::new(ClientProcess::new(
+                server,
+                Box::new(ScriptedSource::new(script)),
+                wrap_client_request,
+            )));
+        }
+        sim.run_until(SimTime::from_secs(30));
+        assert_eq!(
+            sim.trace()
+                .count(|e| matches!(e, TraceEvent::UpdateCompleted { .. })),
+            9
+        );
+        // Any read quorum must agree on the winning version: check that
+        // a majority of replicas holds the maximum version.
+        let versions: Vec<u64> = (0..5u16)
+            .map(|s| {
+                sim.process::<WvNode>(s)
+                    .unwrap()
+                    .store
+                    .get(&7)
+                    .map_or(0, |&(_, v)| v)
+            })
+            .collect();
+        let max = *versions.iter().max().unwrap();
+        let holders = versions.iter().filter(|&&v| v == max).count();
+        assert!(holders >= 3, "versions = {versions:?}");
+    }
+
+    #[test]
+    fn heterogeneous_votes_let_a_heavy_pair_form_a_write_quorum() {
+        // Gifford's point: votes weight reliability. Node 0 holds 3
+        // votes; {0, any} reaches w = 4 out of 7 total without
+        // consulting the rest.
+        let cfg = WvConfig {
+            votes: vec![3, 1, 1, 1, 1],
+            read_quorum: 4,
+            write_quorum: 4,
+            promise_lease: Duration::from_secs(2),
+            round_timeout: Duration::from_millis(100),
+            backoff_base: Duration::from_millis(8),
+        };
+        cfg.validate();
+        assert_eq!(cfg.total_votes(), 7);
+        let mut sim = build(cfg, 9);
+        let client = sim.add_process(Box::new(ClientProcess::new(
+            0,
+            Box::new(ScriptedSource::new([
+                (Duration::from_millis(1), Operation::Write { key: 6, value: 66 }),
+                (Duration::from_millis(100), Operation::Read { key: 6 }),
+            ])),
+            wrap_client_request,
+        )));
+        sim.run_until(SimTime::from_secs(5));
+        let proc = sim.process::<ClientProcess>(client).unwrap();
+        assert_eq!(proc.stats.write_latencies.len(), 1);
+        // The quorum read intersects the write quorum through node 0's
+        // weight and must observe the write.
+        assert_eq!(proc.stats.read_versions, vec![1]);
+        // The write quorum can be tiny: at most a handful of replicas
+        // hold the value, yet reads still see it.
+        let holders = (0..5u16)
+            .filter(|&s| sim.process::<WvNode>(s).unwrap().store.contains_key(&6))
+            .count();
+        assert!(holders >= 2, "holders = {holders}");
+    }
+
+    #[test]
+    #[should_panic(expected = "r + w must exceed")]
+    fn quorum_intersection_is_enforced() {
+        WvConfig {
+            votes: vec![1; 5],
+            read_quorum: 2,
+            write_quorum: 3,
+            promise_lease: Duration::from_secs(2),
+            round_timeout: Duration::from_millis(100),
+            backoff_base: Duration::from_millis(8),
+        }
+        .validate();
+    }
+
+    #[test]
+    fn msg_roundtrip() {
+        let msgs = vec![
+            WvMsg::WReq {
+                ballot: Ballot::first(1),
+            },
+            WvMsg::WGrant {
+                ballot: Ballot::first(1),
+                votes: 2,
+                version: 3,
+            },
+            WvMsg::WReject {
+                ballot: Ballot::first(1),
+                votes: 2,
+            },
+            WvMsg::WApply {
+                ballot: Ballot::first(1),
+                key: 1,
+                value: 2,
+                version: 3,
+            },
+            WvMsg::RReq { rid: 9, key: 1 },
+            WvMsg::RResp {
+                rid: 9,
+                votes: 1,
+                held: Some((2, 3)),
+            },
+        ];
+        for msg in msgs {
+            let bytes = marp_wire::to_bytes(&msg);
+            assert_eq!(marp_wire::from_bytes::<WvMsg>(&bytes).unwrap(), msg);
+        }
+    }
+}

@@ -1,0 +1,97 @@
+//! Wire-codec microbenchmarks: the cost of serializing protocol
+//! messages and — critically — migrating agent state, which is the
+//! per-hop overhead of the emulated code mobility.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use marp_agent::AgentId;
+use marp_core::{MarpConfig, NodeMsg, UpdateAgent, UpdateMsg};
+use marp_replica::{CommitRecord, WriteRequest};
+use marp_sim::SimTime;
+
+fn sample_requests(count: usize) -> Vec<WriteRequest> {
+    (0..count)
+        .map(|i| WriteRequest {
+            id: i as u64,
+            client: 9,
+            key: i as u64 % 4,
+            value: i as u64 * 10,
+            arrived: SimTime::from_millis(i as u64),
+        })
+        .collect()
+}
+
+fn bench_agent_state(c: &mut Criterion) {
+    let cfg = MarpConfig::new(5);
+    let mut group = c.benchmark_group("codec/agent-state");
+    for batch in [1usize, 8, 32] {
+        let agent = UpdateAgent::new(
+            AgentId::new(0, SimTime::from_millis(1), 0),
+            &cfg,
+            sample_requests(batch),
+        );
+        let bytes = marp_wire::to_bytes(&agent);
+        group.throughput(Throughput::Bytes(bytes.len() as u64));
+        group.bench_function(format!("encode/batch{batch}"), |b| {
+            b.iter(|| marp_wire::to_bytes(std::hint::black_box(&agent)))
+        });
+        group.bench_function(format!("decode/batch{batch}"), |b| {
+            b.iter(|| marp_wire::from_bytes::<UpdateAgent>(std::hint::black_box(&bytes)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_protocol_messages(c: &mut Criterion) {
+    let update = NodeMsg::Update(UpdateMsg {
+        agent: AgentId::new(2, SimTime::from_millis(5), 1),
+        attempt: 1,
+        reply_to: 2,
+        requests: sample_requests(4),
+        tie_certificate: Some(vec![
+            AgentId::new(1, SimTime::from_millis(3), 0),
+            AgentId::new(3, SimTime::from_millis(4), 0),
+        ]),
+    });
+    let commit_records: Vec<CommitRecord> = (0..4)
+        .map(|i| CommitRecord {
+            version: i + 1,
+            key: i,
+            value: i * 7,
+            agent: 42,
+            request: i,
+            committed_at: SimTime::from_millis(i),
+        })
+        .collect();
+    let commit = NodeMsg::Commit(marp_core::CommitMsg {
+        agent: AgentId::new(2, SimTime::from_millis(5), 1),
+        records: commit_records,
+    });
+
+    let mut group = c.benchmark_group("codec/messages");
+    for (name, msg) in [("update", &update), ("commit", &commit)] {
+        let bytes = marp_wire::to_bytes(msg);
+        group.bench_function(format!("encode/{name}"), |b| {
+            b.iter(|| marp_wire::to_bytes(std::hint::black_box(msg)))
+        });
+        group.bench_function(format!("decode/{name}"), |b| {
+            b.iter(|| marp_wire::from_bytes::<NodeMsg>(std::hint::black_box(&bytes)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_varints(c: &mut Criterion) {
+    let values: Vec<u64> = (0..1024).map(|i| (i * 2654435761u64) % (1 << 40)).collect();
+    c.bench_function("codec/varint/encode-1k", |b| {
+        b.iter(|| {
+            let mut buf = bytes::BytesMut::with_capacity(8 * 1024);
+            for &v in std::hint::black_box(&values) {
+                marp_wire::put_uvarint(&mut buf, v);
+            }
+            buf
+        })
+    });
+}
+
+criterion_group!(benches, bench_agent_state, bench_protocol_messages, bench_varints);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! One benchmark per paper figure: each measures the full simulation
+//! that regenerates one sweep point of the corresponding figure, so
+//! `cargo bench` tracks the end-to-end cost of the reproduction
+//! pipeline (Figure 2 = ALT, Figure 3 = ATT, Figure 4 = PRK — all three
+//! derive from the same runs at their respective configurations).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use marp_lab::{run_scenario, Scenario};
+
+fn point(n: usize, mean_ms: f64, requests: u64) -> Scenario {
+    let mut s = Scenario::paper(n, mean_ms, 42);
+    s.requests_per_client = requests;
+    s
+}
+
+fn bench_fig2_alt(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figures/fig2-alt");
+    group.sample_size(10);
+    for n in [3usize, 4, 5] {
+        let scenario = point(n, 25.0, 10);
+        group.bench_function(format!("n{n}/mean25ms"), |b| {
+            b.iter(|| {
+                let outcome = run_scenario(std::hint::black_box(&scenario));
+                assert!(outcome.audit.ok());
+                outcome.metrics.mean_alt_ms()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_fig3_att(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figures/fig3-att");
+    group.sample_size(10);
+    for mean_ms in [10.0f64, 45.0] {
+        let scenario = point(5, mean_ms, 10);
+        group.bench_function(format!("n5/mean{mean_ms:.0}ms"), |b| {
+            b.iter(|| {
+                let outcome = run_scenario(std::hint::black_box(&scenario));
+                assert!(outcome.audit.ok());
+                outcome.metrics.mean_att_ms()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_fig4_prk(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figures/fig4-prk");
+    group.sample_size(10);
+    // The contended end of Figure 4 (most locks need K = N visits).
+    let scenario = point(5, 5.0, 10);
+    group.bench_function("n5/mean5ms", |b| {
+        b.iter(|| {
+            let outcome = run_scenario(std::hint::black_box(&scenario));
+            assert!(outcome.audit.ok());
+            (outcome.metrics.prk(3), outcome.metrics.prk(5))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig2_alt, bench_fig3_att, bench_fig4_prk);
+criterion_main!(benches);

@@ -1,0 +1,142 @@
+//! Discrete-event kernel microbenchmarks: raw event throughput and
+//! timer churn — the floor under every experiment's runtime.
+
+use bytes::Bytes;
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use marp_sim::{
+    impl_as_any, Context, FixedDelay, NodeId, Process, SimTime, Simulation, TimerId, TraceLevel,
+};
+use std::time::Duration;
+
+/// Bounces a message back and forth `limit` times.
+struct Bouncer {
+    peer: NodeId,
+    remaining: u64,
+    start: bool,
+}
+
+impl Process for Bouncer {
+    fn on_start(&mut self, ctx: &mut dyn Context) {
+        if self.start {
+            ctx.send(self.peer, Bytes::from_static(b"x"));
+        }
+    }
+    fn on_message(&mut self, _from: NodeId, msg: Bytes, ctx: &mut dyn Context) {
+        if self.remaining > 0 {
+            self.remaining -= 1;
+            ctx.send(self.peer, msg);
+        }
+    }
+    impl_as_any!();
+}
+
+fn bench_message_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernel/ping-pong");
+    for events in [10_000u64, 100_000] {
+        group.throughput(Throughput::Elements(events));
+        group.bench_function(format!("{events}-events"), |b| {
+            b.iter(|| {
+                let mut sim = Simulation::new(
+                    Box::new(FixedDelay(Duration::from_micros(10))),
+                    TraceLevel::Off,
+                );
+                sim.add_process(Box::new(Bouncer {
+                    peer: 1,
+                    remaining: events / 2,
+                    start: true,
+                }));
+                sim.add_process(Box::new(Bouncer {
+                    peer: 0,
+                    remaining: events / 2,
+                    start: false,
+                }));
+                sim.run_to_quiescence().events
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Arms a new timer from every timer callback.
+struct TimerChurn {
+    remaining: u64,
+}
+
+impl Process for TimerChurn {
+    fn on_start(&mut self, ctx: &mut dyn Context) {
+        ctx.set_timer(Duration::from_micros(1), 0);
+    }
+    fn on_message(&mut self, _: NodeId, _: Bytes, _: &mut dyn Context) {}
+    fn on_timer(&mut self, _id: TimerId, _tag: u64, ctx: &mut dyn Context) {
+        if self.remaining > 0 {
+            self.remaining -= 1;
+            ctx.set_timer(Duration::from_micros(1), 0);
+        }
+    }
+    impl_as_any!();
+}
+
+fn bench_timer_churn(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernel/timers");
+    group.throughput(Throughput::Elements(50_000));
+    group.bench_function("50k-sequential", |b| {
+        b.iter(|| {
+            let mut sim = Simulation::new(
+                Box::new(FixedDelay(Duration::ZERO)),
+                TraceLevel::Off,
+            );
+            sim.add_process(Box::new(TimerChurn { remaining: 50_000 }));
+            sim.run_to_quiescence().timers_fired
+        })
+    });
+    group.finish();
+}
+
+fn bench_fanout(c: &mut Criterion) {
+    /// One node broadcasting to many receivers repeatedly.
+    struct Hub {
+        peers: u16,
+        rounds: u32,
+    }
+    impl Process for Hub {
+        fn on_start(&mut self, ctx: &mut dyn Context) {
+            ctx.set_timer(Duration::from_micros(1), 0);
+        }
+        fn on_message(&mut self, _: NodeId, _: Bytes, _: &mut dyn Context) {}
+        fn on_timer(&mut self, _id: TimerId, _tag: u64, ctx: &mut dyn Context) {
+            for peer in 1..=self.peers {
+                ctx.send(peer, Bytes::from_static(b"broadcast"));
+            }
+            if self.rounds > 0 {
+                self.rounds -= 1;
+                ctx.set_timer(Duration::from_micros(5), 0);
+            }
+        }
+        impl_as_any!();
+    }
+    struct Sink;
+    impl Process for Sink {
+        fn on_message(&mut self, _: NodeId, _: Bytes, _: &mut dyn Context) {}
+        impl_as_any!();
+    }
+
+    c.bench_function("kernel/fanout/64peers-500rounds", |b| {
+        b.iter(|| {
+            let mut sim = Simulation::new(
+                Box::new(FixedDelay(Duration::from_micros(10))),
+                TraceLevel::Off,
+            );
+            sim.add_process(Box::new(Hub {
+                peers: 64,
+                rounds: 500,
+            }));
+            for _ in 0..64 {
+                sim.add_process(Box::new(Sink));
+            }
+            sim.run_until(SimTime::from_secs(1)).messages_delivered
+        })
+    });
+}
+
+criterion_group!(benches, bench_message_throughput, bench_timer_churn, bench_fanout);
+criterion_main!(benches);

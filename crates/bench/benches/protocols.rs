@@ -1,0 +1,83 @@
+//! End-to-end protocol benchmarks: the same cluster and workload under
+//! MARP and each message-passing baseline (the E5/E13 comparison
+//! pipeline), plus the ablation configurations of E9–E11.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use marp_agent::ItineraryPolicy;
+use marp_lab::{run_scenario, ProtocolKind, Scenario};
+
+fn base(protocol: ProtocolKind) -> Scenario {
+    let mut s = Scenario::paper(5, 25.0, 7).with_protocol(protocol);
+    s.requests_per_client = 10;
+    s
+}
+
+fn bench_protocols(c: &mut Criterion) {
+    let mut group = c.benchmark_group("protocols/end-to-end");
+    group.sample_size(10);
+    for protocol in [
+        ProtocolKind::marp(),
+        ProtocolKind::Mcv,
+        ProtocolKind::AvailableCopy,
+        ProtocolKind::WeightedVoting {
+            read_one_write_all: false,
+        },
+        ProtocolKind::PrimaryCopy,
+    ] {
+        let label = protocol.label();
+        let scenario = base(protocol);
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let outcome = run_scenario(std::hint::black_box(&scenario));
+                assert!(outcome.audit.ok());
+                outcome.metrics.completed
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_ablations(c: &mut Criterion) {
+    let mut group = c.benchmark_group("protocols/ablations");
+    group.sample_size(10);
+    let configs: [(&str, ProtocolKind); 3] = [
+        (
+            "gossip-off",
+            ProtocolKind::Marp {
+                gossip: false,
+                itinerary: ItineraryPolicy::CostSorted,
+                batch_max: 1,
+            },
+        ),
+        (
+            "random-itinerary",
+            ProtocolKind::Marp {
+                gossip: true,
+                itinerary: ItineraryPolicy::Random { seed: 3 },
+                batch_max: 1,
+            },
+        ),
+        (
+            "batch-8",
+            ProtocolKind::Marp {
+                gossip: true,
+                itinerary: ItineraryPolicy::CostSorted,
+                batch_max: 8,
+            },
+        ),
+    ];
+    for (label, protocol) in configs {
+        let scenario = base(protocol);
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let outcome = run_scenario(std::hint::black_box(&scenario));
+                assert!(outcome.audit.ok());
+                outcome.metrics.completed
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_protocols, bench_ablations);
+criterion_main!(benches);

@@ -1,0 +1,9 @@
+//! Benchmark support crate.
+//!
+//! The actual Criterion benchmarks live in `benches/`; this library
+//! only re-exports the pieces they exercise so `cargo bench -p
+//! marp-bench` has a build target.
+
+#![warn(missing_docs)]
+
+pub use marp_lab::{run_scenario, ProtocolKind, Scenario};

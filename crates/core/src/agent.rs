@@ -1,0 +1,581 @@
+//! The MARP update agent — the paper's Algorithm 1.
+//!
+//! One agent is dispatched per batch of write requests. It travels the
+//! replica set appending itself to Locking Lists and accumulating its
+//! Locking Table; when the priority calculation (see [`crate::lt`])
+//! says it holds the distributed lock it broadcasts `UPDATE`, waits for
+//! more than N/2 acknowledgements, broadcasts `COMMIT`, and disposes.
+//!
+//! Differences from the paper's pseudo-code are confined to robustness
+//! (documented in `DESIGN.md`): UPDATE acknowledgements validate the
+//! claim and reserve the lock; a claim that cannot assemble a positive
+//! majority is released and retried; an agent that exhausts its
+//! itinerary *parks* and keeps its locking table fresh through pushed
+//! LL-change notifications plus periodic re-polls (which double as lock
+//! lease refreshes).
+
+use crate::host::MarpServerState;
+use crate::lt::{decide, majority, LockingTable, Priority};
+use crate::msg::{AgentReply, CommitMsg, NodeMsg, UpdateMsg};
+use bytes::{Bytes, BytesMut};
+use marp_agent::{Action, AgentBehavior, AgentEnv, AgentId, Itinerary};
+use marp_replica::{CommitRecord, UpdatedList, WriteRequest};
+use marp_sim::{NodeId, SimTime, TraceEvent};
+use marp_wire::{Wire, WireError};
+use std::time::Duration;
+
+const TAG_REPOLL: u64 = 1;
+const TAG_ACK_TIMEOUT: u64 = 2;
+
+/// The agent's current protocol phase.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Phase {
+    /// Working through the itinerary.
+    Travelling,
+    /// Itinerary exhausted; waiting for the locking picture to change.
+    Parked,
+    /// Lock claimed; collecting UPDATE acknowledgements.
+    Updating {
+        /// Whether the claim came from stuck-configuration resolution.
+        via_tie: bool,
+        /// The tie certificate sent with the claim.
+        certificate: Vec<AgentId>,
+        /// Positive acks: (server, its applied version).
+        positives: Vec<(NodeId, u64)>,
+        /// Servers that refused the claim.
+        negatives: Vec<NodeId>,
+        /// When the lock was established (paper's ALT endpoint).
+        locked_at: SimTime,
+    },
+}
+
+impl Wire for Phase {
+    fn encode(&self, buf: &mut BytesMut) {
+        match self {
+            Phase::Travelling => 0u8.encode(buf),
+            Phase::Parked => 1u8.encode(buf),
+            Phase::Updating {
+                via_tie,
+                certificate,
+                positives,
+                negatives,
+                locked_at,
+            } => {
+                2u8.encode(buf);
+                via_tie.encode(buf);
+                certificate.encode(buf);
+                positives.encode(buf);
+                negatives.encode(buf);
+                locked_at.encode(buf);
+            }
+        }
+    }
+    fn decode(buf: &mut Bytes) -> Result<Self, WireError> {
+        match u8::decode(buf)? {
+            0 => Ok(Phase::Travelling),
+            1 => Ok(Phase::Parked),
+            2 => Ok(Phase::Updating {
+                via_tie: bool::decode(buf)?,
+                certificate: Vec::decode(buf)?,
+                positives: Vec::decode(buf)?,
+                negatives: Vec::decode(buf)?,
+                locked_at: SimTime::decode(buf)?,
+            }),
+            tag => Err(WireError::InvalidTag {
+                type_name: "Phase",
+                tag: u32::from(tag),
+            }),
+        }
+    }
+}
+
+/// The travelling update agent.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UpdateAgent {
+    id: AgentId,
+    n: u16,
+    gossip: bool,
+    ack_timeout_ms: u32,
+    park_repoll_ms: u32,
+    /// Request List: the writes this agent carries (paper §3.2).
+    rl: Vec<WriteRequest>,
+    /// Un-visited Servers List (paper §3.2).
+    itinerary: Itinerary,
+    /// Locking Table (paper §3.2).
+    lt: LockingTable,
+    /// Updated Agents List (paper §3.2).
+    ual: UpdatedList,
+    visited: Vec<NodeId>,
+    attempt: u32,
+    repoll_epoch: u32,
+    repoll_round: u32,
+    phase: Phase,
+}
+
+impl Wire for UpdateAgent {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.id.encode(buf);
+        self.n.encode(buf);
+        self.gossip.encode(buf);
+        self.ack_timeout_ms.encode(buf);
+        self.park_repoll_ms.encode(buf);
+        self.rl.encode(buf);
+        self.itinerary.encode(buf);
+        self.lt.encode(buf);
+        self.ual.encode(buf);
+        self.visited.encode(buf);
+        self.attempt.encode(buf);
+        self.repoll_epoch.encode(buf);
+        self.repoll_round.encode(buf);
+        self.phase.encode(buf);
+    }
+    fn decode(buf: &mut Bytes) -> Result<Self, WireError> {
+        Ok(UpdateAgent {
+            id: AgentId::decode(buf)?,
+            n: u16::decode(buf)?,
+            gossip: bool::decode(buf)?,
+            ack_timeout_ms: u32::decode(buf)?,
+            park_repoll_ms: u32::decode(buf)?,
+            rl: Vec::decode(buf)?,
+            itinerary: Itinerary::decode(buf)?,
+            lt: LockingTable::decode(buf)?,
+            ual: UpdatedList::decode(buf)?,
+            visited: Vec::decode(buf)?,
+            attempt: u32::decode(buf)?,
+            repoll_epoch: u32::decode(buf)?,
+            repoll_round: u32::decode(buf)?,
+            phase: Phase::decode(buf)?,
+        })
+    }
+}
+
+impl UpdateAgent {
+    /// Create an agent carrying `requests`, ready to be spawned at its
+    /// home server.
+    pub fn new(id: AgentId, cfg: &crate::MarpConfig, requests: Vec<WriteRequest>) -> Self {
+        UpdateAgent {
+            id,
+            n: cfg.n_servers as u16,
+            gossip: cfg.gossip,
+            ack_timeout_ms: cfg.ack_timeout.as_millis() as u32,
+            park_repoll_ms: cfg.park_repoll.as_millis() as u32,
+            rl: requests,
+            itinerary: Itinerary::for_system(cfg.n_servers, id.home, cfg.itinerary),
+            lt: LockingTable::new(),
+            ual: UpdatedList::new(),
+            visited: Vec::new(),
+            attempt: 0,
+            repoll_epoch: 0,
+            repoll_round: 0,
+            phase: Phase::Travelling,
+        }
+    }
+
+    /// Current phase (for inspection).
+    pub fn phase(&self) -> &Phase {
+        &self.phase
+    }
+
+    /// Servers visited so far (the paper's K in PRK).
+    pub fn visits(&self) -> u32 {
+        self.visited.len() as u32
+    }
+
+    /// The requests this agent carries.
+    pub fn requests(&self) -> &[WriteRequest] {
+        &self.rl
+    }
+
+    /// The agent's Locking Table (inspection).
+    pub fn locking_table(&self) -> &LockingTable {
+        &self.lt
+    }
+
+    /// The agent's Updated-Agents List (inspection).
+    pub fn ual(&self) -> &UpdatedList {
+        &self.ual
+    }
+
+    fn maj(&self) -> usize {
+        majority(usize::from(self.n))
+    }
+
+    fn broadcast(&self, env: &mut AgentEnv<'_>, msg: &NodeMsg) {
+        let bytes = marp_wire::to_bytes(msg);
+        for server in 0..self.n {
+            env.send_raw(server, bytes.clone());
+        }
+    }
+
+    fn evaluate(&mut self, host: &mut MarpServerState, env: &mut AgentEnv<'_>) -> Action {
+        if matches!(self.phase, Phase::Updating { .. }) {
+            return Action::Stay;
+        }
+        match decide(
+            &self.lt,
+            self.id,
+            usize::from(self.n),
+            &self.ual,
+            self.itinerary.unavailable(),
+        ) {
+            Priority::Win {
+                via_tie,
+                certificate,
+            } => {
+                self.start_update(env, via_tie, certificate);
+                Action::Stay
+            }
+            Priority::NotYet => {
+                if let Some(next) = self.itinerary.next_destination(|to| host.route_cost(to)) {
+                    self.phase = Phase::Travelling;
+                    return Action::Migrate(next);
+                }
+                // Itinerary exhausted. If the agent is not enqueued at a
+                // strict majority (some replicas were unavailable when it
+                // travelled), it can never win — begin the paper's "next
+                // round": the skipped replicas become visitable again,
+                // catching ones that have since recovered.
+                if self.lt.presence_count(self.id) < self.maj()
+                    && self.itinerary.begin_next_round() > 0
+                {
+                    if let Some(next) =
+                        self.itinerary.next_destination(|to| host.route_cost(to))
+                    {
+                        self.phase = Phase::Travelling;
+                        return Action::Migrate(next);
+                    }
+                }
+                self.enter_parked(env);
+                Action::Stay
+            }
+        }
+    }
+
+    fn enter_parked(&mut self, env: &mut AgentEnv<'_>) {
+        if matches!(self.phase, Phase::Parked) {
+            return;
+        }
+        self.phase = Phase::Parked;
+        self.repoll_epoch += 1;
+        self.repoll_round = 0;
+        self.arm_repoll(env);
+    }
+
+    fn arm_repoll(&mut self, env: &mut AgentEnv<'_>) {
+        // Exponential backoff (capped at 8x): parked agents mostly learn
+        // of LL changes through pushed notifications, so the re-poll is
+        // a fallback that should not flood the network under heavy
+        // contention. A small deterministic per-agent stagger avoids
+        // synchronized re-poll storms when many agents park together.
+        let factor = 1u64 << self.repoll_round.min(3);
+        let stagger = self.id.key() % 8;
+        env.set_timer(
+            Duration::from_millis(u64::from(self.park_repoll_ms) * factor + stagger),
+            (u64::from(self.repoll_epoch) << 8) | TAG_REPOLL,
+        );
+    }
+
+    fn start_update(&mut self, env: &mut AgentEnv<'_>, via_tie: bool, certificate: Vec<AgentId>) {
+        self.attempt += 1;
+        env.trace(TraceEvent::LockGranted {
+            agent: self.id.key(),
+            node: env.here(),
+            visits: self.visits(),
+            via_tie,
+        });
+        env.trace(TraceEvent::UpdateSent {
+            agent: self.id.key(),
+            version: 0, // final versions are assigned at COMMIT
+        });
+        let msg = NodeMsg::Update(UpdateMsg {
+            agent: self.id,
+            attempt: self.attempt,
+            reply_to: env.here(),
+            requests: self.rl.clone(),
+            tie_certificate: via_tie.then(|| certificate.clone()),
+        });
+        self.broadcast(env, &msg);
+        self.phase = Phase::Updating {
+            via_tie,
+            certificate,
+            positives: Vec::new(),
+            negatives: Vec::new(),
+            locked_at: env.now(),
+        };
+        env.set_timer(
+            Duration::from_millis(u64::from(self.ack_timeout_ms)),
+            (u64::from(self.attempt) << 8) | TAG_ACK_TIMEOUT,
+        );
+    }
+
+    fn commit_and_dispose(&mut self, env: &mut AgentEnv<'_>) -> Action {
+        let Phase::Updating {
+            positives,
+            locked_at,
+            ..
+        } = &self.phase
+        else {
+            return Action::Stay;
+        };
+        let locked_at = *locked_at;
+        // "It then checks the time of last update of all the quorum
+        // members and uses the most recent copy": commit on top of the
+        // quorum's maximum applied version.
+        let base = positives.iter().map(|&(_, v)| v).max().unwrap_or(0);
+        let records: Vec<CommitRecord> = self
+            .rl
+            .iter()
+            .enumerate()
+            .map(|(i, req)| CommitRecord {
+                version: base + 1 + i as u64,
+                key: req.key,
+                value: req.value,
+                agent: self.id.key(),
+                request: req.id,
+                committed_at: env.now(),
+            })
+            .collect();
+        let msg = NodeMsg::Commit(CommitMsg {
+            agent: self.id,
+            records,
+        });
+        self.broadcast(env, &msg);
+        for req in &self.rl {
+            env.trace(TraceEvent::UpdateCompleted {
+                request: req.id,
+                home: self.id.home,
+                arrived: req.arrived,
+                dispatched: self.id.born,
+                locked: locked_at,
+                visits: self.visits(),
+            });
+        }
+        Action::Dispose
+    }
+
+    fn abort_claim(&mut self, env: &mut AgentEnv<'_>) {
+        env.trace(TraceEvent::WinAborted {
+            agent: self.id.key(),
+        });
+        let msg = NodeMsg::Release { agent: self.id };
+        self.broadcast(env, &msg);
+        // Fall back to parked: the next re-poll (after a short pause,
+        // which doubles as backoff) refreshes the locking table.
+        self.phase = Phase::Travelling; // force the parked transition
+        self.enter_parked(env);
+    }
+
+    fn absorb_ll_info(
+        &mut self,
+        node: NodeId,
+        snapshot: marp_replica::LlSnapshot,
+        board: LockingTable,
+        ul: UpdatedList,
+    ) {
+        self.repoll_round = 0;
+        self.ual.merge(&ul);
+        self.lt.merge(node, snapshot);
+        if self.gossip {
+            self.lt.merge_table(&board);
+        }
+    }
+}
+
+impl AgentBehavior for UpdateAgent {
+    type Host = MarpServerState;
+
+    fn id(&self) -> AgentId {
+        self.id
+    }
+
+    fn on_arrive(&mut self, host: &mut MarpServerState, env: &mut AgentEnv<'_>) -> Action {
+        let here = env.here();
+        if !self.visited.contains(&here) {
+            self.visited.push(here);
+        }
+        let info = host.visit(self.id, env.now(), here);
+        env.trace(TraceEvent::LockRequested {
+            agent: self.id.key(),
+            node: here,
+        });
+        self.ual.merge(&info.ul);
+        // A clone left over from a duplicated migration discovers here
+        // that "it" already obtained the lock and updated (it is in the
+        // Updated List): its work is done, it must not compete again.
+        if self.ual.contains(self.id) {
+            env.trace(TraceEvent::Custom {
+                kind: "zombie-clone-disposed",
+                a: self.id.key(),
+                b: u64::from(here),
+            });
+            return Action::Dispose;
+        }
+        self.lt.merge(here, info.snapshot);
+        if self.gossip {
+            self.lt.merge_table(&info.board);
+            host.deposit_gossip(&self.lt);
+        }
+        self.evaluate(host, env)
+    }
+
+    fn on_agent_message(
+        &mut self,
+        _from: NodeId,
+        payload: Bytes,
+        host: &mut MarpServerState,
+        env: &mut AgentEnv<'_>,
+    ) -> Action {
+        let Ok(reply) = marp_wire::from_bytes::<AgentReply>(&payload) else {
+            return Action::Stay;
+        };
+        match reply {
+            AgentReply::UpdateAck {
+                node,
+                attempt,
+                positive,
+                store_version,
+                ..
+            } => {
+                if attempt != self.attempt {
+                    return Action::Stay; // stale ack from an aborted claim
+                }
+                let maj = self.maj();
+                let n = usize::from(self.n);
+                let Phase::Updating {
+                    positives,
+                    negatives,
+                    ..
+                } = &mut self.phase
+                else {
+                    return Action::Stay;
+                };
+                if positives.iter().any(|&(s, _)| s == node) || negatives.contains(&node) {
+                    return Action::Stay;
+                }
+                if positive {
+                    positives.push((node, store_version));
+                    if positives.len() >= maj {
+                        return self.commit_and_dispose(env);
+                    }
+                } else {
+                    negatives.push(node);
+                    if negatives.len() > n - maj {
+                        // A positive majority is no longer possible.
+                        self.abort_claim(env);
+                    }
+                }
+                Action::Stay
+            }
+            AgentReply::LlInfo {
+                node,
+                snapshot,
+                board,
+                ul,
+            } => {
+                self.absorb_ll_info(node, snapshot, board, ul);
+                if matches!(self.phase, Phase::Parked) {
+                    self.evaluate(host, env)
+                } else {
+                    Action::Stay
+                }
+            }
+        }
+    }
+
+    fn on_timer(
+        &mut self,
+        tag: u64,
+        _host: &mut MarpServerState,
+        env: &mut AgentEnv<'_>,
+    ) -> Action {
+        let kind = tag & 0xFF;
+        let epoch = (tag >> 8) as u32;
+        match kind {
+            TAG_REPOLL => {
+                if matches!(self.phase, Phase::Parked) && epoch == self.repoll_epoch {
+                    let msg = NodeMsg::LlQuery {
+                        agent: self.id,
+                        reply_to: env.here(),
+                    };
+                    self.broadcast(env, &msg);
+                    self.repoll_round = self.repoll_round.saturating_add(1);
+                    self.arm_repoll(env);
+                }
+                Action::Stay
+            }
+            TAG_ACK_TIMEOUT => {
+                if matches!(self.phase, Phase::Updating { .. }) && epoch == self.attempt {
+                    self.abort_claim(env);
+                }
+                Action::Stay
+            }
+            _ => Action::Stay,
+        }
+    }
+
+    fn on_migrate_failed(
+        &mut self,
+        dest: NodeId,
+        _attempts: u32,
+        host: &mut MarpServerState,
+        env: &mut AgentEnv<'_>,
+    ) -> Action {
+        self.itinerary.mark_unavailable(dest);
+        self.evaluate(host, env)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MarpConfig;
+
+    fn agent() -> UpdateAgent {
+        let cfg = MarpConfig::new(5);
+        UpdateAgent::new(
+            AgentId::new(0, SimTime::from_millis(1), 0),
+            &cfg,
+            vec![WriteRequest {
+                id: 1,
+                client: 9,
+                key: 2,
+                value: 3,
+                arrived: SimTime::ZERO,
+            }],
+        )
+    }
+
+    #[test]
+    fn wire_roundtrip_of_fresh_agent() {
+        let a = agent();
+        let bytes = marp_wire::to_bytes(&a);
+        let back: UpdateAgent = marp_wire::from_bytes(&bytes).unwrap();
+        assert_eq!(back, a);
+    }
+
+    #[test]
+    fn wire_roundtrip_of_updating_phase() {
+        let mut a = agent();
+        a.phase = Phase::Updating {
+            via_tie: true,
+            certificate: vec![AgentId::new(1, SimTime::ZERO, 0)],
+            positives: vec![(0, 4), (2, 5)],
+            negatives: vec![1],
+            locked_at: SimTime::from_millis(7),
+        };
+        a.visited = vec![0, 1, 2];
+        a.attempt = 3;
+        let bytes = marp_wire::to_bytes(&a);
+        let back: UpdateAgent = marp_wire::from_bytes(&bytes).unwrap();
+        assert_eq!(back, a);
+    }
+
+    #[test]
+    fn fresh_agent_reports_defaults() {
+        let a = agent();
+        assert_eq!(a.visits(), 0);
+        assert_eq!(a.requests().len(), 1);
+        assert_eq!(*a.phase(), Phase::Travelling);
+        assert_eq!(a.maj(), 3);
+    }
+}

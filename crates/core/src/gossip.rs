@@ -1,0 +1,97 @@
+//! Server-side information sharing boards.
+//!
+//! Paper §3.3: "Mobile agents can exchange their locking information by
+//! leaving the information at the servers they visited. This information
+//! may be used by a mobile agent to determine which replicated server to
+//! visit next." A [`GossipBoard`] is that shared blackboard: visiting
+//! agents deposit their Locking Table and pick up what earlier visitors
+//! left, so information spreads without extra messages. Disabling the
+//! board is ablation experiment E10.
+
+use crate::lt::LockingTable;
+use marp_replica::LlSnapshot;
+use marp_sim::NodeId;
+
+/// A server's blackboard of LL snapshots left behind by visiting agents.
+#[derive(Debug, Clone, Default)]
+pub struct GossipBoard {
+    table: LockingTable,
+}
+
+impl GossipBoard {
+    /// An empty board.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Deposit an agent's Locking Table (keeps the freshest snapshot per
+    /// server).
+    pub fn deposit(&mut self, lt: &LockingTable) {
+        self.table.merge_table(lt);
+    }
+
+    /// Deposit one snapshot directly (servers post their own LL).
+    pub fn post(&mut self, server: NodeId, snapshot: LlSnapshot) {
+        self.table.merge(server, snapshot);
+    }
+
+    /// The accumulated knowledge, for a visiting agent to merge.
+    pub fn contents(&self) -> &LockingTable {
+        &self.table
+    }
+
+    /// Number of servers the board has information about.
+    pub fn known_servers(&self) -> usize {
+        self.table.known_servers()
+    }
+
+    /// Reset (volatile across crashes).
+    pub fn clear(&mut self) {
+        self.table = LockingTable::new();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use marp_agent::AgentId;
+    use marp_sim::SimTime;
+
+    fn snap(ms: u64, agents: &[AgentId]) -> LlSnapshot {
+        LlSnapshot {
+            taken_at: SimTime::from_millis(ms),
+            queue: agents.to_vec(),
+        }
+    }
+
+    #[test]
+    fn deposit_and_pick_up() {
+        let a = AgentId::new(1, SimTime::ZERO, 0);
+        let mut board = GossipBoard::new();
+        let mut lt = LockingTable::new();
+        lt.merge(2, snap(5, &[a]));
+        board.deposit(&lt);
+        assert_eq!(board.known_servers(), 1);
+        assert_eq!(board.contents().snapshot(2).unwrap().top(), Some(a));
+    }
+
+    #[test]
+    fn board_keeps_freshest() {
+        let a = AgentId::new(1, SimTime::ZERO, 0);
+        let b = AgentId::new(2, SimTime::ZERO, 0);
+        let mut board = GossipBoard::new();
+        board.post(0, snap(5, &[a]));
+        board.post(0, snap(3, &[b]));
+        assert_eq!(board.contents().snapshot(0).unwrap().top(), Some(a));
+        board.post(0, snap(7, &[b]));
+        assert_eq!(board.contents().snapshot(0).unwrap().top(), Some(b));
+    }
+
+    #[test]
+    fn clear_empties_board() {
+        let mut board = GossipBoard::new();
+        board.post(0, snap(1, &[]));
+        board.clear();
+        assert_eq!(board.known_servers(), 0);
+    }
+}

@@ -1,0 +1,587 @@
+//! Server-side MARP state: what a visiting agent touches locally, and
+//! the handlers for the UPDATE / COMMIT / RELEASE / LL-query messages
+//! (the paper's Algorithm 2).
+
+use crate::config::MarpConfig;
+use crate::gossip::GossipBoard;
+use crate::lt::LockingTable;
+use crate::msg::{AgentReply, UpdateMsg};
+use marp_agent::AgentId;
+use marp_net::RoutingTable;
+use marp_replica::{LlSnapshot, ServerCore, UpdatedList};
+use marp_sim::{Context, NodeId, SimTime, TraceEvent};
+use std::time::Duration;
+
+/// What a visiting agent reads from the local server in one interaction
+/// (the in-situ equivalent of a round of messages — the mobile-agent
+/// advantage the paper builds on).
+#[derive(Debug, Clone)]
+pub struct VisitInfo {
+    /// The server's LL right after the agent's lock request was
+    /// appended.
+    pub snapshot: LlSnapshot,
+    /// The gossip board contents (empty table when gossip is disabled).
+    pub board: LockingTable,
+    /// The server's Updated List.
+    pub ul: UpdatedList,
+}
+
+/// The MARP-specific state of one replica server.
+pub struct MarpServerState {
+    /// Protocol-independent server substrate.
+    pub core: ServerCore,
+    /// Information-sharing blackboard (§3.3).
+    pub board: GossipBoard,
+    /// Agent-transfer cost estimates (§3.2).
+    pub routing: RoutingTable,
+    gossip_enabled: bool,
+    reserve_lease: Duration,
+    reserved: Option<(AgentId, SimTime)>,
+}
+
+impl MarpServerState {
+    /// Build the server state for node `me`.
+    pub fn new(core: ServerCore, routing: RoutingTable, cfg: &MarpConfig) -> Self {
+        MarpServerState {
+            core,
+            board: GossipBoard::new(),
+            routing,
+            gossip_enabled: cfg.gossip,
+            reserve_lease: cfg.reserve_lease,
+            reserved: None,
+        }
+    }
+
+    /// Whether gossip boards are enabled (E10 ablation).
+    pub fn gossip_enabled(&self) -> bool {
+        self.gossip_enabled
+    }
+
+    /// Current reservation holder, if any (for inspection).
+    pub fn reserved_for(&self) -> Option<AgentId> {
+        self.reserved.map(|(agent, _)| agent)
+    }
+
+    /// A visiting agent requests the lock and reads the local
+    /// coordination state (paper Algorithm 2, "upon arrival of a mobile
+    /// agent").
+    pub fn visit(&mut self, agent: AgentId, now: SimTime, here: NodeId) -> VisitInfo {
+        self.core.ll.purge_expired(now);
+        // A finished agent (listed in the UL) must never re-enter the
+        // queue: a stale clone from a duplicated migration would
+        // otherwise enqueue a permanently unclaimable entry. The clone
+        // recognizes itself in the returned UL and disposes.
+        if !self.core.ul.contains(agent) {
+            self.core
+                .ll
+                .request(agent, now, self.core.lock_lease(), here);
+        }
+        VisitInfo {
+            snapshot: self.core.ll.snapshot(now),
+            board: if self.gossip_enabled {
+                self.board.contents().clone()
+            } else {
+                LockingTable::new()
+            },
+            ul: self.core.ul.clone(),
+        }
+    }
+
+    /// A visiting agent leaves its accumulated locking information on
+    /// the board (no-op when gossip is disabled).
+    pub fn deposit_gossip(&mut self, lt: &LockingTable) {
+        if self.gossip_enabled {
+            self.board.deposit(lt);
+        }
+    }
+
+    /// Estimated agent-transfer cost to another server, in ms.
+    pub fn route_cost(&self, to: NodeId) -> f64 {
+        self.routing.cost(to)
+    }
+
+    fn reservation_blocks(&mut self, agent: AgentId, now: SimTime) -> bool {
+        match self.reserved {
+            Some((holder, expires)) if holder != agent => {
+                if expires <= now {
+                    self.reserved = None;
+                    false
+                } else {
+                    true
+                }
+            }
+            _ => false,
+        }
+    }
+
+    /// Handle an UPDATE claim (validation + reservation). Returns the
+    /// acknowledgement to send back to the claimant.
+    pub fn handle_update(&mut self, msg: &UpdateMsg, ctx: &mut dyn Context) -> AgentReply {
+        let now = ctx.now();
+        self.core.ll.purge_expired(now);
+        // Refusal reasons are traced for diagnosability: 1 = reserved
+        // for another claimant, 2 = claimant absent from the LL,
+        // 3 = an agent ranked above the claimant is missing from its
+        // certificate, 4 = not top and no certificate offered.
+        let mut refusal: u64 = 0;
+        let positive = if self.reservation_blocks(msg.agent, now) {
+            refusal = 1;
+            false
+        } else if self.core.ll.top() == Some(msg.agent) {
+            true
+        } else if let Some(cert) = &msg.tie_certificate {
+            match self.core.ll.rank_of(msg.agent) {
+                Some(rank) => {
+                    // Entries of agents our UL says already finished are
+                    // stale (e.g. a commit applied via anti-entropy
+                    // before this purge) and do not block a claim.
+                    let ok = self.core.ll.entries()[..rank].iter().all(|e| {
+                        cert.contains(&e.agent) || self.core.ul.contains(e.agent)
+                    });
+                    if !ok {
+                        refusal = 3;
+                    }
+                    ok
+                }
+                None => {
+                    refusal = 2;
+                    false
+                }
+            }
+        } else {
+            refusal = 4;
+            false
+        };
+        if !positive {
+            ctx.trace(TraceEvent::Custom {
+                kind: "update-refused",
+                a: msg.agent.key(),
+                b: (u64::from(self.core.me()) << 8) | refusal,
+            });
+        }
+        if positive {
+            self.reserved = Some((msg.agent, now + self.reserve_lease));
+        }
+        ctx.trace(TraceEvent::UpdateAcked {
+            agent: msg.agent.key(),
+            node: self.core.me(),
+            positive,
+        });
+        AgentReply::UpdateAck {
+            node: self.core.me(),
+            attempt: msg.attempt,
+            positive,
+            store_version: self.core.store.applied_version(),
+            last_update: self.core.store.last_update_time(),
+        }
+    }
+
+    /// Handle a COMMIT: apply the records, retire the winner from the
+    /// LL into the UL, clear its reservation, and report the remaining
+    /// LL members (with their last known hosts) so the node can push
+    /// change notifications to them.
+    pub fn handle_commit(
+        &mut self,
+        agent: AgentId,
+        records: Vec<marp_replica::CommitRecord>,
+        ctx: &mut dyn Context,
+    ) -> Vec<(NodeId, AgentId)> {
+        self.core.apply_commits(records, ctx);
+        self.core.ll.remove(agent);
+        self.core.ul.record(agent, ctx.now());
+        if self.reserved.map(|(holder, _)| holder) == Some(agent) {
+            self.reserved = None;
+        }
+        // Keep the local board fresh so future visitors see this change.
+        if self.gossip_enabled {
+            let snapshot = self.core.ll.snapshot(ctx.now());
+            self.board.post(self.core.me(), snapshot);
+        }
+        self.core
+            .ll
+            .entries()
+            .iter()
+            .map(|e| (e.last_host, e.agent))
+            .collect()
+    }
+
+    /// Handle a RELEASE from an aborting claimant.
+    pub fn handle_release(&mut self, agent: AgentId) {
+        if self.reserved.map(|(holder, _)| holder) == Some(agent) {
+            self.reserved = None;
+        }
+    }
+
+    /// Handle a parked agent's LL query: refresh its lease (without
+    /// creating an entry at servers it never visited) and return fresh
+    /// locking information.
+    pub fn handle_ll_query(
+        &mut self,
+        agent: AgentId,
+        reply_to: NodeId,
+        now: SimTime,
+    ) -> AgentReply {
+        self.core.ll.purge_expired(now);
+        self.core
+            .ll
+            .refresh(agent, now, self.core.lock_lease(), reply_to);
+        self.ll_info(now)
+    }
+
+    /// Build an `LlInfo` reply from the current state.
+    pub fn ll_info(&self, now: SimTime) -> AgentReply {
+        AgentReply::LlInfo {
+            node: self.core.me(),
+            snapshot: self.core.ll.snapshot(now),
+            board: if self.gossip_enabled {
+                self.board.contents().clone()
+            } else {
+                LockingTable::new()
+            },
+            ul: self.core.ul.clone(),
+        }
+    }
+
+    /// Periodic maintenance: purge expired LL entries and reservations,
+    /// and prune Updated List entries too old for any stale LL snapshot
+    /// to still name them (bounded by the lock lease).
+    pub fn maintain(&mut self, ctx: &mut dyn Context) {
+        self.core.purge_expired_locks(ctx);
+        let horizon = ctx.now().checked_since(SimTime::ZERO).unwrap_or_default();
+        if horizon > self.core.lock_lease() {
+            let cutoff = SimTime::ZERO
+                + (horizon - self.core.lock_lease());
+            self.core.ul.prune_before(cutoff);
+        }
+        if let Some((_, expires)) = self.reserved {
+            if expires <= ctx.now() {
+                self.reserved = None;
+            }
+        }
+    }
+
+    /// Crash recovery: volatile coordination state resets.
+    pub fn on_recover(&mut self) {
+        self.core.on_recover();
+        self.board.clear();
+        self.reserved = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::msg::wrap_sync;
+    use bytes::Bytes;
+    use marp_net::Topology;
+    use marp_replica::{ServerConfig, WriteRequest};
+    use marp_sim::TimerId;
+
+    struct TestCtx {
+        now: SimTime,
+        traced: Vec<TraceEvent>,
+    }
+    impl Context for TestCtx {
+        fn now(&self) -> SimTime {
+            self.now
+        }
+        fn me(&self) -> NodeId {
+            0
+        }
+        fn send(&mut self, _to: NodeId, _msg: Bytes) {}
+        fn set_timer(&mut self, _after: Duration, _tag: u64) -> TimerId {
+            TimerId(0)
+        }
+        fn cancel_timer(&mut self, _id: TimerId) {}
+        fn trace(&mut self, event: TraceEvent) {
+            self.traced.push(event);
+        }
+        fn halt(&mut self) {}
+    }
+
+    fn state() -> MarpServerState {
+        let cfg = MarpConfig::new(3);
+        let topo = Topology::uniform_lan(3, Duration::from_millis(2));
+        MarpServerState::new(
+            ServerCore::new(0, ServerConfig::default(), wrap_sync),
+            RoutingTable::from_topology(0, &topo),
+            &cfg,
+        )
+    }
+
+    fn aid(home: u16, ms: u64) -> AgentId {
+        AgentId::new(home, SimTime::from_millis(ms), 0)
+    }
+
+    fn update_msg(agent: AgentId, cert: Option<Vec<AgentId>>) -> UpdateMsg {
+        UpdateMsg {
+            agent,
+            attempt: 1,
+            reply_to: agent.home,
+            requests: vec![WriteRequest {
+                id: 1,
+                client: 9,
+                key: 1,
+                value: 1,
+                arrived: SimTime::ZERO,
+            }],
+            tie_certificate: cert,
+        }
+    }
+
+    fn positive(reply: &AgentReply) -> bool {
+        match reply {
+            AgentReply::UpdateAck { positive, .. } => *positive,
+            _ => panic!("expected ack"),
+        }
+    }
+
+    #[test]
+    fn visit_appends_and_returns_snapshot() {
+        let mut state = state();
+        let a = aid(1, 1);
+        let info = state.visit(a, SimTime::from_millis(1), 1);
+        assert_eq!(info.snapshot.queue, vec![a]);
+        assert!(info.ul.is_empty());
+        // Gossip on by default: board empty until someone deposits.
+        assert_eq!(info.board.known_servers(), 0);
+    }
+
+    #[test]
+    fn update_from_top_agent_is_positive_and_reserves() {
+        let mut state = state();
+        let a = aid(1, 1);
+        state.visit(a, SimTime::from_millis(1), 1);
+        let mut ctx = TestCtx {
+            now: SimTime::from_millis(2),
+            traced: vec![],
+        };
+        let ack = state.handle_update(&update_msg(a, None), &mut ctx);
+        assert!(positive(&ack));
+        assert_eq!(state.reserved_for(), Some(a));
+    }
+
+    #[test]
+    fn update_from_non_top_without_certificate_is_negative() {
+        let mut state = state();
+        let a = aid(1, 1);
+        let b = aid(2, 2);
+        state.visit(a, SimTime::from_millis(1), 1);
+        state.visit(b, SimTime::from_millis(2), 2);
+        let mut ctx = TestCtx {
+            now: SimTime::from_millis(3),
+            traced: vec![],
+        };
+        let ack = state.handle_update(&update_msg(b, None), &mut ctx);
+        assert!(!positive(&ack));
+        assert_eq!(state.reserved_for(), None);
+    }
+
+    #[test]
+    fn certificate_validates_tie_claims() {
+        let mut state = state();
+        let a = aid(1, 1);
+        let b = aid(2, 2);
+        state.visit(a, SimTime::from_millis(1), 1);
+        state.visit(b, SimTime::from_millis(2), 2);
+        let mut ctx = TestCtx {
+            now: SimTime::from_millis(3),
+            traced: vec![],
+        };
+        // b claims with a certificate naming a — valid.
+        let ack = state.handle_update(&update_msg(b, Some(vec![a])), &mut ctx);
+        assert!(positive(&ack));
+        // A certificate missing a does not validate for a third agent.
+        let c = aid(3, 3);
+        state.visit(c, SimTime::from_millis(3), 0);
+        state.handle_release(b);
+        let ack = state.handle_update(&update_msg(c, Some(vec![b])), &mut ctx);
+        assert!(!positive(&ack));
+    }
+
+    #[test]
+    fn reservation_blocks_other_claimants_until_release() {
+        let mut state = state();
+        let a = aid(1, 1);
+        let b = aid(2, 2);
+        state.visit(a, SimTime::from_millis(1), 1);
+        state.visit(b, SimTime::from_millis(2), 2);
+        let mut ctx = TestCtx {
+            now: SimTime::from_millis(3),
+            traced: vec![],
+        };
+        assert!(positive(&state.handle_update(&update_msg(a, None), &mut ctx)));
+        // Even a valid certificate claim is blocked while reserved.
+        let ack = state.handle_update(&update_msg(b, Some(vec![a])), &mut ctx);
+        assert!(!positive(&ack));
+        state.handle_release(a);
+        let ack = state.handle_update(&update_msg(b, Some(vec![a])), &mut ctx);
+        assert!(positive(&ack));
+    }
+
+    #[test]
+    fn reservation_expires_after_lease() {
+        let mut state = state();
+        let a = aid(1, 1);
+        let b = aid(2, 2);
+        state.visit(a, SimTime::from_millis(1), 1);
+        state.visit(b, SimTime::from_millis(2), 2);
+        let mut ctx = TestCtx {
+            now: SimTime::from_millis(3),
+            traced: vec![],
+        };
+        assert!(positive(&state.handle_update(&update_msg(a, None), &mut ctx)));
+        // Well past the 5 s reservation lease.
+        ctx.now = SimTime::from_secs(10);
+        let ack = state.handle_update(&update_msg(b, Some(vec![a])), &mut ctx);
+        assert!(positive(&ack));
+    }
+
+    #[test]
+    fn commit_retires_winner_and_reports_notify_targets() {
+        let mut state = state();
+        let a = aid(1, 1);
+        let b = aid(2, 2);
+        state.visit(a, SimTime::from_millis(1), 1);
+        state.visit(b, SimTime::from_millis(2), 2);
+        let mut ctx = TestCtx {
+            now: SimTime::from_millis(5),
+            traced: vec![],
+        };
+        let record = marp_replica::CommitRecord {
+            version: 1,
+            key: 1,
+            value: 7,
+            agent: a.key(),
+            request: 1,
+            committed_at: ctx.now,
+        };
+        let notify = state.handle_commit(a, vec![record], &mut ctx);
+        assert_eq!(notify, vec![(2, b)]);
+        assert!(!state.core.ll.contains(a));
+        assert!(state.core.ul.contains(a));
+        assert_eq!(state.core.store.applied_version(), 1);
+    }
+
+    #[test]
+    fn ll_query_refreshes_but_does_not_enqueue() {
+        let mut state = state();
+        let a = aid(1, 1);
+        let stranger = aid(7, 7);
+        state.visit(a, SimTime::from_millis(1), 1);
+        let reply = state.handle_ll_query(stranger, 5, SimTime::from_millis(2));
+        match reply {
+            AgentReply::LlInfo { snapshot, .. } => {
+                assert_eq!(snapshot.queue, vec![a]);
+            }
+            _ => panic!("expected LlInfo"),
+        }
+        assert!(!state.core.ll.contains(stranger));
+    }
+
+    #[test]
+    fn finished_agents_are_never_re_enqueued() {
+        let mut state = state();
+        let a = aid(1, 1);
+        let mut ctx = TestCtx {
+            now: SimTime::from_millis(5),
+            traced: vec![],
+        };
+        // a commits...
+        state.visit(a, SimTime::from_millis(1), 1);
+        let record = marp_replica::CommitRecord {
+            version: 1,
+            key: 1,
+            value: 7,
+            agent: a.key(),
+            request: 1,
+            committed_at: ctx.now,
+        };
+        state.handle_commit(a, vec![record], &mut ctx);
+        assert!(state.core.ul.contains(a));
+        // ...and a stale clone of a tries to queue again: refused.
+        let info = state.visit(a, SimTime::from_millis(6), 2);
+        assert!(!state.core.ll.contains(a));
+        // The clone can see its own id in the returned UL and dispose.
+        assert!(info.ul.contains(a));
+    }
+
+    #[test]
+    fn stale_finished_entries_do_not_block_claims() {
+        let mut state = state();
+        let stale = aid(1, 1);
+        let claimant = aid(2, 2);
+        // The stale agent is enqueued, then its commit arrives through
+        // anti-entropy *after* a clone re-queued it: force the bad
+        // state by inserting the UL record directly.
+        state.visit(stale, SimTime::from_millis(1), 1);
+        state.visit(claimant, SimTime::from_millis(2), 2);
+        state
+            .core
+            .ul
+            .record(stale, SimTime::from_millis(3));
+        let mut ctx = TestCtx {
+            now: SimTime::from_millis(4),
+            traced: vec![],
+        };
+        // Claim with a certificate that does NOT name the stale agent:
+        // it must still validate because the server's UL marks the
+        // entry as finished.
+        let ack = state.handle_update(&update_msg(claimant, Some(vec![])), &mut ctx);
+        assert!(positive(&ack));
+    }
+
+    #[test]
+    fn anti_entropy_commits_purge_queue_entries() {
+        let mut state = state();
+        let winner = aid(1, 1);
+        state.visit(winner, SimTime::from_millis(1), 1);
+        assert!(state.core.ll.contains(winner));
+        let mut ctx = TestCtx {
+            now: SimTime::from_millis(2),
+            traced: vec![],
+        };
+        // The commit arrives via SyncMsg::Push (anti-entropy), not the
+        // winner's COMMIT broadcast.
+        let record = marp_replica::CommitRecord {
+            version: 1,
+            key: 9,
+            value: 90,
+            agent: winner.key(),
+            request: 5,
+            committed_at: ctx.now,
+        };
+        state
+            .core
+            .handle_sync(3, marp_replica::SyncMsg::Push { records: vec![record] }, &mut ctx);
+        assert_eq!(state.core.store.applied_version(), 1);
+        assert!(
+            !state.core.ll.contains(winner),
+            "sync-applied commit left a stale queue entry"
+        );
+    }
+
+    #[test]
+    fn gossip_can_be_disabled() {
+        let mut cfg = MarpConfig::new(3);
+        cfg.gossip = false;
+        let topo = Topology::uniform_lan(3, Duration::from_millis(2));
+        let mut state = MarpServerState::new(
+            ServerCore::new(0, ServerConfig::default(), wrap_sync),
+            RoutingTable::from_topology(0, &topo),
+            &cfg,
+        );
+        let mut lt = LockingTable::new();
+        lt.merge(
+            1,
+            LlSnapshot {
+                taken_at: SimTime::from_millis(1),
+                queue: vec![aid(1, 1)],
+            },
+        );
+        state.deposit_gossip(&lt);
+        assert_eq!(state.board.known_servers(), 0);
+        let info = state.visit(aid(2, 2), SimTime::from_millis(2), 2);
+        assert_eq!(info.board.known_servers(), 0);
+    }
+}

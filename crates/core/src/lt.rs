@@ -1,0 +1,557 @@
+//! The agent-side Locking Table (LT) and the priority calculation.
+//!
+//! Paper §3.2/§3.3: each agent accumulates, server by server, a table of
+//! Locking List snapshots. "On visiting a replicated server, a mobile
+//! agent learns about which mobile agents have higher ranks than it does
+//! in the server's LL. It will carry the information with it when it
+//! travels from site to site […] After it accumulates enough
+//! information, the mobile agent knows which mobile agent has the
+//! highest priority to request the lock."
+//!
+//! # Winning rules
+//!
+//! 1. **Outright majority** (the paper's main rule): an agent that is
+//!    top of the LL at a *strict majority* of the N servers wins.
+//! 2. **Stuck-configuration resolution** (the paper's tie rule,
+//!    generalized): the paper breaks ties by agent identifier when `M`
+//!    agents hold `S` tops each and `S + (N − M·S) < N/2`. Read
+//!    literally, that condition both deadlocks for some N (e.g. N = 4,
+//!    M = 2, S = 2) and misses stuck configurations where a third agent
+//!    tops the remaining servers (N = 5, tops 2/2/1). We implement the
+//!    evidently intended semantics: once an agent has *full coverage*
+//!    (a snapshot from, or an unavailability declaration for, every
+//!    server) and **no agent can still reach a majority** — tops can
+//!    only grow by claiming servers whose effective queue is empty,
+//!    since new lock requests append at the tail — the configuration
+//!    cannot change until someone commits, so the deterministic rule
+//!    "most tops, then smallest agent id" picks the winner. Every agent
+//!    evaluates the same rule, and the winner's claim is *validated* by
+//!    the majority-ACK reservation round (see `DESIGN.md`), so a stale
+//!    view can delay but never violate mutual exclusion.
+
+use bytes::{Bytes, BytesMut};
+use marp_agent::AgentId;
+use marp_replica::{LlSnapshot, UpdatedList};
+use marp_sim::NodeId;
+use marp_wire::{Wire, WireError};
+use std::collections::BTreeMap;
+
+/// The travelling Locking Table: the freshest known LL snapshot per
+/// server.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct LockingTable {
+    snapshots: BTreeMap<NodeId, LlSnapshot>,
+}
+
+impl LockingTable {
+    /// An empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Merge a snapshot of `server`'s LL, keeping the newer one.
+    pub fn merge(&mut self, server: NodeId, snapshot: LlSnapshot) {
+        match self.snapshots.get(&server) {
+            Some(existing) if !existing.is_older_than(&snapshot) => {}
+            _ => {
+                self.snapshots.insert(server, snapshot);
+            }
+        }
+    }
+
+    /// Merge every entry of another table (agents leave their LT at
+    /// servers; later visitors pick it up — the paper's information
+    /// sharing).
+    pub fn merge_table(&mut self, other: &LockingTable) {
+        for (&server, snapshot) in &other.snapshots {
+            self.merge(server, snapshot.clone());
+        }
+    }
+
+    /// The snapshot held for `server`, if any.
+    pub fn snapshot(&self, server: NodeId) -> Option<&LlSnapshot> {
+        self.snapshots.get(&server)
+    }
+
+    /// Number of servers with known snapshots.
+    pub fn known_servers(&self) -> usize {
+        self.snapshots.len()
+    }
+
+    /// Iterate over `(server, snapshot)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (NodeId, &LlSnapshot)> {
+        self.snapshots.iter().map(|(&s, snap)| (s, snap))
+    }
+
+    /// The *effective top* of a server's queue: the first agent not
+    /// known to have finished already (stale snapshots may still list
+    /// committed agents).
+    pub fn effective_top(&self, server: NodeId, finished: &UpdatedList) -> Option<AgentId> {
+        self.snapshots
+            .get(&server)?
+            .queue
+            .iter()
+            .find(|a| !finished.contains(**a))
+            .copied()
+    }
+
+    /// Count, for every agent, the servers whose effective top it is.
+    pub fn top_counts(&self, finished: &UpdatedList) -> BTreeMap<AgentId, usize> {
+        let mut counts = BTreeMap::new();
+        for &server in self.snapshots.keys() {
+            if let Some(top) = self.effective_top(server, finished) {
+                *counts.entry(top).or_insert(0) += 1;
+            }
+        }
+        counts
+    }
+
+    /// Number of servers whose known queue contains `agent` — the
+    /// agent's *presence*. A claim can only be validated at servers
+    /// where the claimant is enqueued, so the stuck-configuration rule
+    /// requires presence at a strict majority (this is also exactly
+    /// Theorem 3's lower bound of ⌈(N+1)/2⌉ visits).
+    pub fn presence_count(&self, agent: AgentId) -> usize {
+        self.snapshots
+            .values()
+            .filter(|snap| snap.queue.contains(&agent))
+            .count()
+    }
+
+    /// Every agent appearing anywhere in the table and not finished —
+    /// used as the tie certificate (the set of rivals the claimed winner
+    /// knows about).
+    pub fn known_agents(&self, finished: &UpdatedList) -> Vec<AgentId> {
+        let mut agents: Vec<AgentId> = self
+            .snapshots
+            .values()
+            .flat_map(|snap| snap.queue.iter().copied())
+            .filter(|a| !finished.contains(*a))
+            .collect();
+        agents.sort_unstable();
+        agents.dedup();
+        agents
+    }
+}
+
+impl Wire for LockingTable {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.snapshots.encode(buf);
+    }
+    fn decode(buf: &mut Bytes) -> Result<Self, WireError> {
+        Ok(LockingTable {
+            snapshots: BTreeMap::decode(buf)?,
+        })
+    }
+}
+
+/// Result of a priority evaluation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Priority {
+    /// This agent holds the distributed lock.
+    Win {
+        /// True when the win came from stuck-configuration resolution
+        /// rather than an outright majority of tops.
+        via_tie: bool,
+        /// For tie wins: the rivals the winner knows about; servers use
+        /// it to validate the claim against their live LLs.
+        certificate: Vec<AgentId>,
+    },
+    /// Not decidable in this agent's favour yet.
+    NotYet,
+}
+
+/// Strict-majority threshold for `n` replicas (`⌊n/2⌋ + 1`).
+pub fn majority(n: usize) -> usize {
+    n / 2 + 1
+}
+
+/// Evaluate the priority rules for agent `me` over `n` replica servers.
+///
+/// `unavailable` lists servers this agent has declared unreachable —
+/// they count toward coverage (we will never get their snapshot) but
+/// never toward anyone's potential.
+pub fn decide(
+    lt: &LockingTable,
+    me: AgentId,
+    n: usize,
+    finished: &UpdatedList,
+    unavailable: &[NodeId],
+) -> Priority {
+    let maj = majority(n);
+    let counts = lt.top_counts(finished);
+    let my_tops = counts.get(&me).copied().unwrap_or(0);
+    if my_tops >= maj {
+        return Priority::Win {
+            via_tie: false,
+            certificate: Vec::new(),
+        };
+    }
+
+    // Stuck-configuration resolution requires full coverage: a snapshot
+    // or an unavailability declaration for every server.
+    let covered = (0..n as NodeId)
+        .all(|s| lt.snapshot(s).is_some() || unavailable.contains(&s));
+    if !covered {
+        return Priority::NotYet;
+    }
+
+    // Servers whose effective queue is empty are the only ones whose top
+    // can change without a commit (new requests append at the tail).
+    // Servers this agent has declared unavailable cannot be claimed by
+    // anyone right now, even if a stale gossip snapshot shows them
+    // empty — counting them would wedge every agent in NotYet while a
+    // replica is down.
+    let claimable = (0..n as NodeId)
+        .filter(|&s| {
+            !unavailable.contains(&s)
+                && lt.snapshot(s).is_some()
+                && lt.effective_top(s, finished).is_none()
+        })
+        .count();
+
+    // If any agent could still assemble an outright majority, wait.
+    let best = counts.values().copied().max().unwrap_or(0);
+    if best + claimable >= maj || my_tops + claimable >= maj {
+        return Priority::NotYet;
+    }
+    if counts.is_empty() {
+        return Priority::NotYet;
+    }
+
+    // Nobody can reach a majority until a commit happens — but nobody
+    // has committed and nobody will: resolve deterministically by
+    // (most tops, then smallest agent id).
+    let winner = counts
+        .iter()
+        .map(|(&agent, &tops)| (std::cmp::Reverse(tops), agent))
+        .min()
+        .map(|(_, agent)| agent)
+        .expect("counts non-empty");
+    if winner == me {
+        // A stuck-rule win is only claimable where the winner is
+        // enqueued: servers validate a tie certificate against their
+        // live LL and refuse claimants they have never seen. Without
+        // presence at a strict majority the claim can never assemble a
+        // positive quorum — the agent must keep travelling instead
+        // (Theorem 3's lower bound, enforced structurally).
+        if lt.presence_count(me) < maj {
+            return Priority::NotYet;
+        }
+        let certificate = lt
+            .known_agents(finished)
+            .into_iter()
+            .filter(|&a| a != me)
+            .collect();
+        return Priority::Win {
+            via_tie: true,
+            certificate,
+        };
+    }
+    Priority::NotYet
+}
+
+/// Full priority ranking (most tops first, then agent id) — the paper's
+/// extension where agents determine "not only the first mobile agent who
+/// will obtain the lock next, but also the second agent, the third
+/// agent, etc."
+pub fn ranking(lt: &LockingTable, finished: &UpdatedList) -> Vec<(AgentId, usize)> {
+    let counts = lt.top_counts(finished);
+    let mut ranked: Vec<(AgentId, usize)> = counts.into_iter().collect();
+    ranked.sort_by_key(|&(agent, tops)| (std::cmp::Reverse(tops), agent));
+    ranked
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use marp_sim::SimTime;
+
+    fn aid(home: u16) -> AgentId {
+        AgentId::new(home, SimTime::from_millis(u64::from(home)), 0)
+    }
+
+    fn snap(at_ms: u64, queue: &[AgentId]) -> LlSnapshot {
+        LlSnapshot {
+            taken_at: SimTime::from_millis(at_ms),
+            queue: queue.to_vec(),
+        }
+    }
+
+    /// Build an LT where server `i`'s queue is `queues[i]`.
+    fn table(queues: &[&[AgentId]]) -> LockingTable {
+        let mut lt = LockingTable::new();
+        for (server, queue) in queues.iter().enumerate() {
+            lt.merge(server as NodeId, snap(1, queue));
+        }
+        lt
+    }
+
+    #[test]
+    fn majority_threshold() {
+        assert_eq!(majority(3), 2);
+        assert_eq!(majority(4), 3);
+        assert_eq!(majority(5), 3);
+        assert_eq!(majority(6), 4);
+    }
+
+    #[test]
+    fn merge_keeps_newer_snapshot() {
+        let mut lt = LockingTable::new();
+        let a = aid(1);
+        let b = aid(2);
+        lt.merge(0, snap(5, &[a]));
+        lt.merge(0, snap(3, &[b])); // older, ignored
+        assert_eq!(lt.snapshot(0).unwrap().top(), Some(a));
+        lt.merge(0, snap(9, &[b])); // newer, replaces
+        assert_eq!(lt.snapshot(0).unwrap().top(), Some(b));
+        assert_eq!(lt.known_servers(), 1);
+    }
+
+    #[test]
+    fn merge_table_combines_servers() {
+        let a = aid(1);
+        let mut lt1 = LockingTable::new();
+        lt1.merge(0, snap(1, &[a]));
+        let mut lt2 = LockingTable::new();
+        lt2.merge(1, snap(1, &[a]));
+        lt2.merge(0, snap(5, &[]));
+        lt1.merge_table(&lt2);
+        assert_eq!(lt1.known_servers(), 2);
+        assert_eq!(lt1.snapshot(0).unwrap().queue.len(), 0);
+    }
+
+    #[test]
+    fn effective_top_skips_finished_agents() {
+        let done = aid(9);
+        let live = aid(1);
+        let lt = table(&[&[done, live]]);
+        let mut finished = UpdatedList::new();
+        assert_eq!(lt.effective_top(0, &finished), Some(done));
+        finished.record(done, SimTime::ZERO);
+        assert_eq!(lt.effective_top(0, &finished), Some(live));
+    }
+
+    #[test]
+    fn outright_majority_wins() {
+        let me = aid(1);
+        let rival = aid(2);
+        // 5 servers: me top at 3, rival at 2.
+        let lt = table(&[&[me], &[me], &[me, rival], &[rival, me], &[rival]]);
+        let finished = UpdatedList::new();
+        assert_eq!(
+            decide(&lt, me, 5, &finished, &[]),
+            Priority::Win {
+                via_tie: false,
+                certificate: vec![]
+            }
+        );
+        assert_eq!(decide(&lt, rival, 5, &finished, &[]), Priority::NotYet);
+    }
+
+    #[test]
+    fn no_win_without_coverage() {
+        let me = aid(1);
+        // Top at 2 of 5 known servers; 3 unknown.
+        let lt = table(&[&[me], &[me]]);
+        let finished = UpdatedList::new();
+        assert_eq!(decide(&lt, me, 5, &finished, &[]), Priority::NotYet);
+    }
+
+    #[test]
+    fn paper_tie_case_resolved_by_id() {
+        // N = 4: A tops 2, B tops 2 — the paper's formula (read as ≤)
+        // fires; smaller id wins.
+        let a = aid(1);
+        let b = aid(2);
+        let lt = table(&[&[a, b], &[a, b], &[b, a], &[b, a]]);
+        let finished = UpdatedList::new();
+        let decision_a = decide(&lt, a, 4, &finished, &[]);
+        match decision_a {
+            Priority::Win {
+                via_tie: true,
+                certificate,
+            } => assert_eq!(certificate, vec![b]),
+            other => panic!("expected tie win for a, got {other:?}"),
+        }
+        assert_eq!(decide(&lt, b, 4, &finished, &[]), Priority::NotYet);
+    }
+
+    #[test]
+    fn three_way_stuck_configuration_resolves() {
+        // N = 5, tops 2/2/1 — the literal paper formula misses this but
+        // it is provably stuck; most-tops-then-id picks a.
+        let a = aid(1);
+        let b = aid(2);
+        let c = aid(3);
+        let lt = table(&[&[a, c], &[a, b], &[b, a], &[b, c], &[c, a, b]]);
+        let finished = UpdatedList::new();
+        match decide(&lt, a, 5, &finished, &[]) {
+            Priority::Win {
+                via_tie: true,
+                certificate,
+            } => {
+                assert!(certificate.contains(&b) && certificate.contains(&c));
+                assert!(!certificate.contains(&a));
+            }
+            other => panic!("expected tie win for a, got {other:?}"),
+        }
+        assert_eq!(decide(&lt, b, 5, &finished, &[]), Priority::NotYet);
+        assert_eq!(decide(&lt, c, 5, &finished, &[]), Priority::NotYet);
+    }
+
+    #[test]
+    fn empty_servers_block_tie_resolution() {
+        // N = 5: a tops 2, b tops 2, server 4's queue is empty — either
+        // could still claim it and reach majority, so nobody tie-wins.
+        let a = aid(1);
+        let b = aid(2);
+        let lt = table(&[&[a], &[a], &[b], &[b], &[]]);
+        let finished = UpdatedList::new();
+        assert_eq!(decide(&lt, a, 5, &finished, &[]), Priority::NotYet);
+        assert_eq!(decide(&lt, b, 5, &finished, &[]), Priority::NotYet);
+    }
+
+    #[test]
+    fn unavailable_servers_count_toward_coverage() {
+        // N = 5, server 4 declared unavailable; a tops 2, b tops 2 of
+        // the 4 reachable. Nobody can reach majority(5) = 3 → stuck →
+        // a wins by id.
+        let a = aid(1);
+        let b = aid(2);
+        let lt = table(&[&[a, b], &[a, b], &[b, a], &[b, a]]);
+        let finished = UpdatedList::new();
+        assert!(matches!(
+            decide(&lt, a, 5, &finished, &[4]),
+            Priority::Win { via_tie: true, .. }
+        ));
+        // Without the declaration there is no coverage and no decision.
+        assert_eq!(decide(&lt, a, 5, &finished, &[]), Priority::NotYet);
+    }
+
+    #[test]
+    fn finished_agents_do_not_block() {
+        // The previous winner w still sits atop stale snapshots; once in
+        // the finished list, me's effective tops give a majority.
+        let w = aid(9);
+        let me = aid(1);
+        let lt = table(&[&[w, me], &[w, me], &[me], &[], &[]]);
+        let mut finished = UpdatedList::new();
+        assert_eq!(decide(&lt, me, 5, &finished, &[]), Priority::NotYet);
+        finished.record(w, SimTime::ZERO);
+        assert_eq!(
+            decide(&lt, me, 5, &finished, &[]),
+            Priority::Win {
+                via_tie: false,
+                certificate: vec![]
+            }
+        );
+    }
+
+    #[test]
+    fn agreement_on_stuck_winner_is_symmetric() {
+        // Theorem-2 style check: with identical tables, at most one of
+        // several agents decides Win.
+        let agents = [aid(1), aid(2), aid(3)];
+        let lt = table(&[
+            &[agents[0]],
+            &[agents[1]],
+            &[agents[2]],
+            &[agents[0], agents[1]],
+            &[agents[1], agents[0]],
+        ]);
+        let finished = UpdatedList::new();
+        let wins: Vec<AgentId> = agents
+            .iter()
+            .copied()
+            .filter(|&a| matches!(decide(&lt, a, 5, &finished, &[]), Priority::Win { .. }))
+            .collect();
+        assert!(wins.len() <= 1, "multiple winners: {wins:?}");
+    }
+
+    #[test]
+    fn single_server_cluster_wins_on_its_own_top() {
+        let me = aid(1);
+        let lt = table(&[&[me]]);
+        let finished = UpdatedList::new();
+        assert_eq!(
+            decide(&lt, me, 1, &finished, &[]),
+            Priority::Win { via_tie: false, certificate: vec![] }
+        );
+    }
+
+    #[test]
+    fn two_server_cluster_needs_both_tops() {
+        let me = aid(1);
+        let rival = aid(2);
+        let finished = UpdatedList::new();
+        // Top at one of two: majority(2) = 2, not enough; rival tops the
+        // other → stuck, but me is min id with presence at both.
+        let lt = table(&[&[me, rival], &[rival, me]]);
+        assert!(matches!(
+            decide(&lt, me, 2, &finished, &[]),
+            Priority::Win { via_tie: true, .. }
+        ));
+        assert_eq!(decide(&lt, rival, 2, &finished, &[]), Priority::NotYet);
+        // Top at both → outright.
+        let lt = table(&[&[me], &[me, rival]]);
+        assert!(matches!(
+            decide(&lt, me, 2, &finished, &[]),
+            Priority::Win { via_tie: false, .. }
+        ));
+    }
+
+    #[test]
+    fn stuck_win_requires_majority_presence() {
+        // b and c top two servers each (server 4 unavailable): the
+        // stuck winner by (most tops, min id) is b — but b is enqueued
+        // at only two of five Locking Lists, so its claim could never
+        // be validated at a majority. decide must hold everyone at
+        // NotYet until b gains presence.
+        let b = aid(2);
+        let c = aid(3);
+        let lt = table(&[&[c], &[b], &[b], &[c]]);
+        let finished = UpdatedList::new();
+        assert_eq!(decide(&lt, b, 5, &finished, &[4]), Priority::NotYet);
+        assert_eq!(decide(&lt, c, 5, &finished, &[4]), Priority::NotYet);
+        // Once b is enqueued at a third server, its claim unlocks.
+        let lt = table(&[&[c, b], &[b], &[b], &[c]]);
+        assert!(matches!(
+            decide(&lt, b, 5, &finished, &[4]),
+            Priority::Win { via_tie: true, .. }
+        ));
+        assert_eq!(decide(&lt, c, 5, &finished, &[4]), Priority::NotYet);
+    }
+
+    #[test]
+    fn presence_count_counts_queues_containing_agent() {
+        let a = aid(1);
+        let b = aid(2);
+        let lt = table(&[&[a, b], &[b], &[], &[a]]);
+        assert_eq!(lt.presence_count(a), 2);
+        assert_eq!(lt.presence_count(b), 2);
+        assert_eq!(lt.presence_count(aid(9)), 0);
+    }
+
+    #[test]
+    fn ranking_orders_by_tops_then_id() {
+        let a = aid(1);
+        let b = aid(2);
+        let c = aid(3);
+        let lt = table(&[&[b], &[b], &[a], &[c], &[a]]);
+        let finished = UpdatedList::new();
+        let ranked = ranking(&lt, &finished);
+        // a and b both top 2 servers; a is the smaller (older) id.
+        assert_eq!(ranked[0], (a, 2));
+        assert_eq!(ranked[1], (b, 2));
+        assert_eq!(ranked[2], (c, 1));
+    }
+
+    #[test]
+    fn wire_roundtrip() {
+        let a = aid(1);
+        let lt = table(&[&[a], &[], &[a, aid(2)]]);
+        let bytes = marp_wire::to_bytes(&lt);
+        assert_eq!(marp_wire::from_bytes::<LockingTable>(&bytes).unwrap(), lt);
+    }
+}

@@ -1,0 +1,391 @@
+//! MARP wire messages.
+//!
+//! [`NodeMsg`] is the complete message space of a MARP replica node;
+//! [`AgentReply`] is the payload space of `ToAgent` envelopes servers
+//! send back to agents (UPDATE acknowledgements and LL information).
+
+use crate::lt::LockingTable;
+use bytes::{Bytes, BytesMut};
+use marp_agent::{AgentEnvelope, AgentId};
+use marp_replica::{ClientRequest, CommitRecord, LlSnapshot, SyncMsg, UpdatedList, WriteRequest};
+use marp_sim::{NodeId, SimTime};
+use marp_wire::{Wire, WireError};
+
+/// The winning agent's UPDATE broadcast: "having obtained the lock,
+/// broadcast a message to all the replicas to request the update".
+/// Doubles as the validation/reservation round (see `DESIGN.md`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct UpdateMsg {
+    /// The claiming agent.
+    pub agent: AgentId,
+    /// Attempt counter: acks echo it so a retried claim cannot count
+    /// stale acknowledgements from an aborted attempt.
+    pub attempt: u32,
+    /// Where the agent awaits acknowledgements.
+    pub reply_to: NodeId,
+    /// The write requests about to be committed (versions not yet
+    /// assigned — they are fixed at COMMIT from the quorum's maximum).
+    pub requests: Vec<WriteRequest>,
+    /// For tie wins: every rival the winner knows about; a server
+    /// validates that all agents ranked above the claimant in its LL
+    /// appear here.
+    pub tie_certificate: Option<Vec<AgentId>>,
+}
+
+marp_wire::wire_struct!(UpdateMsg {
+    agent,
+    attempt,
+    reply_to,
+    requests,
+    tie_certificate
+});
+
+/// The winning agent's COMMIT broadcast, carrying the final records.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CommitMsg {
+    /// The committing agent (its LL entries are removed and it enters
+    /// the Updated List).
+    pub agent: AgentId,
+    /// The committed records, versions assigned.
+    pub records: Vec<CommitRecord>,
+}
+
+marp_wire::wire_struct!(CommitMsg { agent, records });
+
+/// Full message space of a MARP replica node.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NodeMsg {
+    /// A client request.
+    Client(ClientRequest),
+    /// Agent-runtime traffic (migrations, acks, agent-addressed mail).
+    Agent(AgentEnvelope),
+    /// A winner's UPDATE broadcast.
+    Update(UpdateMsg),
+    /// A winner's COMMIT broadcast.
+    Commit(CommitMsg),
+    /// A claimant releasing its reservation after a failed validation.
+    Release {
+        /// The aborting agent.
+        agent: AgentId,
+    },
+    /// A parked agent refreshing its lease and asking for fresh LL info.
+    LlQuery {
+        /// The asking agent.
+        agent: AgentId,
+        /// Where it is parked (replies go there).
+        reply_to: NodeId,
+    },
+    /// Anti-entropy.
+    Sync(SyncMsg),
+    /// Read-agent runtime traffic (the consistent-read extension runs
+    /// its agents in a separate runtime with its own envelope space).
+    RAgent(AgentEnvelope),
+}
+
+const TAG_CLIENT: u8 = 0;
+const TAG_AGENT: u8 = 1;
+const TAG_UPDATE: u8 = 2;
+const TAG_COMMIT: u8 = 3;
+const TAG_RELEASE: u8 = 4;
+const TAG_LL_QUERY: u8 = 5;
+const TAG_SYNC: u8 = 6;
+const TAG_RAGENT: u8 = 7;
+
+impl Wire for NodeMsg {
+    fn encode(&self, buf: &mut BytesMut) {
+        match self {
+            NodeMsg::Client(req) => {
+                TAG_CLIENT.encode(buf);
+                req.encode(buf);
+            }
+            NodeMsg::Agent(env) => {
+                TAG_AGENT.encode(buf);
+                env.encode(buf);
+            }
+            NodeMsg::Update(msg) => {
+                TAG_UPDATE.encode(buf);
+                msg.encode(buf);
+            }
+            NodeMsg::Commit(msg) => {
+                TAG_COMMIT.encode(buf);
+                msg.encode(buf);
+            }
+            NodeMsg::Release { agent } => {
+                TAG_RELEASE.encode(buf);
+                agent.encode(buf);
+            }
+            NodeMsg::LlQuery { agent, reply_to } => {
+                TAG_LL_QUERY.encode(buf);
+                agent.encode(buf);
+                reply_to.encode(buf);
+            }
+            NodeMsg::Sync(msg) => {
+                TAG_SYNC.encode(buf);
+                msg.encode(buf);
+            }
+            NodeMsg::RAgent(env) => {
+                TAG_RAGENT.encode(buf);
+                env.encode(buf);
+            }
+        }
+    }
+
+    fn decode(buf: &mut Bytes) -> Result<Self, WireError> {
+        match u8::decode(buf)? {
+            TAG_CLIENT => Ok(NodeMsg::Client(ClientRequest::decode(buf)?)),
+            TAG_AGENT => Ok(NodeMsg::Agent(AgentEnvelope::decode(buf)?)),
+            TAG_UPDATE => Ok(NodeMsg::Update(UpdateMsg::decode(buf)?)),
+            TAG_COMMIT => Ok(NodeMsg::Commit(CommitMsg::decode(buf)?)),
+            TAG_RELEASE => Ok(NodeMsg::Release {
+                agent: AgentId::decode(buf)?,
+            }),
+            TAG_LL_QUERY => Ok(NodeMsg::LlQuery {
+                agent: AgentId::decode(buf)?,
+                reply_to: NodeId::decode(buf)?,
+            }),
+            TAG_SYNC => Ok(NodeMsg::Sync(SyncMsg::decode(buf)?)),
+            TAG_RAGENT => Ok(NodeMsg::RAgent(AgentEnvelope::decode(buf)?)),
+            tag => Err(WireError::InvalidTag {
+                type_name: "NodeMsg",
+                tag: u32::from(tag),
+            }),
+        }
+    }
+}
+
+/// Payloads servers address to agents (inside `ToAgent` envelopes).
+#[derive(Debug, Clone, PartialEq)]
+pub enum AgentReply {
+    /// Acknowledgement of an UPDATE.
+    UpdateAck {
+        /// The acknowledging server.
+        node: NodeId,
+        /// Echo of the claim's attempt counter.
+        attempt: u32,
+        /// True when validation passed and the lock is reserved for the
+        /// claimant; the paper's plain ack.
+        positive: bool,
+        /// The server's applied version (the winner commits from the
+        /// quorum maximum — "uses the most recent copy").
+        store_version: u64,
+        /// The server's last update time (the paper's freshness check).
+        last_update: SimTime,
+    },
+    /// Fresh locking information (reply to `LlQuery`, a visit, or a
+    /// pushed change notification).
+    LlInfo {
+        /// The reporting server.
+        node: NodeId,
+        /// Its current LL.
+        snapshot: LlSnapshot,
+        /// Its gossip board contents (empty when gossip is disabled).
+        board: LockingTable,
+        /// Its Updated List.
+        ul: UpdatedList,
+    },
+}
+
+impl Wire for AgentReply {
+    fn encode(&self, buf: &mut BytesMut) {
+        match self {
+            AgentReply::UpdateAck {
+                node,
+                attempt,
+                positive,
+                store_version,
+                last_update,
+            } => {
+                0u8.encode(buf);
+                node.encode(buf);
+                attempt.encode(buf);
+                positive.encode(buf);
+                store_version.encode(buf);
+                last_update.encode(buf);
+            }
+            AgentReply::LlInfo {
+                node,
+                snapshot,
+                board,
+                ul,
+            } => {
+                1u8.encode(buf);
+                node.encode(buf);
+                snapshot.encode(buf);
+                board.encode(buf);
+                ul.encode(buf);
+            }
+        }
+    }
+
+    fn decode(buf: &mut Bytes) -> Result<Self, WireError> {
+        match u8::decode(buf)? {
+            0 => Ok(AgentReply::UpdateAck {
+                node: NodeId::decode(buf)?,
+                attempt: u32::decode(buf)?,
+                positive: bool::decode(buf)?,
+                store_version: u64::decode(buf)?,
+                last_update: SimTime::decode(buf)?,
+            }),
+            1 => Ok(AgentReply::LlInfo {
+                node: NodeId::decode(buf)?,
+                snapshot: LlSnapshot::decode(buf)?,
+                board: LockingTable::decode(buf)?,
+                ul: UpdatedList::decode(buf)?,
+            }),
+            tag => Err(WireError::InvalidTag {
+                type_name: "AgentReply",
+                tag: u32::from(tag),
+            }),
+        }
+    }
+}
+
+/// Encode an [`AgentEnvelope`] into the MARP node message space (the
+/// `WrapFn` handed to the agent runtime).
+pub fn wrap_agent_envelope(envelope: AgentEnvelope) -> Bytes {
+    marp_wire::to_bytes(&NodeMsg::Agent(envelope))
+}
+
+/// Encode a [`SyncMsg`] into the MARP node message space.
+pub fn wrap_sync(msg: SyncMsg) -> Bytes {
+    marp_wire::to_bytes(&NodeMsg::Sync(msg))
+}
+
+/// Encode a read-agent [`AgentEnvelope`] into the MARP node message
+/// space.
+pub fn wrap_read_agent_envelope(envelope: AgentEnvelope) -> Bytes {
+    marp_wire::to_bytes(&NodeMsg::RAgent(envelope))
+}
+
+/// Encode a [`ClientRequest`] into the MARP node message space.
+pub fn wrap_client_request(request: ClientRequest) -> Bytes {
+    marp_wire::to_bytes(&NodeMsg::Client(request))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use marp_replica::Operation;
+
+    fn roundtrip(msg: NodeMsg) {
+        let bytes = marp_wire::to_bytes(&msg);
+        assert_eq!(marp_wire::from_bytes::<NodeMsg>(&bytes).unwrap(), msg);
+    }
+
+    fn aid(home: u16) -> AgentId {
+        AgentId::new(home, SimTime::from_millis(3), 1)
+    }
+
+    #[test]
+    fn node_msgs_roundtrip() {
+        roundtrip(NodeMsg::Client(ClientRequest {
+            id: 1,
+            op: Operation::Write { key: 2, value: 3 },
+        }));
+        roundtrip(NodeMsg::Agent(AgentEnvelope::MigrateAck {
+            agent: aid(1),
+            hop: 2,
+        }));
+        roundtrip(NodeMsg::Update(UpdateMsg {
+            agent: aid(1),
+            attempt: 2,
+            reply_to: 4,
+            requests: vec![WriteRequest {
+                id: 9,
+                client: 8,
+                key: 7,
+                value: 6,
+                arrived: SimTime::from_millis(5),
+            }],
+            tie_certificate: Some(vec![aid(2), aid(3)]),
+        }));
+        roundtrip(NodeMsg::Commit(CommitMsg {
+            agent: aid(1),
+            records: vec![CommitRecord {
+                version: 1,
+                key: 2,
+                value: 3,
+                agent: aid(1).key(),
+                request: 9,
+                committed_at: SimTime::from_millis(11),
+            }],
+        }));
+        roundtrip(NodeMsg::Release { agent: aid(1) });
+        roundtrip(NodeMsg::LlQuery {
+            agent: aid(1),
+            reply_to: 2,
+        });
+        roundtrip(NodeMsg::Sync(SyncMsg::Pull { from_version: 0 }));
+        roundtrip(NodeMsg::RAgent(AgentEnvelope::MigrateAck {
+            agent: aid(4),
+            hop: 1,
+        }));
+    }
+
+    #[test]
+    fn agent_replies_roundtrip() {
+        let reply = AgentReply::UpdateAck {
+            node: 1,
+            attempt: 3,
+            positive: true,
+            store_version: 5,
+            last_update: SimTime::from_millis(7),
+        };
+        let bytes = marp_wire::to_bytes(&reply);
+        assert_eq!(marp_wire::from_bytes::<AgentReply>(&bytes).unwrap(), reply);
+
+        let mut board = LockingTable::new();
+        board.merge(
+            0,
+            LlSnapshot {
+                taken_at: SimTime::from_millis(1),
+                queue: vec![aid(4)],
+            },
+        );
+        let mut ul = UpdatedList::new();
+        ul.record(aid(5), SimTime::from_millis(1));
+        let reply = AgentReply::LlInfo {
+            node: 2,
+            snapshot: LlSnapshot {
+                taken_at: SimTime::from_millis(2),
+                queue: vec![aid(1), aid(2)],
+            },
+            board,
+            ul,
+        };
+        let bytes = marp_wire::to_bytes(&reply);
+        assert_eq!(marp_wire::from_bytes::<AgentReply>(&bytes).unwrap(), reply);
+    }
+
+    #[test]
+    fn unknown_tags_rejected() {
+        let bytes = Bytes::from_static(&[99]);
+        assert!(marp_wire::from_bytes::<NodeMsg>(&bytes).is_err());
+        assert!(marp_wire::from_bytes::<AgentReply>(&bytes).is_err());
+    }
+
+    #[test]
+    fn wrappers_produce_decodable_node_msgs() {
+        let wrapped = wrap_sync(SyncMsg::Pull { from_version: 3 });
+        assert!(matches!(
+            marp_wire::from_bytes::<NodeMsg>(&wrapped).unwrap(),
+            NodeMsg::Sync(SyncMsg::Pull { from_version: 3 })
+        ));
+        let wrapped = wrap_client_request(ClientRequest {
+            id: 4,
+            op: Operation::Read { key: 1 },
+        });
+        assert!(matches!(
+            marp_wire::from_bytes::<NodeMsg>(&wrapped).unwrap(),
+            NodeMsg::Client(_)
+        ));
+        let wrapped = wrap_agent_envelope(AgentEnvelope::MigrateAck {
+            agent: aid(1),
+            hop: 0,
+        });
+        assert!(matches!(
+            marp_wire::from_bytes::<NodeMsg>(&wrapped).unwrap(),
+            NodeMsg::Agent(_)
+        ));
+    }
+}

@@ -1,0 +1,306 @@
+//! The MARP replica node: one [`Process`] combining the server core,
+//! the agent runtime, request batching, and the server side of the
+//! protocol (Algorithm 2).
+
+use crate::agent::UpdateAgent;
+use crate::config::MarpConfig;
+use crate::host::MarpServerState;
+use crate::msg::{wrap_agent_envelope, wrap_read_agent_envelope, wrap_sync, AgentReply, NodeMsg};
+use crate::read_agent::ReadAgent;
+use bytes::Bytes;
+use marp_agent::{AgentEnvelope, AgentId, AgentRuntime};
+use marp_net::RoutingTable;
+use marp_replica::{RequestBatcher, ServerCore, WriteRequest};
+use marp_sim::{
+    impl_as_any, Context, NodeId, Process, SimTime, TimerId, TraceEvent,
+};
+use std::collections::BTreeMap;
+
+const TAG_BATCH_TICK: u64 = 100;
+const TAG_MAINTENANCE: u64 = 101;
+
+/// A batch whose agent has been dispatched but whose commits have not
+/// all been observed locally yet.
+#[derive(Debug, Clone)]
+struct OutstandingBatch {
+    requests: Vec<WriteRequest>,
+    dispatched_at: SimTime,
+}
+
+/// One MARP replica server node.
+pub struct MarpNode {
+    cfg: MarpConfig,
+    state: MarpServerState,
+    runtime: AgentRuntime<UpdateAgent>,
+    read_runtime: AgentRuntime<ReadAgent>,
+    batcher: RequestBatcher,
+    agent_seq: u32,
+    read_seq: u32,
+    outstanding: BTreeMap<AgentId, OutstandingBatch>,
+}
+
+impl MarpNode {
+    /// Build the node for server `me` with the given routing table.
+    pub fn new(me: NodeId, cfg: MarpConfig, routing: RoutingTable) -> Self {
+        let core = ServerCore::new(me, cfg.server, wrap_sync);
+        MarpNode {
+            state: MarpServerState::new(core, routing, &cfg),
+            runtime: AgentRuntime::new(cfg.migration, wrap_agent_envelope),
+            read_runtime: AgentRuntime::new(cfg.migration, wrap_read_agent_envelope),
+            batcher: RequestBatcher::new(cfg.batch),
+            agent_seq: 0,
+            // Read agents draw from the upper sequence range so their
+            // ids can never collide with update agents created in the
+            // same instant.
+            read_seq: 1 << 31,
+            outstanding: BTreeMap::new(),
+            cfg,
+        }
+    }
+
+    /// The server-side state (for tests and experiment harnesses).
+    pub fn state(&self) -> &MarpServerState {
+        &self.state
+    }
+
+    /// Number of update agents currently hosted here.
+    pub fn resident_agents(&self) -> usize {
+        self.runtime.resident_count()
+    }
+
+    /// Number of read agents currently hosted here.
+    pub fn resident_read_agents(&self) -> usize {
+        self.read_runtime.resident_count()
+    }
+
+    /// The update-agent runtime (inspection: resident agents and their
+    /// behaviour state).
+    pub fn update_runtime(&self) -> &AgentRuntime<UpdateAgent> {
+        &self.runtime
+    }
+
+    /// Batches dispatched from here whose commits have not yet been
+    /// observed locally.
+    pub fn outstanding_batches(&self) -> usize {
+        self.outstanding.len()
+    }
+
+    fn me(&self) -> NodeId {
+        self.state.core.me()
+    }
+
+    fn dispatch_agent(&mut self, batch: Vec<WriteRequest>, ctx: &mut dyn Context) {
+        if batch.is_empty() {
+            return;
+        }
+        let id = AgentId::new(self.me(), ctx.now(), self.agent_seq);
+        self.agent_seq += 1;
+        ctx.trace(TraceEvent::AgentDispatched {
+            agent: id.key(),
+            home: self.me(),
+            batch: batch.len(),
+        });
+        self.outstanding.insert(
+            id,
+            OutstandingBatch {
+                requests: batch.clone(),
+                dispatched_at: ctx.now(),
+            },
+        );
+        let agent = UpdateAgent::new(id, &self.cfg, batch);
+        self.runtime.spawn(agent, &mut self.state, ctx);
+    }
+
+    fn send_to_agent(
+        &self,
+        at: NodeId,
+        agent: AgentId,
+        reply: &AgentReply,
+        ctx: &mut dyn Context,
+    ) {
+        let envelope = AgentEnvelope::ToAgent {
+            agent,
+            payload: marp_wire::to_bytes(reply),
+        };
+        ctx.send(at, wrap_agent_envelope(envelope));
+    }
+
+    fn handle_node_msg(&mut self, from: NodeId, msg: NodeMsg, ctx: &mut dyn Context) {
+        match msg {
+            NodeMsg::Client(request) => {
+                match self.state.core.handle_client_request(from, request, ctx) {
+                    marp_replica::ClientAction::Done => {}
+                    marp_replica::ClientAction::Write(write) => {
+                        if self.cfg.adaptive_batching {
+                            self.adapt_batch_size(ctx);
+                        }
+                        if let Some(batch) = self.batcher.push(write, ctx.now()) {
+                            self.dispatch_agent(batch, ctx);
+                        }
+                    }
+                    marp_replica::ClientAction::FreshRead(read) => {
+                        let id = AgentId::new(self.me(), ctx.now(), self.read_seq);
+                        self.read_seq += 1;
+                        let agent =
+                            ReadAgent::new(id, &self.cfg, read.id, read.client, read.key);
+                        self.read_runtime.spawn(agent, &mut self.state, ctx);
+                    }
+                }
+            }
+            NodeMsg::Agent(envelope) => {
+                self.runtime
+                    .handle_envelope(from, envelope, &mut self.state, ctx);
+            }
+            NodeMsg::RAgent(envelope) => {
+                self.read_runtime
+                    .handle_envelope(from, envelope, &mut self.state, ctx);
+            }
+            NodeMsg::Update(update) => {
+                let ack = self.state.handle_update(&update, ctx);
+                self.send_to_agent(update.reply_to, update.agent, &ack, ctx);
+            }
+            NodeMsg::Commit(commit) => {
+                let notify = self
+                    .state
+                    .handle_commit(commit.agent, commit.records, ctx);
+                // Push the LL change to the remaining queued agents so
+                // parked agents learn promptly that the winner is gone.
+                if !notify.is_empty() {
+                    let info = self.state.ll_info(ctx.now());
+                    for (host, agent) in notify {
+                        self.send_to_agent(host, agent, &info, ctx);
+                    }
+                }
+            }
+            NodeMsg::Release { agent } => self.state.handle_release(agent),
+            NodeMsg::LlQuery { agent, reply_to } => {
+                let info = self.state.handle_ll_query(agent, reply_to, ctx.now());
+                self.send_to_agent(reply_to, agent, &info, ctx);
+            }
+            NodeMsg::Sync(sync) => self.state.core.handle_sync(from, sync, ctx),
+        }
+    }
+
+    fn arm_node_timers(&self, ctx: &mut dyn Context) {
+        ctx.set_timer(self.batcher.max_wait(), TAG_BATCH_TICK);
+        ctx.set_timer(self.cfg.maintenance_interval, TAG_MAINTENANCE);
+    }
+
+    /// Adaptive batching (the §5 adaptivity hint): track the commit
+    /// backlog — one outstanding batch means the pipe is busy but
+    /// healthy; more means our agents are queueing behind each other
+    /// and coalescing is cheaper than competing for the lock per
+    /// request.
+    fn adapt_batch_size(&mut self, ctx: &mut dyn Context) {
+        let target = self.outstanding.len().clamp(1, 32);
+        if target != self.batcher.max_batch() {
+            ctx.trace(TraceEvent::Custom {
+                kind: "adaptive-batch-size",
+                a: target as u64,
+                b: u64::from(self.me()),
+            });
+            self.batcher.set_max_batch(target);
+        }
+    }
+
+    fn maintenance(&mut self, ctx: &mut dyn Context) {
+        self.state.maintain(ctx);
+        if self.cfg.adaptive_batching {
+            self.adapt_batch_size(ctx);
+        }
+        let peer = (self.me() + 1) % self.cfg.n_servers as NodeId;
+        if peer != self.me() {
+            self.state.core.pull_if_behind(peer, ctx);
+        }
+        // Re-dispatch batches whose agent died with a crashed host: keep
+        // only requests not yet committed anywhere we can see.
+        let now = ctx.now();
+        let timeout = self.cfg.redispatch_timeout;
+        let expired: Vec<AgentId> = self
+            .outstanding
+            .iter()
+            .filter(|(_, batch)| now.saturating_since(batch.dispatched_at) >= timeout)
+            .map(|(&id, _)| id)
+            .collect();
+        let mut to_redispatch = Vec::new();
+        for id in expired {
+            let batch = self.outstanding.remove(&id).expect("present");
+            let remaining: Vec<WriteRequest> = batch
+                .requests
+                .into_iter()
+                .filter(|r| !self.state.core.store.request_applied(r.id))
+                .collect();
+            if !remaining.is_empty() {
+                ctx.trace(TraceEvent::Custom {
+                    kind: "batch-redispatched",
+                    a: id.key(),
+                    b: remaining.len() as u64,
+                });
+                to_redispatch.push(remaining);
+            }
+        }
+        for batch in to_redispatch {
+            self.dispatch_agent(batch, ctx);
+        }
+        // Drop bookkeeping for batches that fully committed.
+        self.outstanding.retain(|_, batch| {
+            batch
+                .requests
+                .iter()
+                .any(|r| !self.state.core.store.request_applied(r.id))
+        });
+    }
+}
+
+impl Process for MarpNode {
+    fn on_start(&mut self, ctx: &mut dyn Context) {
+        self.arm_node_timers(ctx);
+    }
+
+    fn on_message(&mut self, from: NodeId, msg: Bytes, ctx: &mut dyn Context) {
+        match marp_wire::from_bytes::<NodeMsg>(&msg) {
+            Ok(node_msg) => self.handle_node_msg(from, node_msg, ctx),
+            Err(_) => ctx.trace(TraceEvent::Custom {
+                kind: "undecodable-message",
+                a: u64::from(from),
+                b: msg.len() as u64,
+            }),
+        }
+    }
+
+    fn on_timer(&mut self, timer: TimerId, tag: u64, ctx: &mut dyn Context) {
+        if self.runtime.handle_timer(timer, &mut self.state, ctx) {
+            return;
+        }
+        if self.read_runtime.handle_timer(timer, &mut self.state, ctx) {
+            return;
+        }
+        match tag {
+            TAG_BATCH_TICK => {
+                if let Some(batch) = self.batcher.take_if_due(ctx.now()) {
+                    self.dispatch_agent(batch, ctx);
+                }
+                ctx.set_timer(self.batcher.max_wait(), TAG_BATCH_TICK);
+            }
+            TAG_MAINTENANCE => {
+                self.maintenance(ctx);
+                ctx.set_timer(self.cfg.maintenance_interval, TAG_MAINTENANCE);
+            }
+            _ => {}
+        }
+    }
+
+    fn on_recover(&mut self, ctx: &mut dyn Context) {
+        self.state.on_recover();
+        self.runtime.clear_volatile();
+        self.read_runtime.clear_volatile();
+        self.outstanding.clear();
+        self.arm_node_timers(ctx);
+        let peer = (self.me() + 1) % self.cfg.n_servers as NodeId;
+        if peer != self.me() {
+            self.state.core.pull_from(peer, ctx);
+        }
+    }
+
+    impl_as_any!();
+}

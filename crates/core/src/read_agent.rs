@@ -1,0 +1,200 @@
+//! The consistent-read agent — the §5 "generic method" extension.
+//!
+//! The paper closes by noting that MARP "is a generic method, which can
+//! be used to implement different kinds of replication control
+//! algorithms. The mobile agents encapsulate the data replication
+//! protocols…". This module demonstrates that genericity with a second
+//! agent behaviour on the same runtime: a **read agent** that gives
+//! clients an optional strong read. Plain MARP reads are local and may
+//! be stale; a [`marp_replica::Operation::ReadFresh`] dispatches a
+//! `ReadAgent` that visits a strict majority of replicas (cheapest
+//! first) and returns the freshest value it saw. Because every write
+//! lands on a majority before its COMMIT round completes, a
+//! majority-read intersects every completed write's quorum.
+
+use crate::host::MarpServerState;
+use bytes::{Bytes, BytesMut};
+use marp_agent::{Action, AgentBehavior, AgentEnv, AgentId, Itinerary};
+use marp_replica::ClientReply;
+use marp_sim::{NodeId, TraceEvent};
+use marp_wire::{Wire, WireError};
+
+/// A travelling quorum-read agent.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReadAgent {
+    id: AgentId,
+    n: u16,
+    /// The client request being served.
+    request: u64,
+    /// Who gets the answer.
+    client: NodeId,
+    /// Key under inspection.
+    key: u64,
+    /// Per-visited-replica observations: (applied version, key version,
+    /// value if present).
+    observed: Vec<(u64, u64, Option<u64>)>,
+    itinerary: Itinerary,
+    visited: u32,
+}
+
+impl Wire for ReadAgent {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.id.encode(buf);
+        self.n.encode(buf);
+        self.request.encode(buf);
+        self.client.encode(buf);
+        self.key.encode(buf);
+        self.observed.encode(buf);
+        self.itinerary.encode(buf);
+        self.visited.encode(buf);
+    }
+    fn decode(buf: &mut Bytes) -> Result<Self, WireError> {
+        Ok(ReadAgent {
+            id: AgentId::decode(buf)?,
+            n: u16::decode(buf)?,
+            request: u64::decode(buf)?,
+            client: NodeId::decode(buf)?,
+            key: u64::decode(buf)?,
+            observed: Vec::decode(buf)?,
+            itinerary: Itinerary::decode(buf)?,
+            visited: u32::decode(buf)?,
+        })
+    }
+}
+
+impl ReadAgent {
+    /// Create a read agent for one `ReadFresh` request.
+    pub fn new(
+        id: AgentId,
+        cfg: &crate::MarpConfig,
+        request: u64,
+        client: NodeId,
+        key: u64,
+    ) -> Self {
+        ReadAgent {
+            id,
+            n: cfg.n_servers as u16,
+            request,
+            client,
+            key,
+            observed: Vec::new(),
+            itinerary: Itinerary::for_system(cfg.n_servers, id.home, cfg.itinerary),
+            visited: 0,
+        }
+    }
+
+    /// Replicas consulted so far.
+    pub fn visits(&self) -> u32 {
+        self.visited
+    }
+
+    fn maj(&self) -> usize {
+        crate::lt::majority(usize::from(self.n))
+    }
+
+    fn finish(&self, env: &mut AgentEnv<'_>) -> Action {
+        // The freshest observation wins: highest key version, with the
+        // highest applied version as tiebreak for absent keys.
+        let best = self
+            .observed
+            .iter()
+            .max_by_key(|&&(applied, key_version, _)| (key_version, applied))
+            .copied();
+        let (applied, key_version, value) = best.unwrap_or((0, 0, None));
+        env.trace(TraceEvent::ReadServed {
+            node: env.here(),
+            request: self.request,
+            version: key_version.max(applied),
+        });
+        let reply = ClientReply::ReadOk {
+            id: self.request,
+            key: self.key,
+            value,
+            version: key_version.max(applied),
+        };
+        env.send_raw(self.client, marp_wire::to_bytes(&reply));
+        Action::Dispose
+    }
+
+    fn give_up(&self, env: &mut AgentEnv<'_>) -> Action {
+        // A majority is unreachable: refuse rather than silently
+        // downgrade the guarantee.
+        let reply = ClientReply::Rejected { id: self.request };
+        env.send_raw(self.client, marp_wire::to_bytes(&reply));
+        Action::Dispose
+    }
+
+    fn proceed(&mut self, host: &mut MarpServerState, env: &mut AgentEnv<'_>) -> Action {
+        if self.observed.len() >= self.maj() {
+            return self.finish(env);
+        }
+        match self.itinerary.next_destination(|to| host.route_cost(to)) {
+            Some(next) => Action::Migrate(next),
+            // Fewer than a majority of replicas reachable.
+            None => self.give_up(env),
+        }
+    }
+}
+
+impl AgentBehavior for ReadAgent {
+    type Host = MarpServerState;
+
+    fn id(&self) -> AgentId {
+        self.id
+    }
+
+    fn on_arrive(&mut self, host: &mut MarpServerState, env: &mut AgentEnv<'_>) -> Action {
+        self.visited += 1;
+        let store = &host.core.store;
+        let stored = store.get(self.key);
+        self.observed.push((
+            store.applied_version(),
+            stored.map_or(0, |s| s.version),
+            stored.map(|s| s.value),
+        ));
+        self.proceed(host, env)
+    }
+
+    fn on_migrate_failed(
+        &mut self,
+        dest: NodeId,
+        _attempts: u32,
+        host: &mut MarpServerState,
+        env: &mut AgentEnv<'_>,
+    ) -> Action {
+        self.itinerary.mark_unavailable(dest);
+        self.proceed(host, env)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MarpConfig;
+    use marp_sim::SimTime;
+
+    #[test]
+    fn wire_roundtrip() {
+        let cfg = MarpConfig::new(5);
+        let mut agent = ReadAgent::new(
+            AgentId::new(1, SimTime::from_millis(3), 7),
+            &cfg,
+            42,
+            9,
+            5,
+        );
+        agent.observed.push((3, 2, Some(20)));
+        agent.visited = 1;
+        let bytes = marp_wire::to_bytes(&agent);
+        let back: ReadAgent = marp_wire::from_bytes(&bytes).unwrap();
+        assert_eq!(back, agent);
+    }
+
+    #[test]
+    fn majority_threshold_matches_cluster() {
+        let cfg = MarpConfig::new(5);
+        let agent = ReadAgent::new(AgentId::new(0, SimTime::ZERO, 0), &cfg, 1, 9, 1);
+        assert_eq!(agent.maj(), 3);
+        assert_eq!(agent.visits(), 0);
+    }
+}

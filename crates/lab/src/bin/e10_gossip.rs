@@ -1,0 +1,42 @@
+//! E10 — information-sharing ablation: the paper's §3.3 gossip boards
+//! on vs off, across contention levels.
+
+use marp_agent::ItineraryPolicy;
+use marp_lab::{
+    assert_all_clean, pool_metrics, run_seeds, ProtocolKind, Scenario, PAPER_SEEDS,
+};
+use marp_metrics::{fmt_ms, Table};
+
+fn main() {
+    let mut table = Table::new(
+        "E10 — gossip boards on/off (N = 5)",
+        &["mean arrival (ms)", "gossip", "ALT (ms)", "aborted claims", "mean visits"],
+    );
+    for &mean in &[5.0, 15.0, 45.0] {
+        for gossip in [true, false] {
+            let base = Scenario::paper(5, mean, 0).with_protocol(ProtocolKind::Marp {
+                gossip,
+                itinerary: ItineraryPolicy::CostSorted,
+                batch_max: 1,
+            });
+            let outcomes = run_seeds(&base, PAPER_SEEDS, None);
+            assert_all_clean(&outcomes);
+            let pooled = pool_metrics(&outcomes);
+            let total: u64 = pooled.visits.values().sum();
+            let mean_visits: f64 = pooled
+                .visits
+                .iter()
+                .map(|(&k, &c)| k as f64 * c as f64)
+                .sum::<f64>()
+                / total.max(1) as f64;
+            table.row(vec![
+                format!("{mean:.0}"),
+                if gossip { "on" } else { "off" }.to_string(),
+                fmt_ms(pooled.mean_alt_ms()),
+                pooled.aborted_claims.to_string(),
+                format!("{mean_visits:.2}"),
+            ]);
+        }
+    }
+    println!("{}", table.render());
+}

@@ -1,0 +1,35 @@
+//! E11 — request batching ablation: agents per dispatch vs per-request
+//! latency and message cost.
+
+use marp_agent::ItineraryPolicy;
+use marp_lab::{
+    assert_all_clean, pool_metrics, run_seeds, total_messages, ProtocolKind, Scenario,
+    PAPER_SEEDS,
+};
+use marp_metrics::{fmt_ms, Table};
+
+fn main() {
+    let mut table = Table::new(
+        "E11 — batch size (N = 5, mean arrival 5 ms)",
+        &["batch", "agents", "ATT (ms)", "msgs/update"],
+    );
+    for batch_max in [1usize, 2, 4, 8, 16] {
+        let mut base = Scenario::paper(5, 5.0, 0).with_protocol(ProtocolKind::Marp {
+            gossip: true,
+            itinerary: ItineraryPolicy::CostSorted,
+            batch_max,
+        });
+        base.requests_per_client = 48;
+        let outcomes = run_seeds(&base, PAPER_SEEDS, None);
+        assert_all_clean(&outcomes);
+        let pooled = pool_metrics(&outcomes);
+        let msgs = total_messages(&outcomes) as f64 / pooled.completed.max(1) as f64;
+        table.row(vec![
+            batch_max.to_string(),
+            pooled.agents.to_string(),
+            fmt_ms(pooled.mean_att_ms()),
+            format!("{msgs:.1}"),
+        ]);
+    }
+    println!("{}", table.render());
+}

@@ -1,0 +1,102 @@
+//! E12 — cross-validation: the same MARP scenario under the
+//! deterministic discrete-event engine and under the threaded runtime
+//! (real OS threads + crossbeam channels) must produce statistically
+//! matching results.
+
+use marp_core::{build_cluster, wrap_client_request, MarpConfig, MarpNode};
+use marp_metrics::{audit, fmt_ms, PaperMetrics, Table};
+use marp_net::{LinkModel, SimTransport, Topology};
+use marp_replica::ClientProcess;
+use marp_sim::{Process, SimRng, SimTime, Simulation, TraceLevel};
+use marp_threaded::{run_threaded, ThreadedConfig};
+use marp_workload::WorkloadSource;
+use std::time::Duration;
+
+const N: usize = 3;
+const REQUESTS: u64 = 15;
+const MEAN_MS: f64 = 40.0;
+
+fn topology() -> Topology {
+    Topology::uniform_lan(N + N, Duration::from_millis(1))
+}
+
+fn make_processes() -> Vec<Box<dyn Process>> {
+    let topo = topology();
+    let cfg = MarpConfig::new(N);
+    let mut processes: Vec<Box<dyn Process>> = Vec::new();
+    for me in 0..N as u16 {
+        let routing = marp_net::RoutingTable::from_topology(me, &topo);
+        processes.push(Box::new(MarpNode::new(me, cfg, routing)));
+    }
+    for k in 0..N {
+        let source = WorkloadSource::paper_writes(MEAN_MS, REQUESTS, 77 + k as u64);
+        processes.push(Box::new(ClientProcess::new(
+            k as u16,
+            Box::new(source),
+            wrap_client_request,
+        )));
+    }
+    processes
+}
+
+fn main() {
+    // Discrete-event run.
+    let transport = SimTransport::new(topology(), LinkModel::ideal(), SimRng::from_seed(5));
+    let mut sim = Simulation::new(Box::new(transport), TraceLevel::Protocol);
+    {
+        // Rebuild inside the sim (it owns its processes).
+        let topo = topology();
+        let cfg = MarpConfig::new(N);
+        build_cluster(&mut sim, &cfg, &topo);
+        for k in 0..N {
+            let source = WorkloadSource::paper_writes(MEAN_MS, REQUESTS, 77 + k as u64);
+            sim.add_process(Box::new(ClientProcess::new(
+                k as u16,
+                Box::new(source),
+                wrap_client_request,
+            )));
+        }
+    }
+    sim.run_until(SimTime::from_secs(30));
+    let des_trace = sim.into_trace();
+    let des = PaperMetrics::from_trace(&des_trace);
+    audit(&des_trace, N).assert_ok();
+
+    // Threaded run (same processes, real concurrency, 4x speed).
+    let transport = SimTransport::new(topology(), LinkModel::ideal(), SimRng::from_seed(5));
+    let run = run_threaded(
+        make_processes(),
+        Box::new(transport),
+        Duration::from_secs(8),
+        ThreadedConfig {
+            speed: 4.0,
+            trace_level: TraceLevel::Protocol,
+        },
+    );
+    let threaded = PaperMetrics::from_trace(&run.trace);
+    audit(&run.trace, N).assert_ok();
+
+    let mut table = Table::new(
+        "E12 — DES vs threaded backend (N = 3, 45 writes)",
+        &["backend", "completed", "ALT (ms)", "ATT (ms)"],
+    );
+    table.row(vec![
+        "discrete-event".into(),
+        des.completed.to_string(),
+        fmt_ms(des.mean_alt_ms()),
+        fmt_ms(des.mean_att_ms()),
+    ]);
+    table.row(vec![
+        "threaded".into(),
+        threaded.completed.to_string(),
+        fmt_ms(threaded.mean_alt_ms()),
+        fmt_ms(threaded.mean_att_ms()),
+    ]);
+    println!("{}", table.render());
+    assert_eq!(des.completed, N as u64 * REQUESTS);
+    assert!(
+        threaded.completed >= (N as u64 * REQUESTS) * 9 / 10,
+        "threaded backend lost too many updates: {}",
+        threaded.completed
+    );
+}

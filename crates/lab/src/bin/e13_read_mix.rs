@@ -1,0 +1,49 @@
+//! E13 — the paper's §5 argument: MARP's read-one rule makes reads
+//! cheap for read-dominated workloads, versus quorum reads under
+//! weighted voting.
+
+use marp_lab::{assert_all_clean, run_seeds, ProtocolKind, Scenario, PAPER_SEEDS};
+use marp_metrics::{fmt_ms, Samples, Table};
+
+fn main() {
+    let mut table = Table::new(
+        "E13 — read/write mixes (N = 5, mean arrival 20 ms)",
+        &["write fraction", "protocol", "read p50 (ms)", "read mean (ms)", "write mean (ms)"],
+    );
+    for &write_fraction in &[0.01, 0.05, 0.2, 0.5] {
+        for (fresh, protocol) in [
+            (false, ProtocolKind::marp()),
+            (true, ProtocolKind::marp()),
+            (false, ProtocolKind::WeightedVoting {
+                read_one_write_all: false,
+            }),
+        ] {
+            let mut base = Scenario::paper(5, 20.0, 0).with_protocol(protocol.clone());
+            base.write_fraction = write_fraction;
+            base.fresh_reads = fresh;
+            base.requests_per_client = 60;
+            base.keys = marp_workload::KeyDist::Uniform { keys: 16 };
+            let outcomes = run_seeds(&base, PAPER_SEEDS, None);
+            assert_all_clean(&outcomes);
+            let mut reads = Samples::new();
+            let mut writes = Samples::new();
+            for o in &outcomes {
+                reads.merge(&o.client_read_ms);
+                writes.merge(&o.client_write_ms);
+            }
+            let label = if fresh {
+                format!("{} (fresh)", protocol.label())
+            } else {
+                protocol.label().to_string()
+            };
+            table.row(vec![
+                format!("{write_fraction:.2}"),
+                label,
+                fmt_ms(reads.quantile(0.5)),
+                fmt_ms(reads.mean()),
+                fmt_ms(writes.mean()),
+            ]);
+        }
+    }
+    println!("{}", table.render());
+}

@@ -1,0 +1,48 @@
+//! E5 — the paper's §1 claim: mobile agents vs message passing as
+//! wide-area latency grows. MARP, MCV and primary copy on a two-cluster
+//! WAN with increasing inter-cluster latency.
+
+use marp_lab::{
+    assert_all_clean, pool_metrics, run_seeds, total_messages, ProtocolKind, Scenario,
+    TopologyKind, PAPER_SEEDS,
+};
+use marp_metrics::{fmt_ms, Table};
+
+fn main() {
+    let mut table = Table::new(
+        "E5 — update latency and messages vs WAN latency (N = 6, 2 clusters)",
+        &["inter-cluster (ms)", "protocol", "ATT (ms)", "msgs/update", "bytes/update"],
+    );
+    for &inter in &[10.0, 25.0, 50.0, 100.0, 200.0] {
+        for protocol in [
+            ProtocolKind::marp(),
+            ProtocolKind::Mcv,
+            ProtocolKind::PrimaryCopy,
+        ] {
+            // Light load: the comparison is per-update latency and
+            // message cost on long links, not queueing behaviour.
+            let mut base = Scenario::paper(6, 2000.0, 0).with_protocol(protocol.clone());
+            base.topology = TopologyKind::Wan {
+                clusters: 2,
+                intra_ms: 2.0,
+                inter_ms: inter,
+            };
+            base.link = marp_lab::LinkKind::Wan;
+            base.requests_per_client = 12;
+            let outcomes = run_seeds(&base, PAPER_SEEDS, None);
+            assert_all_clean(&outcomes);
+            let pooled = pool_metrics(&outcomes);
+            let completed = pooled.completed.max(1) as f64;
+            let msgs = total_messages(&outcomes) as f64 / completed;
+            let bytes: u64 = outcomes.iter().map(|o| o.stats.bytes_sent).sum();
+            table.row(vec![
+                format!("{inter:.0}"),
+                protocol.label().to_string(),
+                fmt_ms(pooled.mean_att_ms()),
+                format!("{msgs:.1}"),
+                format!("{:.0}", bytes as f64 / completed),
+            ]);
+        }
+    }
+    println!("{}", table.render());
+}

@@ -1,0 +1,30 @@
+//! E6 — scalability: MARP metrics as the replica count grows.
+
+use marp_lab::{assert_all_clean, pool_metrics, run_seeds, Scenario, PAPER_SEEDS};
+use marp_metrics::{fmt_ms, Table};
+
+fn main() {
+    let mut table = Table::new(
+        "E6 — MARP vs replica count (mean arrival 60 ms per server)",
+        &["servers", "ALT (ms)", "ATT (ms)", "msgs/update", "migrations/agent"],
+    );
+    for n in [3usize, 5, 7, 9, 11] {
+        // Note the aggregate write rate still grows linearly with n (one
+        // client per server), so large clusters see both longer journeys
+        // and more contention — the paper's wide-area scaling concern.
+        let mut base = Scenario::paper(n, 60.0, 0);
+        base.requests_per_client = 15;
+        let outcomes = run_seeds(&base, PAPER_SEEDS, None);
+        assert_all_clean(&outcomes);
+        let pooled = pool_metrics(&outcomes);
+        let msgs = marp_lab::total_messages(&outcomes) as f64 / pooled.completed.max(1) as f64;
+        table.row(vec![
+            n.to_string(),
+            fmt_ms(pooled.mean_alt_ms()),
+            fmt_ms(pooled.mean_att_ms()),
+            format!("{msgs:.1}"),
+            format!("{:.2}", pooled.mean_migrations_per_agent().unwrap_or(0.0)),
+        ]);
+    }
+    println!("{}", table.render());
+}

@@ -1,0 +1,24 @@
+//! Figure 4 — PRK: percentage of requests whose lock was obtained after
+//! visiting K = 3, 4, 5 servers, for a 5-server system.
+
+use marp_lab::{paper_point, PAPER_SWEEP_MS};
+use marp_metrics::{fmt_pct, Table};
+
+fn main() {
+    let n = 5usize;
+    let mut table = Table::new(
+        "Figure 4 — PRK (%) for N = 5 servers",
+        &["mean arrival (ms)", "K=3", "K=4", "K=5"],
+    );
+    for &mean in PAPER_SWEEP_MS {
+        let metrics = paper_point(n, mean);
+        table.row(vec![
+            format!("{mean:.0}"),
+            fmt_pct(metrics.prk(3)),
+            fmt_pct(metrics.prk(4)),
+            fmt_pct(metrics.prk(5)),
+        ]);
+    }
+    println!("{}", table.render());
+    println!("(minimum possible K is (N+1)/2 = 3 — Theorem 3)");
+}

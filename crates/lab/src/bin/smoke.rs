@@ -1,0 +1,80 @@
+//! Smoke runner: one small audited scenario per protocol plus the key
+//! MARP configurations. Finishes in seconds; exits non-zero on any
+//! violation or lost update. Intended as the CI entry point.
+
+use marp_agent::ItineraryPolicy;
+use marp_lab::{run_scenario, ProtocolKind, Scenario};
+
+fn check(name: &str, scenario: Scenario, expected: u64) -> bool {
+    let outcome = run_scenario(&scenario);
+    let ok = outcome.audit.ok() && outcome.metrics.completed == expected;
+    println!(
+        "{:<28} {:>4} updates  {:>9} msgs  audit {}  {}",
+        name,
+        outcome.metrics.completed,
+        outcome.stats.messages_sent,
+        if outcome.audit.ok() { "clean" } else { "VIOLATED" },
+        if ok { "ok" } else { "FAIL" },
+    );
+    ok
+}
+
+fn small(protocol: ProtocolKind) -> Scenario {
+    let mut s = Scenario::paper(5, 20.0, 4242).with_protocol(protocol);
+    s.requests_per_client = 6;
+    s
+}
+
+fn main() {
+    let mut all_ok = true;
+    for (name, scenario) in [
+        ("MARP", small(ProtocolKind::marp())),
+        (
+            "MARP gossip-off",
+            small(ProtocolKind::Marp {
+                gossip: false,
+                itinerary: ItineraryPolicy::CostSorted,
+                batch_max: 1,
+            }),
+        ),
+        (
+            "MARP batch-4",
+            small(ProtocolKind::Marp {
+                gossip: true,
+                itinerary: ItineraryPolicy::CostSorted,
+                batch_max: 4,
+            }),
+        ),
+        ("MCV", small(ProtocolKind::Mcv)),
+        ("Available Copy", small(ProtocolKind::AvailableCopy)),
+        (
+            "Weighted Voting",
+            small(ProtocolKind::WeightedVoting {
+                read_one_write_all: false,
+            }),
+        ),
+        ("Primary Copy", small(ProtocolKind::PrimaryCopy)),
+    ] {
+        all_ok &= check(name, scenario, 30);
+    }
+    // Fresh-read path.
+    let mut fresh = small(ProtocolKind::marp());
+    fresh.write_fraction = 0.5;
+    fresh.fresh_reads = true;
+    let outcome = run_scenario(&fresh);
+    let ok = outcome.audit.ok() && outcome.metrics.incomplete() == 0;
+    println!(
+        "{:<28} {:>4} updates  {:>9} msgs  audit {}  {}",
+        "MARP fresh reads",
+        outcome.metrics.completed,
+        outcome.stats.messages_sent,
+        if outcome.audit.ok() { "clean" } else { "VIOLATED" },
+        if ok { "ok" } else { "FAIL" },
+    );
+    all_ok &= ok;
+
+    if !all_ok {
+        std::process::exit(1);
+    }
+    println!("\nall smoke scenarios clean");
+}

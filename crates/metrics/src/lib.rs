@@ -1,0 +1,22 @@
+//! Measurement and auditing for the MARP reproduction.
+//!
+//! * [`Welford`], [`Samples`], [`LogHistogram`] — streaming and exact
+//!   statistics, mergeable across parallel sweep shards.
+//! * [`PaperMetrics`] — the paper's ALT / ATT / PRK metrics (§4),
+//!   extracted from a run's trace.
+//! * [`audit`] — the post-run consistency auditor that machine-checks
+//!   order preservation, single-committer-per-version, and the
+//!   Theorem 3 visit bounds on every run.
+//! * [`Table`] — aligned text / CSV rendering for experiment output.
+
+#![warn(missing_docs)]
+
+mod audit;
+mod paper;
+mod report;
+mod stats;
+
+pub use audit::{audit, audit_relaxed, AuditReport, Violation};
+pub use paper::PaperMetrics;
+pub use report::{fmt_ms, fmt_pct, Table};
+pub use stats::{LogHistogram, Samples, Welford};

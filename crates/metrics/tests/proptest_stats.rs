@@ -1,0 +1,92 @@
+//! Property tests for the statistics primitives.
+
+use marp_metrics::{LogHistogram, Samples, Welford};
+use proptest::prelude::*;
+
+proptest! {
+    /// Welford merge is associative with sequential accumulation for
+    /// any split point.
+    #[test]
+    fn welford_split_merge(
+        data in proptest::collection::vec(-1e6f64..1e6, 1..200),
+        split in any::<proptest::sample::Index>(),
+    ) {
+        let k = split.index(data.len());
+        let mut left = Welford::new();
+        let mut right = Welford::new();
+        let mut whole = Welford::new();
+        for (i, &x) in data.iter().enumerate() {
+            if i < k { left.push(x); } else { right.push(x); }
+            whole.push(x);
+        }
+        left.merge(&right);
+        prop_assert_eq!(left.count(), whole.count());
+        prop_assert!((left.mean() - whole.mean()).abs() <= 1e-6 * (1.0 + whole.mean().abs()));
+        prop_assert!((left.variance() - whole.variance()).abs()
+            <= 1e-5 * (1.0 + whole.variance().abs()));
+    }
+
+    /// Sample quantiles are monotone in q and bounded by min/max.
+    #[test]
+    fn sample_quantiles_monotone(data in proptest::collection::vec(-1e6f64..1e6, 1..100)) {
+        let mut samples = Samples::new();
+        for &x in &data {
+            samples.push(x);
+        }
+        let min = samples.min().unwrap();
+        let max = samples.max().unwrap();
+        let mut previous = min;
+        for i in 0..=10 {
+            let q = i as f64 / 10.0;
+            let v = samples.quantile(q).unwrap();
+            prop_assert!(v >= previous - 1e-12, "q={q}: {v} < {previous}");
+            prop_assert!(v >= min && v <= max);
+            previous = v;
+        }
+    }
+
+    /// The log histogram's quantiles stay within one bucket's relative
+    /// error of the exact nearest-rank quantiles (the histogram's own
+    /// rank convention: the ⌈q·n⌉-th smallest value).
+    #[test]
+    fn log_histogram_tracks_exact_quantiles(
+        data in proptest::collection::vec(0.01f64..1e5, 10..500),
+    ) {
+        let mut hist = LogHistogram::for_latency_ms();
+        let mut sorted = data.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        for &x in &data {
+            hist.record(x);
+        }
+        for &q in &[0.1, 0.5, 0.9] {
+            let approx = hist.quantile(q).unwrap();
+            let rank = ((data.len() as f64 * q).ceil() as usize).max(1) - 1;
+            let truth = sorted[rank];
+            // 5% geometric buckets: the reported bucket lower bound sits
+            // within one bucket below the true value.
+            prop_assert!(
+                approx <= truth * 1.001 && approx >= truth / 1.06,
+                "q={q}: approx {approx} vs exact {truth}"
+            );
+        }
+        prop_assert_eq!(hist.total(), data.len() as u64);
+    }
+
+    /// Histogram merge equals recording everything into one.
+    #[test]
+    fn log_histogram_merge(
+        a in proptest::collection::vec(0.01f64..1e4, 1..100),
+        b in proptest::collection::vec(0.01f64..1e4, 1..100),
+    ) {
+        let mut ha = LogHistogram::for_latency_ms();
+        let mut hb = LogHistogram::for_latency_ms();
+        let mut hall = LogHistogram::for_latency_ms();
+        for &x in &a { ha.record(x); hall.record(x); }
+        for &x in &b { hb.record(x); hall.record(x); }
+        ha.merge(&hb);
+        prop_assert_eq!(ha.total(), hall.total());
+        for &q in &[0.25, 0.5, 0.75] {
+            prop_assert_eq!(ha.quantile(q), hall.quantile(q));
+        }
+    }
+}

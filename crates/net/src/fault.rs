@@ -1,0 +1,240 @@
+//! Fault injection.
+//!
+//! The paper's system model (§2): processes are fail-stop, may recover,
+//! and every other process learns of a failure within finite time; the
+//! Internet additionally shows frequent short transient failures and rare
+//! long ones, plus partitions that break the Available-Copy baseline.
+//!
+//! A [`FaultPlan`] declares all of that up front. At simulation build
+//! time it is compiled into (a) kernel [`Control`] events — crashes,
+//! recoveries, and the bounded-delay failure-detector notifications — and
+//! (b) a time-sorted [`NetAction`] schedule consumed by the transport
+//! (partitions, link outages, loss).
+
+use marp_sim::{Control, NodeId, SimTime, Simulation};
+use std::time::Duration;
+
+/// Time-triggered change to network behaviour, applied by the transport.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NetAction {
+    /// Split the nodes into groups; traffic only flows within a group.
+    /// `groups[i]` is the group id of node `i`.
+    Partition(Vec<u8>),
+    /// Remove any active partition.
+    HealPartition,
+    /// Set the independent per-message loss probability.
+    SetLoss(f64),
+    /// Take the directed link `from → to` down.
+    LinkDown(NodeId, NodeId),
+    /// Bring the directed link `from → to` back up.
+    LinkUp(NodeId, NodeId),
+}
+
+/// A declarative schedule of faults for one run.
+#[derive(Debug, Clone)]
+pub struct FaultPlan {
+    n: usize,
+    node_events: Vec<(SimTime, NodeId, bool)>,
+    net_events: Vec<(SimTime, NetAction)>,
+    detect_delay: Duration,
+}
+
+impl FaultPlan {
+    /// An empty plan over `n` nodes with a 100 ms failure-detection
+    /// bound.
+    pub fn new(n: usize) -> Self {
+        FaultPlan {
+            n,
+            node_events: Vec::new(),
+            net_events: Vec::new(),
+            detect_delay: Duration::from_millis(100),
+        }
+    }
+
+    /// Set the failure-detector notification bound (the paper's "finite
+    /// time" in which all processes learn of a failure).
+    pub fn detect_delay(mut self, delay: Duration) -> Self {
+        self.detect_delay = delay;
+        self
+    }
+
+    /// Crash `node` at `at` and recover it after `outage`.
+    pub fn crash(mut self, node: NodeId, at: SimTime, outage: Duration) -> Self {
+        self.node_events.push((at, node, false));
+        self.node_events.push((at + outage, node, true));
+        self
+    }
+
+    /// Crash `node` at `at` permanently.
+    pub fn crash_forever(mut self, node: NodeId, at: SimTime) -> Self {
+        self.node_events.push((at, node, false));
+        self
+    }
+
+    /// A short transient outage (alias of [`FaultPlan::crash`], named for
+    /// the paper's "frequent short transient failures").
+    pub fn transient(self, node: NodeId, at: SimTime, outage: Duration) -> Self {
+        self.crash(node, at, outage)
+    }
+
+    /// Partition the network into the given node groups for `duration`.
+    /// Nodes not mentioned in any group go into an extra group of their
+    /// own.
+    pub fn partition(mut self, at: SimTime, duration: Duration, groups: &[&[NodeId]]) -> Self {
+        let mut assignment = vec![u8::MAX; self.n];
+        for (gid, group) in groups.iter().enumerate() {
+            for &node in *group {
+                assignment[usize::from(node)] = gid as u8;
+            }
+        }
+        // Unassigned nodes get singleton groups after the listed ones.
+        let mut next = groups.len() as u8;
+        for slot in &mut assignment {
+            if *slot == u8::MAX {
+                *slot = next;
+                next = next.saturating_add(1);
+            }
+        }
+        self.net_events.push((at, NetAction::Partition(assignment)));
+        self.net_events
+            .push((at + duration, NetAction::HealPartition));
+        self
+    }
+
+    /// Set message loss probability from `at` onward.
+    pub fn loss(mut self, at: SimTime, rate: f64) -> Self {
+        self.net_events.push((at, NetAction::SetLoss(rate)));
+        self
+    }
+
+    /// Take the directed link `from → to` down for `duration`.
+    pub fn link_outage(
+        mut self,
+        from: NodeId,
+        to: NodeId,
+        at: SimTime,
+        duration: Duration,
+    ) -> Self {
+        self.net_events.push((at, NetAction::LinkDown(from, to)));
+        self.net_events
+            .push((at + duration, NetAction::LinkUp(from, to)));
+        self
+    }
+
+    /// Number of nodes this plan covers.
+    pub fn node_count(&self) -> usize {
+        self.n
+    }
+
+    /// Compile node crash/recovery events (plus failure-detector
+    /// notifications to every other node) into kernel controls.
+    pub fn schedule_controls(&self, sim: &mut Simulation) {
+        for &(at, node, up) in &self.node_events {
+            sim.schedule_control(at, Control::SetNodeUp { node, up });
+            let notify_at = at + self.detect_delay;
+            for other in 0..self.n as NodeId {
+                if other != node {
+                    sim.schedule_control(
+                        notify_at,
+                        Control::Notify {
+                            to: other,
+                            about: node,
+                            up,
+                        },
+                    );
+                }
+            }
+        }
+    }
+
+    /// The transport-side schedule, sorted by time.
+    pub fn net_schedule(&self) -> Vec<(SimTime, NetAction)> {
+        let mut schedule = self.net_events.clone();
+        schedule.sort_by_key(|(at, _)| *at);
+        schedule
+    }
+
+    /// Whether the plan injects anything at all.
+    pub fn is_empty(&self) -> bool {
+        self.node_events.is_empty() && self.net_events.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crash_produces_down_then_up() {
+        let plan = FaultPlan::new(3).crash(1, SimTime::from_millis(10), Duration::from_millis(5));
+        assert_eq!(
+            plan.node_events,
+            vec![
+                (SimTime::from_millis(10), 1, false),
+                (SimTime::from_millis(15), 1, true)
+            ]
+        );
+    }
+
+    #[test]
+    fn crash_forever_never_recovers() {
+        let plan = FaultPlan::new(2).crash_forever(0, SimTime::from_millis(3));
+        assert_eq!(plan.node_events, vec![(SimTime::from_millis(3), 0, false)]);
+    }
+
+    #[test]
+    fn partition_assigns_all_nodes() {
+        let plan = FaultPlan::new(5).partition(
+            SimTime::from_millis(1),
+            Duration::from_millis(9),
+            &[&[0, 1], &[2, 3]],
+        );
+        let sched = plan.net_schedule();
+        assert_eq!(sched.len(), 2);
+        match &sched[0].1 {
+            NetAction::Partition(groups) => {
+                assert_eq!(groups[0], groups[1]);
+                assert_eq!(groups[2], groups[3]);
+                assert_ne!(groups[0], groups[2]);
+                // Node 4 is isolated in its own group.
+                assert_ne!(groups[4], groups[0]);
+                assert_ne!(groups[4], groups[2]);
+            }
+            other => panic!("expected partition, got {other:?}"),
+        }
+        assert_eq!(sched[1].1, NetAction::HealPartition);
+        assert_eq!(sched[1].0, SimTime::from_millis(10));
+    }
+
+    #[test]
+    fn net_schedule_is_sorted() {
+        let plan = FaultPlan::new(2)
+            .loss(SimTime::from_millis(20), 0.5)
+            .loss(SimTime::from_millis(5), 0.1);
+        let sched = plan.net_schedule();
+        assert_eq!(sched[0].0, SimTime::from_millis(5));
+        assert_eq!(sched[1].0, SimTime::from_millis(20));
+    }
+
+    #[test]
+    fn link_outage_pairs_down_up() {
+        let plan = FaultPlan::new(2).link_outage(
+            0,
+            1,
+            SimTime::from_millis(2),
+            Duration::from_millis(4),
+        );
+        let sched = plan.net_schedule();
+        assert_eq!(sched[0].1, NetAction::LinkDown(0, 1));
+        assert_eq!(sched[1].1, NetAction::LinkUp(0, 1));
+        assert_eq!(sched[1].0, SimTime::from_millis(6));
+    }
+
+    #[test]
+    fn empty_plan_reports_empty() {
+        assert!(FaultPlan::new(4).is_empty());
+        assert!(!FaultPlan::new(4)
+            .crash_forever(0, SimTime::ZERO)
+            .is_empty());
+    }
+}

@@ -1,0 +1,33 @@
+//! Network substrate for the MARP reproduction.
+//!
+//! The paper assumes "asynchronous and reliable logical communication
+//! channels whose transmission delays are unpredictable but finite"
+//! (§2), running over environments from a single LAN (the prototype) to
+//! the Internet (the motivation). This crate provides that network as a
+//! pluggable [`marp_sim::Transport`]:
+//!
+//! * [`Topology`] — complete latency matrices: uniform LAN, clustered
+//!   WAN, or an Internet-like random-geometric spread.
+//! * [`LinkModel`] — per-message delay: jittered propagation, a
+//!   bandwidth term (which is what makes migrating-agent payloads cost
+//!   more than small control messages), and fixed overhead.
+//! * [`SimTransport`] — the combination, plus the active fault state.
+//! * [`FaultPlan`] — declarative crash/recovery, transient outage,
+//!   partition, link-outage and loss schedules, compiled into kernel
+//!   controls and transport actions.
+//! * [`RoutingTable`] — per-host agent-transfer cost estimates used to
+//!   order agent itineraries (paper §3.2).
+
+#![warn(missing_docs)]
+
+mod fault;
+mod link;
+mod routing;
+mod topology;
+mod transport;
+
+pub use fault::{FaultPlan, NetAction};
+pub use link::{Jitter, LinkModel};
+pub use routing::RoutingTable;
+pub use topology::Topology;
+pub use transport::SimTransport;

@@ -1,0 +1,228 @@
+//! The simulated network: a [`Transport`] implementation combining a
+//! topology, a link model, and a fault schedule.
+
+use crate::fault::NetAction;
+use crate::link::LinkModel;
+use crate::topology::Topology;
+use marp_sim::{Delivery, NodeId, SimRng, SimTime, Transport};
+use std::collections::HashSet;
+
+/// Simulated network transport with asynchronous, variable-latency,
+/// reliable-by-default channels (the paper's model), plus optional
+/// partitions, link outages and probabilistic loss from a fault plan.
+pub struct SimTransport {
+    topo: Topology,
+    link: LinkModel,
+    rng: SimRng,
+    schedule: Vec<(SimTime, NetAction)>,
+    cursor: usize,
+    partition: Option<Vec<u8>>,
+    down_links: HashSet<(NodeId, NodeId)>,
+    loss: f64,
+}
+
+impl SimTransport {
+    /// Build a transport with no scheduled faults.
+    pub fn new(topo: Topology, link: LinkModel, rng: SimRng) -> Self {
+        SimTransport {
+            topo,
+            link,
+            rng,
+            schedule: Vec::new(),
+            cursor: 0,
+            partition: None,
+            down_links: HashSet::new(),
+            loss: 0.0,
+        }
+    }
+
+    /// Attach a time-sorted network fault schedule (see
+    /// [`crate::FaultPlan::net_schedule`]).
+    pub fn with_schedule(mut self, schedule: Vec<(SimTime, NetAction)>) -> Self {
+        debug_assert!(
+            schedule.windows(2).all(|w| w[0].0 <= w[1].0),
+            "schedule must be time-sorted"
+        );
+        self.schedule = schedule;
+        self
+    }
+
+    /// The topology in use (for cost queries by routing tables).
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    fn advance(&mut self, now: SimTime) {
+        while self.cursor < self.schedule.len() && self.schedule[self.cursor].0 <= now {
+            let action = self.schedule[self.cursor].1.clone();
+            self.cursor += 1;
+            match action {
+                NetAction::Partition(groups) => self.partition = Some(groups),
+                NetAction::HealPartition => self.partition = None,
+                NetAction::SetLoss(rate) => self.loss = rate.clamp(0.0, 1.0),
+                NetAction::LinkDown(a, b) => {
+                    self.down_links.insert((a, b));
+                }
+                NetAction::LinkUp(a, b) => {
+                    self.down_links.remove(&(a, b));
+                }
+            }
+        }
+    }
+
+    fn partitioned(&self, from: NodeId, to: NodeId) -> bool {
+        match &self.partition {
+            Some(groups) => {
+                let fi = usize::from(from);
+                let ti = usize::from(to);
+                fi < groups.len() && ti < groups.len() && groups[fi] != groups[ti]
+            }
+            None => false,
+        }
+    }
+}
+
+impl Transport for SimTransport {
+    fn route(&mut self, now: SimTime, from: NodeId, to: NodeId, size: usize) -> Delivery {
+        self.advance(now);
+        if from == to {
+            return Delivery::Deliver {
+                at: now + self.link.local(),
+            };
+        }
+        if self.partitioned(from, to) {
+            return Delivery::Drop {
+                reason: "network partition",
+            };
+        }
+        if self.down_links.contains(&(from, to)) {
+            return Delivery::Drop {
+                reason: "link down",
+            };
+        }
+        if self.loss > 0.0 && self.rng.chance(self.loss) {
+            return Delivery::Drop {
+                reason: "message loss",
+            };
+        }
+        let base = self.topo.latency(from, to);
+        let delay = self.link.delay(base, size, &mut self.rng);
+        Delivery::Deliver { at: now + delay }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn deliver_at(d: Delivery) -> SimTime {
+        match d {
+            Delivery::Deliver { at } => at,
+            Delivery::Drop { reason } => panic!("unexpected drop: {reason}"),
+        }
+    }
+
+    fn lan3() -> SimTransport {
+        SimTransport::new(
+            Topology::uniform_lan(3, Duration::from_millis(2)),
+            LinkModel::ideal(),
+            SimRng::from_seed(1),
+        )
+    }
+
+    #[test]
+    fn plain_delivery_uses_topology_latency() {
+        let mut t = lan3();
+        let at = deliver_at(t.route(SimTime::from_millis(10), 0, 1, 64));
+        assert_eq!(at, SimTime::from_millis(12));
+    }
+
+    #[test]
+    fn loopback_uses_local_delay() {
+        let mut t = SimTransport::new(
+            Topology::uniform_lan(2, Duration::from_millis(2)),
+            LinkModel {
+                local_delay: Duration::from_micros(50),
+                ..LinkModel::ideal()
+            },
+            SimRng::from_seed(2),
+        );
+        let at = deliver_at(t.route(SimTime::ZERO, 1, 1, 10));
+        assert_eq!(at, SimTime::from_micros(50));
+    }
+
+    #[test]
+    fn partition_drops_cross_group_traffic() {
+        let schedule = vec![
+            (SimTime::from_millis(5), NetAction::Partition(vec![0, 0, 1])),
+            (SimTime::from_millis(15), NetAction::HealPartition),
+        ];
+        let mut t = lan3().with_schedule(schedule);
+        // Before the partition: delivered.
+        assert!(matches!(
+            t.route(SimTime::from_millis(1), 0, 2, 8),
+            Delivery::Deliver { .. }
+        ));
+        // During: cross-group dropped, intra-group delivered.
+        assert!(matches!(
+            t.route(SimTime::from_millis(6), 0, 2, 8),
+            Delivery::Drop { reason: "network partition" }
+        ));
+        assert!(matches!(
+            t.route(SimTime::from_millis(6), 0, 1, 8),
+            Delivery::Deliver { .. }
+        ));
+        // After healing: delivered again.
+        assert!(matches!(
+            t.route(SimTime::from_millis(20), 0, 2, 8),
+            Delivery::Deliver { .. }
+        ));
+    }
+
+    #[test]
+    fn link_outage_is_directional() {
+        let schedule = vec![
+            (SimTime::ZERO, NetAction::LinkDown(0, 1)),
+        ];
+        let mut t = lan3().with_schedule(schedule);
+        assert!(matches!(
+            t.route(SimTime::from_millis(1), 0, 1, 8),
+            Delivery::Drop { reason: "link down" }
+        ));
+        assert!(matches!(
+            t.route(SimTime::from_millis(1), 1, 0, 8),
+            Delivery::Deliver { .. }
+        ));
+    }
+
+    #[test]
+    fn loss_rate_drops_roughly_that_fraction() {
+        let schedule = vec![(SimTime::ZERO, NetAction::SetLoss(0.25))];
+        let mut t = lan3().with_schedule(schedule);
+        let mut dropped = 0;
+        for i in 0..10_000 {
+            if matches!(
+                t.route(SimTime::from_millis(i), 0, 1, 8),
+                Delivery::Drop { .. }
+            ) {
+                dropped += 1;
+            }
+        }
+        assert!((2_200..2_800).contains(&dropped), "dropped = {dropped}");
+    }
+
+    #[test]
+    fn schedule_actions_apply_in_time_order() {
+        let schedule = vec![
+            (SimTime::from_millis(1), NetAction::SetLoss(1.0)),
+            (SimTime::from_millis(2), NetAction::SetLoss(0.0)),
+        ];
+        let mut t = lan3().with_schedule(schedule);
+        // Jumping straight past both actions leaves loss at 0.
+        assert!(matches!(
+            t.route(SimTime::from_millis(3), 0, 1, 8),
+            Delivery::Deliver { .. }
+        ));
+    }
+}

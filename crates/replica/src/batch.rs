@@ -1,0 +1,205 @@
+//! Request batching.
+//!
+//! Paper §3.2: "Requests received from the client will be stored on each
+//! individual replica server Si. After a pre-defined number of requests
+//! have been received or periodically, a mobile agent will be created
+//! and dispatched by Si for processing the requests." The batcher
+//! implements exactly that dual trigger; batch size is ablation
+//! experiment E11.
+
+use crate::msg::WriteRequest;
+use marp_sim::SimTime;
+use std::time::Duration;
+
+/// Batching configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct BatchConfig {
+    /// Dispatch as soon as this many writes are pending.
+    pub max_batch: usize,
+    /// Dispatch when the oldest pending write has waited this long.
+    pub max_wait: Duration,
+}
+
+impl Default for BatchConfig {
+    fn default() -> Self {
+        BatchConfig {
+            // The paper's figures are per-request latencies; a batch of
+            // one makes every agent carry a single request, matching the
+            // evaluation, while larger batches are the E11 sweep.
+            max_batch: 1,
+            max_wait: Duration::from_millis(50),
+        }
+    }
+}
+
+/// Accumulates write requests until a dispatch trigger fires.
+#[derive(Debug)]
+pub struct RequestBatcher {
+    cfg: BatchConfig,
+    pending: Vec<WriteRequest>,
+    oldest_at: Option<SimTime>,
+}
+
+impl RequestBatcher {
+    /// Empty batcher with the given config.
+    pub fn new(cfg: BatchConfig) -> Self {
+        RequestBatcher {
+            cfg,
+            pending: Vec::new(),
+            oldest_at: None,
+        }
+    }
+
+    /// Queue a write. Returns the full batch when the size trigger
+    /// fires; otherwise `None` (the owner should keep a periodic timer
+    /// running and call [`RequestBatcher::take_if_due`]).
+    pub fn push(&mut self, request: WriteRequest, now: SimTime) -> Option<Vec<WriteRequest>> {
+        if self.pending.is_empty() {
+            self.oldest_at = Some(now);
+        }
+        self.pending.push(request);
+        if self.pending.len() >= self.cfg.max_batch {
+            Some(self.drain())
+        } else {
+            None
+        }
+    }
+
+    /// Take the batch if the oldest request has waited at least
+    /// `max_wait`.
+    pub fn take_if_due(&mut self, now: SimTime) -> Option<Vec<WriteRequest>> {
+        match self.oldest_at {
+            Some(oldest) if now.saturating_since(oldest) >= self.cfg.max_wait => {
+                Some(self.drain())
+            }
+            _ => None,
+        }
+    }
+
+    /// Unconditionally take whatever is pending.
+    pub fn drain(&mut self) -> Vec<WriteRequest> {
+        self.oldest_at = None;
+        std::mem::take(&mut self.pending)
+    }
+
+    /// Number of queued writes.
+    pub fn len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// True when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.pending.is_empty()
+    }
+
+    /// The configured periodic-dispatch interval (owners use it to arm
+    /// their timer).
+    pub fn max_wait(&self) -> Duration {
+        self.cfg.max_wait
+    }
+
+    /// Current size trigger.
+    pub fn max_batch(&self) -> usize {
+        self.cfg.max_batch
+    }
+
+    /// Adjust the size trigger at runtime (adaptive batching: coalesce
+    /// harder when the system is backed up). Takes effect on the next
+    /// push; a pending batch that already meets the new size is
+    /// released by the next push or periodic tick.
+    pub fn set_max_batch(&mut self, max_batch: usize) {
+        self.cfg.max_batch = max_batch.max(1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn request(id: u64, at: SimTime) -> WriteRequest {
+        WriteRequest {
+            id,
+            client: 9,
+            key: id,
+            value: id * 2,
+            arrived: at,
+        }
+    }
+
+    #[test]
+    fn size_trigger_dispatches_full_batch() {
+        let mut batcher = RequestBatcher::new(BatchConfig {
+            max_batch: 3,
+            max_wait: Duration::from_secs(1),
+        });
+        let t = SimTime::from_millis(1);
+        assert!(batcher.push(request(1, t), t).is_none());
+        assert!(batcher.push(request(2, t), t).is_none());
+        let batch = batcher.push(request(3, t), t).expect("full");
+        assert_eq!(batch.iter().map(|r| r.id).collect::<Vec<_>>(), vec![1, 2, 3]);
+        assert!(batcher.is_empty());
+    }
+
+    #[test]
+    fn batch_of_one_dispatches_immediately() {
+        let mut batcher = RequestBatcher::new(BatchConfig::default());
+        let t = SimTime::from_millis(5);
+        assert_eq!(batcher.push(request(7, t), t).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn time_trigger_waits_for_max_wait() {
+        let mut batcher = RequestBatcher::new(BatchConfig {
+            max_batch: 100,
+            max_wait: Duration::from_millis(20),
+        });
+        let t0 = SimTime::from_millis(10);
+        batcher.push(request(1, t0), t0);
+        assert!(batcher.take_if_due(SimTime::from_millis(25)).is_none());
+        let batch = batcher.take_if_due(SimTime::from_millis(30)).expect("due");
+        assert_eq!(batch.len(), 1);
+        // Nothing pending → never due.
+        assert!(batcher.take_if_due(SimTime::from_millis(99)).is_none());
+    }
+
+    #[test]
+    fn age_is_measured_from_oldest() {
+        let mut batcher = RequestBatcher::new(BatchConfig {
+            max_batch: 100,
+            max_wait: Duration::from_millis(20),
+        });
+        batcher.push(request(1, SimTime::from_millis(0)), SimTime::from_millis(0));
+        batcher.push(request(2, SimTime::from_millis(19)), SimTime::from_millis(19));
+        let batch = batcher.take_if_due(SimTime::from_millis(20)).expect("due");
+        assert_eq!(batch.len(), 2);
+    }
+
+    #[test]
+    fn max_batch_is_adjustable() {
+        let mut batcher = RequestBatcher::new(BatchConfig {
+            max_batch: 1,
+            max_wait: Duration::from_millis(20),
+        });
+        assert_eq!(batcher.max_batch(), 1);
+        batcher.set_max_batch(3);
+        assert_eq!(batcher.max_batch(), 3);
+        let t = SimTime::ZERO;
+        assert!(batcher.push(request(1, t), t).is_none());
+        assert!(batcher.push(request(2, t), t).is_none());
+        assert_eq!(batcher.push(request(3, t), t).unwrap().len(), 3);
+        batcher.set_max_batch(0); // clamped to 1
+        assert_eq!(batcher.max_batch(), 1);
+    }
+
+    #[test]
+    fn drain_resets_age() {
+        let mut batcher = RequestBatcher::new(BatchConfig {
+            max_batch: 100,
+            max_wait: Duration::from_millis(20),
+        });
+        batcher.push(request(1, SimTime::ZERO), SimTime::ZERO);
+        assert_eq!(batcher.len(), 1);
+        assert_eq!(batcher.drain().len(), 1);
+        assert!(batcher.take_if_due(SimTime::from_secs(10)).is_none());
+    }
+}

@@ -1,0 +1,32 @@
+//! Replicated-server substrate.
+//!
+//! Everything a replication protocol node needs short of the protocol
+//! itself, shared between the MARP implementation (`marp-core`) and the
+//! message-passing baselines (`marp-baselines`):
+//!
+//! * [`VersionedStore`] — in-order application of globally versioned
+//!   commits, with buffering and anti-entropy for recovering replicas.
+//! * [`LockingList`] / [`UpdatedList`] — the paper's per-server
+//!   coordination structures (§3.2), with lock leases for crash safety.
+//! * [`ServerCore`] — client intake (local reads, queued writes), commit
+//!   application with client replies, recovery pulls.
+//! * [`RequestBatcher`] — the paper's "after a pre-defined number of
+//!   requests or periodically, a mobile agent is dispatched".
+//! * [`ClientProcess`] — client nodes issuing workloads and measuring
+//!   latencies.
+
+#![warn(missing_docs)]
+
+mod batch;
+mod client;
+mod locking;
+mod msg;
+mod server;
+mod store;
+
+pub use batch::{BatchConfig, RequestBatcher};
+pub use client::{ClientProcess, ClientStats, ClientWrapFn, RequestSource, ScriptedSource};
+pub use locking::{LlSnapshot, LockEntry, LockingList, UpdatedList};
+pub use msg::{request_id, ClientReply, ClientRequest, Operation, SyncMsg, WriteRequest};
+pub use server::{ClientAction, FreshReadRequest, ServerConfig, ServerCore, SyncWrapFn};
+pub use store::{CommitRecord, StoredValue, VersionedStore};

@@ -1,0 +1,359 @@
+//! The paper's per-server coordination structures.
+//!
+//! §3.2: "Each replicated server Si maintains two data structures. One is
+//! called Locking List (LL), used to store the locking information for
+//! each visiting mobile agent. LL is sorted according to the time the
+//! entries are created. The other is called Updated List (UL), a list of
+//! identifiers of the mobile agents that have already obtained the lock
+//! and performed the actual update."
+//!
+//! We add one robustness mechanism the paper leaves implicit: every LL
+//! entry carries a *lease*. An agent that dies with its host would
+//! otherwise leave a top-ranked entry in place forever and deadlock the
+//! system; expired entries are purged. Leases are long relative to
+//! protocol latencies, so they never fire in fault-free runs.
+
+use marp_agent::AgentId;
+use marp_sim::SimTime;
+
+/// One Locking List entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LockEntry {
+    /// The requesting agent.
+    pub agent: AgentId,
+    /// When the entry was appended (orders the list).
+    pub enqueued_at: SimTime,
+    /// Lease expiry; refreshed by agent visits and re-polls.
+    pub expires_at: SimTime,
+    /// The node the agent was residing at when it last touched this
+    /// entry — where LL-change notifications are pushed.
+    pub last_host: marp_sim::NodeId,
+}
+
+marp_wire::wire_struct!(LockEntry {
+    agent,
+    enqueued_at,
+    expires_at,
+    last_host
+});
+
+/// FIFO list of lock requests at one server.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct LockingList {
+    entries: Vec<LockEntry>,
+}
+
+impl LockingList {
+    /// An empty list.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append an agent (idempotent: a repeat visit refreshes the lease
+    /// and the agent's last known host but keeps the original position —
+    /// the list "is sorted according to the time the entries are
+    /// created").
+    pub fn request(
+        &mut self,
+        agent: AgentId,
+        now: SimTime,
+        lease: std::time::Duration,
+        last_host: marp_sim::NodeId,
+    ) {
+        let expires_at = now + lease;
+        if let Some(entry) = self.entries.iter_mut().find(|e| e.agent == agent) {
+            entry.expires_at = entry.expires_at.max(expires_at);
+            entry.last_host = last_host;
+            return;
+        }
+        self.entries.push(LockEntry {
+            agent,
+            enqueued_at: now,
+            expires_at,
+            last_host,
+        });
+    }
+
+    /// Refresh the lease of an existing entry without creating one (used
+    /// by parked agents' re-polls, which must not enqueue at servers the
+    /// agent never visited). Returns true if an entry was refreshed.
+    pub fn refresh(
+        &mut self,
+        agent: AgentId,
+        now: SimTime,
+        lease: std::time::Duration,
+        last_host: marp_sim::NodeId,
+    ) -> bool {
+        if let Some(entry) = self.entries.iter_mut().find(|e| e.agent == agent) {
+            entry.expires_at = entry.expires_at.max(now + lease);
+            entry.last_host = last_host;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Remove an agent's entry (after its COMMIT, or when it appears in
+    /// a UL). Returns true if an entry was removed.
+    pub fn remove(&mut self, agent: AgentId) -> bool {
+        let before = self.entries.len();
+        self.entries.retain(|e| e.agent != agent);
+        self.entries.len() != before
+    }
+
+    /// Remove by compact trace key (commit records carry the key, not
+    /// the full id): used when commits arrive through anti-entropy
+    /// rather than the winner's COMMIT broadcast.
+    pub fn remove_by_key(&mut self, key: marp_sim::AgentKey) -> bool {
+        let before = self.entries.len();
+        self.entries.retain(|e| e.agent.key() != key);
+        self.entries.len() != before
+    }
+
+    /// Drop expired entries; returns the agents purged.
+    pub fn purge_expired(&mut self, now: SimTime) -> Vec<AgentId> {
+        let mut purged = Vec::new();
+        self.entries.retain(|e| {
+            if e.expires_at <= now {
+                purged.push(e.agent);
+                false
+            } else {
+                true
+            }
+        });
+        purged
+    }
+
+    /// The top-ranked (oldest live) agent.
+    pub fn top(&self) -> Option<AgentId> {
+        self.entries.first().map(|e| e.agent)
+    }
+
+    /// 0-based rank of an agent, if present.
+    pub fn rank_of(&self, agent: AgentId) -> Option<usize> {
+        self.entries.iter().position(|e| e.agent == agent)
+    }
+
+    /// Whether an agent has an entry.
+    pub fn contains(&self, agent: AgentId) -> bool {
+        self.rank_of(agent).is_some()
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no agent is queued.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// All entries in order (for snapshots and inspection).
+    pub fn entries(&self) -> &[LockEntry] {
+        &self.entries
+    }
+
+    /// An ordered snapshot of agent ids, as carried in Locking Tables.
+    pub fn snapshot(&self, taken_at: SimTime) -> LlSnapshot {
+        LlSnapshot {
+            taken_at,
+            queue: self.entries.iter().map(|e| e.agent).collect(),
+        }
+    }
+}
+
+/// A point-in-time copy of one server's LL ordering, as exchanged
+/// between agents (directly or via gossip boards).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LlSnapshot {
+    /// When the snapshot was taken at the owning server.
+    pub taken_at: SimTime,
+    /// Agent ids in queue order (index 0 is the top).
+    pub queue: Vec<AgentId>,
+}
+
+marp_wire::wire_struct!(LlSnapshot { taken_at, queue });
+
+impl LlSnapshot {
+    /// The top-ranked agent in this snapshot.
+    pub fn top(&self) -> Option<AgentId> {
+        self.queue.first().copied()
+    }
+
+    /// Whether `newer` supersedes `self`.
+    pub fn is_older_than(&self, newer: &LlSnapshot) -> bool {
+        self.taken_at < newer.taken_at
+    }
+}
+
+/// The paper's Updated List: agents that have completed their update.
+///
+/// Entries carry the time they were recorded so they can be pruned: a
+/// finished agent only needs to stay listed while stale LL snapshots
+/// naming it can still circulate, which is bounded by the lock lease.
+/// Without pruning the list would grow for the lifetime of the system
+/// and ride inside every migrating agent and LL-info reply.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct UpdatedList {
+    agents: Vec<(AgentId, SimTime)>,
+}
+
+marp_wire::wire_struct!(UpdatedList { agents });
+
+impl UpdatedList {
+    /// Empty list.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record a finished agent (idempotent; keeps the latest record
+    /// time).
+    pub fn record(&mut self, agent: AgentId, now: SimTime) {
+        if let Some(entry) = self.agents.iter_mut().find(|(a, _)| *a == agent) {
+            entry.1 = entry.1.max(now);
+        } else {
+            self.agents.push((agent, now));
+        }
+    }
+
+    /// Whether an agent is known to have finished.
+    pub fn contains(&self, agent: AgentId) -> bool {
+        self.agents.iter().any(|(a, _)| *a == agent)
+    }
+
+    /// Merge another UL into this one (the agents' UAL merge).
+    pub fn merge(&mut self, other: &UpdatedList) {
+        for &(agent, at) in &other.agents {
+            self.record(agent, at);
+        }
+    }
+
+    /// Drop entries recorded before `cutoff`; returns how many were
+    /// pruned.
+    pub fn prune_before(&mut self, cutoff: SimTime) -> usize {
+        let before = self.agents.len();
+        self.agents.retain(|&(_, at)| at >= cutoff);
+        before - self.agents.len()
+    }
+
+    /// All recorded agents in completion order (locally observed).
+    pub fn agents(&self) -> impl Iterator<Item = AgentId> + '_ {
+        self.agents.iter().map(|&(a, _)| a)
+    }
+
+    /// Number of finished agents recorded.
+    pub fn len(&self) -> usize {
+        self.agents.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.agents.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn agent(home: u16, ms: u64) -> AgentId {
+        AgentId::new(home, SimTime::from_millis(ms), 0)
+    }
+
+    const LEASE: Duration = Duration::from_secs(30);
+
+    #[test]
+    fn requests_keep_fifo_order() {
+        let mut ll = LockingList::new();
+        ll.request(agent(1, 5), SimTime::from_millis(5), LEASE, 9);
+        ll.request(agent(2, 1), SimTime::from_millis(6), LEASE, 9);
+        // Agent 2 was *created* earlier but arrived later: FIFO by
+        // arrival, exactly as the paper specifies.
+        assert_eq!(ll.top(), Some(agent(1, 5)));
+        assert_eq!(ll.rank_of(agent(2, 1)), Some(1));
+        assert_eq!(ll.len(), 2);
+    }
+
+    #[test]
+    fn repeat_request_refreshes_without_moving() {
+        let mut ll = LockingList::new();
+        ll.request(agent(1, 0), SimTime::from_millis(1), LEASE, 9);
+        ll.request(agent(2, 0), SimTime::from_millis(2), LEASE, 9);
+        ll.request(agent(1, 0), SimTime::from_millis(3), LEASE, 9);
+        assert_eq!(ll.len(), 2);
+        assert_eq!(ll.top(), Some(agent(1, 0)));
+        assert!(ll.entries()[0].expires_at > SimTime::from_millis(3));
+    }
+
+    #[test]
+    fn remove_promotes_next() {
+        let mut ll = LockingList::new();
+        ll.request(agent(1, 0), SimTime::from_millis(1), LEASE, 9);
+        ll.request(agent(2, 0), SimTime::from_millis(2), LEASE, 9);
+        assert!(ll.remove(agent(1, 0)));
+        assert_eq!(ll.top(), Some(agent(2, 0)));
+        assert!(!ll.remove(agent(1, 0)));
+    }
+
+    #[test]
+    fn expired_entries_are_purged() {
+        let mut ll = LockingList::new();
+        ll.request(agent(1, 0), SimTime::from_millis(1), Duration::from_millis(10), 9);
+        ll.request(agent(2, 0), SimTime::from_millis(2), LEASE, 9);
+        let purged = ll.purge_expired(SimTime::from_millis(100));
+        assert_eq!(purged, vec![agent(1, 0)]);
+        assert_eq!(ll.top(), Some(agent(2, 0)));
+    }
+
+    #[test]
+    fn snapshot_captures_order() {
+        let mut ll = LockingList::new();
+        ll.request(agent(3, 0), SimTime::from_millis(1), LEASE, 9);
+        ll.request(agent(1, 0), SimTime::from_millis(2), LEASE, 9);
+        let snap = ll.snapshot(SimTime::from_millis(9));
+        assert_eq!(snap.queue, vec![agent(3, 0), agent(1, 0)]);
+        assert_eq!(snap.top(), Some(agent(3, 0)));
+        let newer = ll.snapshot(SimTime::from_millis(10));
+        assert!(snap.is_older_than(&newer));
+    }
+
+    #[test]
+    fn snapshot_wire_roundtrip() {
+        let mut ll = LockingList::new();
+        ll.request(agent(1, 0), SimTime::from_millis(1), LEASE, 9);
+        let snap = ll.snapshot(SimTime::from_millis(2));
+        let bytes = marp_wire::to_bytes(&snap);
+        assert_eq!(marp_wire::from_bytes::<LlSnapshot>(&bytes).unwrap(), snap);
+    }
+
+    #[test]
+    fn updated_list_merge_is_idempotent() {
+        let t = SimTime::from_millis(1);
+        let mut a = UpdatedList::new();
+        a.record(agent(1, 0), t);
+        a.record(agent(1, 0), t);
+        let mut b = UpdatedList::new();
+        b.record(agent(2, 0), t);
+        b.record(agent(1, 0), t);
+        a.merge(&b);
+        assert_eq!(a.len(), 2);
+        assert!(a.contains(agent(2, 0)));
+        let bytes = marp_wire::to_bytes(&a);
+        assert_eq!(marp_wire::from_bytes::<UpdatedList>(&bytes).unwrap(), a);
+    }
+
+    #[test]
+    fn updated_list_prunes_old_entries() {
+        let mut ul = UpdatedList::new();
+        ul.record(agent(1, 0), SimTime::from_millis(1));
+        ul.record(agent(2, 0), SimTime::from_millis(100));
+        assert_eq!(ul.prune_before(SimTime::from_millis(50)), 1);
+        assert!(!ul.contains(agent(1, 0)));
+        assert!(ul.contains(agent(2, 0)));
+        // Re-recording refreshes the time and prevents pruning.
+        ul.record(agent(2, 0), SimTime::from_millis(200));
+        assert_eq!(ul.prune_before(SimTime::from_millis(150)), 0);
+    }
+}

@@ -1,0 +1,479 @@
+//! The protocol-independent replica server core.
+//!
+//! Both the MARP node (`marp-core`) and the message-passing baselines
+//! (`marp-baselines`) embed a [`ServerCore`]: the versioned store, the
+//! paper's Locking List and Updated List, client request intake with
+//! reply bookkeeping, and the anti-entropy recovery exchange.
+
+use crate::locking::{LockingList, UpdatedList};
+use crate::msg::{ClientReply, ClientRequest, Operation, SyncMsg, WriteRequest};
+use crate::store::{CommitRecord, VersionedStore};
+use bytes::Bytes;
+use marp_sim::{Context, NodeId, TraceEvent};
+use std::collections::HashMap;
+use std::time::Duration;
+
+/// Encodes a [`SyncMsg`] into the owner node's message space.
+pub type SyncWrapFn = fn(SyncMsg) -> Bytes;
+
+/// A consistent-read request awaiting protocol-level coordination.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FreshReadRequest {
+    /// The client request id.
+    pub id: u64,
+    /// The client node to answer.
+    pub client: NodeId,
+    /// Key to read.
+    pub key: u64,
+}
+
+/// What the owner node must do after client intake.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClientAction {
+    /// Fully handled (plain read served from the local copy).
+    Done,
+    /// A write the protocol must coordinate.
+    Write(WriteRequest),
+    /// A consistent read the protocol must coordinate (MARP dispatches
+    /// a read agent over a majority; protocols without that machinery
+    /// may serve it locally, downgrading the guarantee).
+    FreshRead(FreshReadRequest),
+}
+
+/// Configuration for a replica server core.
+#[derive(Debug, Clone, Copy)]
+pub struct ServerConfig {
+    /// Lease on Locking List entries; long relative to protocol
+    /// latencies so it only fires when an agent died with its host.
+    pub lock_lease: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            lock_lease: Duration::from_secs(30),
+        }
+    }
+}
+
+/// Shared state and behaviour of one replica server.
+pub struct ServerCore {
+    me: NodeId,
+    cfg: ServerConfig,
+    /// The replicated data.
+    pub store: VersionedStore,
+    /// The paper's Locking List.
+    pub ll: LockingList,
+    /// The paper's Updated List.
+    pub ul: UpdatedList,
+    sync_wrap: SyncWrapFn,
+    pending_clients: HashMap<u64, NodeId>,
+}
+
+impl ServerCore {
+    /// Create a server core for node `me`.
+    pub fn new(me: NodeId, cfg: ServerConfig, sync_wrap: SyncWrapFn) -> Self {
+        ServerCore {
+            me,
+            cfg,
+            store: VersionedStore::new(),
+            ll: LockingList::new(),
+            ul: UpdatedList::new(),
+            sync_wrap,
+            pending_clients: HashMap::new(),
+        }
+    }
+
+    /// This server's node id.
+    pub fn me(&self) -> NodeId {
+        self.me
+    }
+
+    /// The configured lock lease.
+    pub fn lock_lease(&self) -> Duration {
+        self.cfg.lock_lease
+    }
+
+    /// Handle a client request. Plain reads are answered immediately
+    /// from the local copy (the paper's read-one rule: "a read operation
+    /// may be executed on an arbitrary copy"); writes and consistent
+    /// reads are returned to the owner for protocol-specific
+    /// coordination.
+    pub fn handle_client_request(
+        &mut self,
+        from: NodeId,
+        request: ClientRequest,
+        ctx: &mut dyn Context,
+    ) -> ClientAction {
+        ctx.trace(TraceEvent::RequestArrived {
+            node: self.me,
+            request: request.id,
+            write: request.op.is_write(),
+        });
+        match request.op {
+            Operation::Read { key } => {
+                let stored = self.store.get(key);
+                ctx.trace(TraceEvent::ReadServed {
+                    node: self.me,
+                    request: request.id,
+                    version: stored.map_or(0, |s| s.version),
+                });
+                let reply = ClientReply::ReadOk {
+                    id: request.id,
+                    key,
+                    value: stored.map(|s| s.value),
+                    version: self.store.applied_version(),
+                };
+                ctx.send(from, marp_wire::to_bytes(&reply));
+                ClientAction::Done
+            }
+            Operation::Write { key, value } => {
+                self.pending_clients.insert(request.id, from);
+                ClientAction::Write(WriteRequest {
+                    id: request.id,
+                    client: from,
+                    key,
+                    value,
+                    arrived: ctx.now(),
+                })
+            }
+            Operation::ReadFresh { key } => ClientAction::FreshRead(FreshReadRequest {
+                id: request.id,
+                client: from,
+                key,
+            }),
+        }
+    }
+
+    /// Serve a consistent read from the local copy anyway (protocols
+    /// without quorum-read machinery downgrade the guarantee; callers
+    /// must document that).
+    pub fn serve_fresh_read_locally(&mut self, read: FreshReadRequest, ctx: &mut dyn Context) {
+        let stored = self.store.get(read.key);
+        ctx.trace(TraceEvent::ReadServed {
+            node: self.me,
+            request: read.id,
+            version: stored.map_or(0, |s| s.version),
+        });
+        let reply = ClientReply::ReadOk {
+            id: read.id,
+            key: read.key,
+            value: stored.map(|s| s.value),
+            version: self.store.applied_version(),
+        };
+        ctx.send(read.client, marp_wire::to_bytes(&reply));
+    }
+
+    /// Apply a set of commit records (from a COMMIT broadcast or a sync
+    /// push). Emits `CommitApplied` traces and answers clients whose
+    /// writes this server accepted. Returns the records that actually
+    /// applied here, in order.
+    pub fn apply_commits(
+        &mut self,
+        records: Vec<CommitRecord>,
+        ctx: &mut dyn Context,
+    ) -> Vec<CommitRecord> {
+        let mut all_applied = Vec::new();
+        for record in records {
+            let applied = self.store.offer(record, ctx.now());
+            for rec in applied {
+                // However the record reached us (COMMIT broadcast or
+                // anti-entropy), its agent's lock request is over:
+                // purge any Locking List entry it may still hold here.
+                self.ll.remove_by_key(rec.agent);
+                ctx.trace(TraceEvent::CommitApplied {
+                    node: self.me,
+                    version: rec.version,
+                    agent: rec.agent,
+                    key: rec.key,
+                });
+                if let Some(client) = self.pending_clients.remove(&rec.request) {
+                    let reply = ClientReply::WriteDone {
+                        id: rec.request,
+                        version: rec.version,
+                    };
+                    ctx.send(client, marp_wire::to_bytes(&reply));
+                }
+                all_applied.push(rec);
+            }
+        }
+        all_applied
+    }
+
+    /// Handle an anti-entropy message.
+    pub fn handle_sync(&mut self, from: NodeId, msg: SyncMsg, ctx: &mut dyn Context) {
+        match msg {
+            SyncMsg::Pull { from_version } => {
+                let records = self.store.log_suffix(from_version);
+                if !records.is_empty() {
+                    let reply = (self.sync_wrap)(SyncMsg::Push { records });
+                    ctx.send(from, reply);
+                }
+            }
+            SyncMsg::Push { records } => {
+                self.apply_commits(records, ctx);
+            }
+        }
+    }
+
+    /// If the store has a version gap (we saw a later commit than we can
+    /// apply), pull the missing suffix from `peer`. Returns true if a
+    /// pull was sent.
+    pub fn pull_if_behind(&mut self, peer: NodeId, ctx: &mut dyn Context) -> bool {
+        if self.store.gap().is_some() {
+            let msg = (self.sync_wrap)(SyncMsg::Pull {
+                from_version: self.store.applied_version(),
+            });
+            ctx.send(peer, msg);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Unconditionally pull history newer than ours from `peer` (used on
+    /// recovery, when we do not yet know whether we missed anything).
+    pub fn pull_from(&mut self, peer: NodeId, ctx: &mut dyn Context) {
+        let msg = (self.sync_wrap)(SyncMsg::Pull {
+            from_version: self.store.applied_version(),
+        });
+        ctx.send(peer, msg);
+    }
+
+    /// Purge expired Locking List entries; returns the purged agents so
+    /// the owner can trace or react.
+    pub fn purge_expired_locks(&mut self, ctx: &mut dyn Context) -> usize {
+        let purged = self.ll.purge_expired(ctx.now());
+        for agent in &purged {
+            ctx.trace(TraceEvent::Custom {
+                kind: "lock-lease-expired",
+                a: agent.key(),
+                b: u64::from(self.me),
+            });
+        }
+        purged.len()
+    }
+
+    /// Reset volatile state after a crash. The store's applied log and
+    /// the Updated List model stable storage and survive; the Locking
+    /// List, buffered commits, and client bookkeeping are volatile.
+    pub fn on_recover(&mut self) {
+        self.store.clear_volatile();
+        self.ll = LockingList::new();
+        self.pending_clients.clear();
+    }
+
+    /// Number of writes accepted but not yet committed and answered.
+    pub fn pending_client_writes(&self) -> usize {
+        self.pending_clients.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use marp_sim::{SimTime, TimerId};
+
+    /// Minimal hand-rolled context for driving the core directly.
+    struct TestCtx {
+        now: SimTime,
+        me: NodeId,
+        sent: Vec<(NodeId, Bytes)>,
+        traced: Vec<TraceEvent>,
+    }
+
+    impl TestCtx {
+        fn new(me: NodeId) -> Self {
+            TestCtx {
+                now: SimTime::from_millis(1),
+                me,
+                sent: Vec::new(),
+                traced: Vec::new(),
+            }
+        }
+    }
+
+    impl Context for TestCtx {
+        fn now(&self) -> SimTime {
+            self.now
+        }
+        fn me(&self) -> NodeId {
+            self.me
+        }
+        fn send(&mut self, to: NodeId, msg: Bytes) {
+            self.sent.push((to, msg));
+        }
+        fn set_timer(&mut self, _after: Duration, _tag: u64) -> TimerId {
+            TimerId(0)
+        }
+        fn cancel_timer(&mut self, _id: TimerId) {}
+        fn trace(&mut self, event: TraceEvent) {
+            self.traced.push(event);
+        }
+        fn halt(&mut self) {}
+    }
+
+    fn sync_wrap(msg: SyncMsg) -> Bytes {
+        marp_wire::to_bytes(&msg)
+    }
+
+    fn core(me: NodeId) -> ServerCore {
+        ServerCore::new(me, ServerConfig::default(), sync_wrap)
+    }
+
+    fn commit(version: u64, request: u64) -> CommitRecord {
+        CommitRecord {
+            version,
+            key: 1,
+            value: version * 10,
+            agent: 42,
+            request,
+            committed_at: SimTime::from_millis(version),
+        }
+    }
+
+    #[test]
+    fn reads_are_served_locally_and_traced() {
+        let mut core = core(0);
+        let mut ctx = TestCtx::new(0);
+        let req = ClientRequest {
+            id: 7,
+            op: Operation::Read { key: 3 },
+        };
+        let action = core.handle_client_request(9, req, &mut ctx);
+        assert_eq!(action, ClientAction::Done);
+        assert_eq!(ctx.sent.len(), 1);
+        assert_eq!(ctx.sent[0].0, 9);
+        let reply: ClientReply = marp_wire::from_bytes(&ctx.sent[0].1).unwrap();
+        assert_eq!(
+            reply,
+            ClientReply::ReadOk {
+                id: 7,
+                key: 3,
+                value: None,
+                version: 0
+            }
+        );
+        assert!(ctx
+            .traced
+            .iter()
+            .any(|e| matches!(e, TraceEvent::ReadServed { .. })));
+    }
+
+    #[test]
+    fn writes_are_queued_for_the_protocol() {
+        let mut core = core(0);
+        let mut ctx = TestCtx::new(0);
+        let req = ClientRequest {
+            id: 8,
+            op: Operation::Write { key: 2, value: 5 },
+        };
+        let ClientAction::Write(write) = core.handle_client_request(4, req, &mut ctx) else {
+            panic!("expected a write action");
+        };
+        assert_eq!(write.key, 2);
+        assert_eq!(write.client, 4);
+        assert_eq!(core.pending_client_writes(), 1);
+        assert!(ctx.sent.is_empty());
+    }
+
+    #[test]
+    fn commit_answers_pending_client() {
+        let mut core = core(0);
+        let mut ctx = TestCtx::new(0);
+        core.handle_client_request(
+            4,
+            ClientRequest {
+                id: 8,
+                op: Operation::Write { key: 2, value: 5 },
+            },
+            &mut ctx,
+        );
+        let applied = core.apply_commits(vec![commit(1, 8)], &mut ctx);
+        assert_eq!(applied.len(), 1);
+        assert_eq!(core.pending_client_writes(), 0);
+        let reply: ClientReply = marp_wire::from_bytes(&ctx.sent.last().unwrap().1).unwrap();
+        assert_eq!(reply, ClientReply::WriteDone { id: 8, version: 1 });
+        assert!(ctx
+            .traced
+            .iter()
+            .any(|e| matches!(e, TraceEvent::CommitApplied { version: 1, .. })));
+    }
+
+    #[test]
+    fn sync_pull_returns_suffix_and_push_applies() {
+        let mut source = core(0);
+        let mut ctx = TestCtx::new(0);
+        source.apply_commits(vec![commit(1, 100), commit(2, 200)], &mut ctx);
+
+        let mut ctx_pull = TestCtx::new(0);
+        source.handle_sync(5, SyncMsg::Pull { from_version: 1 }, &mut ctx_pull);
+        assert_eq!(ctx_pull.sent.len(), 1);
+        let pushed: SyncMsg = marp_wire::from_bytes(&ctx_pull.sent[0].1).unwrap();
+        let SyncMsg::Push { records } = pushed else {
+            panic!("expected push");
+        };
+        assert_eq!(records.len(), 1);
+
+        let mut target = core(1);
+        let mut ctx2 = TestCtx::new(1);
+        // Target missed version 1: receiving only version 2 buffers it.
+        target.handle_sync(0, SyncMsg::Push { records }, &mut ctx2);
+        assert_eq!(target.store.applied_version(), 0);
+        assert!(target.pull_if_behind(0, &mut ctx2));
+        let pull: SyncMsg = marp_wire::from_bytes(&ctx2.sent.last().unwrap().1).unwrap();
+        assert_eq!(pull, SyncMsg::Pull { from_version: 0 });
+    }
+
+    #[test]
+    fn pull_if_behind_is_noop_when_current() {
+        let mut core = core(0);
+        let mut ctx = TestCtx::new(0);
+        assert!(!core.pull_if_behind(1, &mut ctx));
+        assert!(ctx.sent.is_empty());
+    }
+
+    #[test]
+    fn recover_clears_volatile_keeps_stable() {
+        let mut core = core(0);
+        let mut ctx = TestCtx::new(0);
+        core.apply_commits(vec![commit(1, 100)], &mut ctx);
+        core.ll.request(
+            marp_agent::AgentId::new(1, SimTime::ZERO, 0),
+            ctx.now(),
+            Duration::from_secs(30),
+            0,
+        );
+        core.handle_client_request(
+            4,
+            ClientRequest {
+                id: 9,
+                op: Operation::Write { key: 1, value: 1 },
+            },
+            &mut ctx,
+        );
+        core.on_recover();
+        assert_eq!(core.store.applied_version(), 1);
+        assert!(core.ll.is_empty());
+        assert_eq!(core.pending_client_writes(), 0);
+    }
+
+    #[test]
+    fn purge_expired_locks_traces() {
+        let mut core = core(0);
+        let mut ctx = TestCtx::new(0);
+        ctx.now = SimTime::from_millis(1);
+        core.ll.request(
+            marp_agent::AgentId::new(1, SimTime::ZERO, 0),
+            ctx.now,
+            Duration::from_millis(5),
+            0,
+        );
+        ctx.now = SimTime::from_millis(100);
+        assert_eq!(core.purge_expired_locks(&mut ctx), 1);
+        assert!(ctx
+            .traced
+            .iter()
+            .any(|e| matches!(e, TraceEvent::Custom { kind: "lock-lease-expired", .. })));
+    }
+}

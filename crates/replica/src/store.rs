@@ -1,0 +1,266 @@
+//! The versioned replica store.
+//!
+//! Every committed update carries a *global* version number — MARP's
+//! single-writer lock means updates are totally ordered, and the paper's
+//! "order preserving" property says every replica applies them in that
+//! order. The store enforces it: commits apply strictly in version order;
+//! out-of-order arrivals (a replica that missed some commits while down)
+//! are buffered until the gap is filled by anti-entropy
+//! ([`VersionedStore::log_suffix`] answers a recovering peer's request).
+
+use marp_sim::{AgentKey, SimTime};
+use std::collections::BTreeMap;
+
+/// One committed update, as shipped between replicas and kept in the
+/// commit log.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CommitRecord {
+    /// Global commit sequence number (1-based; version 0 is "empty").
+    pub version: u64,
+    /// Updated key.
+    pub key: u64,
+    /// New value.
+    pub value: u64,
+    /// The agent (or baseline coordinator) that performed the update.
+    pub agent: AgentKey,
+    /// The client request this update serves.
+    pub request: u64,
+    /// When the winner issued the commit.
+    pub committed_at: SimTime,
+}
+
+marp_wire::wire_struct!(CommitRecord {
+    version,
+    key,
+    value,
+    agent,
+    request,
+    committed_at
+});
+
+/// A stored value with its provenance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StoredValue {
+    /// Current value.
+    pub value: u64,
+    /// Version that wrote it.
+    pub version: u64,
+    /// When it was applied locally.
+    pub applied_at: SimTime,
+}
+
+/// Versioned key-value store with strict in-order application.
+#[derive(Debug, Default)]
+pub struct VersionedStore {
+    applied: u64,
+    last_update: SimTime,
+    data: BTreeMap<u64, StoredValue>,
+    log: Vec<CommitRecord>,
+    pending: BTreeMap<u64, CommitRecord>,
+    applied_requests: std::collections::BTreeSet<u64>,
+}
+
+impl VersionedStore {
+    /// An empty store at version 0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Highest version applied so far.
+    pub fn applied_version(&self) -> u64 {
+        self.applied
+    }
+
+    /// Time of the most recent local application (the paper's "time of
+    /// last update", which the winning agent compares across the quorum).
+    pub fn last_update_time(&self) -> SimTime {
+        self.last_update
+    }
+
+    /// Current value of a key, if any.
+    pub fn get(&self, key: u64) -> Option<StoredValue> {
+        self.data.get(&key).copied()
+    }
+
+    /// Number of distinct keys present.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when no key has ever been written.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Offer a commit. Returns every record that became applicable (the
+    /// offered one plus any buffered successors), in application order.
+    /// Records at or below the applied version are duplicates and are
+    /// ignored.
+    pub fn offer(&mut self, record: CommitRecord, now: SimTime) -> Vec<CommitRecord> {
+        if record.version <= self.applied {
+            return Vec::new();
+        }
+        self.pending.insert(record.version, record);
+        let mut applied = Vec::new();
+        while let Some(next) = self.pending.remove(&(self.applied + 1)) {
+            self.apply(next.clone(), now);
+            applied.push(next);
+        }
+        applied
+    }
+
+    fn apply(&mut self, record: CommitRecord, now: SimTime) {
+        debug_assert_eq!(record.version, self.applied + 1);
+        self.applied = record.version;
+        self.last_update = now;
+        self.data.insert(
+            record.key,
+            StoredValue {
+                value: record.value,
+                version: record.version,
+                applied_at: now,
+            },
+        );
+        self.applied_requests.insert(record.request);
+        self.log.push(record);
+    }
+
+    /// Whether a client request has already been applied here (used to
+    /// avoid re-dispatching work whose original agent survived).
+    pub fn request_applied(&self, request: u64) -> bool {
+        self.applied_requests.contains(&request)
+    }
+
+    /// Lowest missing version if the store is waiting on a gap.
+    pub fn gap(&self) -> Option<u64> {
+        if self.pending.is_empty() {
+            None
+        } else {
+            Some(self.applied + 1)
+        }
+    }
+
+    /// Number of buffered out-of-order commits.
+    pub fn pending_len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// The commit log from `from_version` (exclusive) onwards — the
+    /// anti-entropy payload for a recovering peer.
+    pub fn log_suffix(&self, from_version: u64) -> Vec<CommitRecord> {
+        let start = usize::try_from(from_version).unwrap_or(usize::MAX);
+        if start >= self.log.len() {
+            Vec::new()
+        } else {
+            self.log[start..].to_vec()
+        }
+    }
+
+    /// Full applied history (for audits and tests).
+    pub fn log(&self) -> &[CommitRecord] {
+        &self.log
+    }
+
+    /// Drop buffered out-of-order commits (volatile state) after a
+    /// crash; the applied log is "stable storage" and survives.
+    pub fn clear_volatile(&mut self) {
+        self.pending.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(version: u64, key: u64, value: u64) -> CommitRecord {
+        CommitRecord {
+            version,
+            key,
+            value,
+            agent: 7,
+            request: version * 100,
+            committed_at: SimTime::from_millis(version),
+        }
+    }
+
+    #[test]
+    fn in_order_commits_apply_immediately() {
+        let mut store = VersionedStore::new();
+        let applied = store.offer(record(1, 10, 100), SimTime::from_millis(1));
+        assert_eq!(applied.len(), 1);
+        assert_eq!(store.applied_version(), 1);
+        assert_eq!(store.get(10).unwrap().value, 100);
+        assert_eq!(store.last_update_time(), SimTime::from_millis(1));
+    }
+
+    #[test]
+    fn out_of_order_commits_buffer_until_gap_fills() {
+        let mut store = VersionedStore::new();
+        assert!(store.offer(record(3, 1, 30), SimTime::ZERO).is_empty());
+        assert!(store.offer(record(2, 1, 20), SimTime::ZERO).is_empty());
+        assert_eq!(store.gap(), Some(1));
+        assert_eq!(store.pending_len(), 2);
+        let applied = store.offer(record(1, 1, 10), SimTime::from_millis(5));
+        assert_eq!(
+            applied.iter().map(|r| r.version).collect::<Vec<_>>(),
+            vec![1, 2, 3]
+        );
+        assert_eq!(store.applied_version(), 3);
+        assert_eq!(store.get(1).unwrap().value, 30);
+        assert_eq!(store.gap(), None);
+    }
+
+    #[test]
+    fn duplicates_are_ignored() {
+        let mut store = VersionedStore::new();
+        store.offer(record(1, 1, 10), SimTime::ZERO);
+        assert!(store.offer(record(1, 1, 99), SimTime::ZERO).is_empty());
+        assert_eq!(store.get(1).unwrap().value, 10);
+        assert_eq!(store.log().len(), 1);
+    }
+
+    #[test]
+    fn log_suffix_serves_recovery() {
+        let mut store = VersionedStore::new();
+        for v in 1..=5 {
+            store.offer(record(v, v, v * 10), SimTime::ZERO);
+        }
+        let suffix = store.log_suffix(3);
+        assert_eq!(
+            suffix.iter().map(|r| r.version).collect::<Vec<_>>(),
+            vec![4, 5]
+        );
+        assert!(store.log_suffix(5).is_empty());
+        assert!(store.log_suffix(99).is_empty());
+        assert_eq!(store.log_suffix(0).len(), 5);
+    }
+
+    #[test]
+    fn latest_version_per_key_wins() {
+        let mut store = VersionedStore::new();
+        store.offer(record(1, 5, 50), SimTime::ZERO);
+        store.offer(record(2, 5, 51), SimTime::ZERO);
+        let sv = store.get(5).unwrap();
+        assert_eq!(sv.value, 51);
+        assert_eq!(sv.version, 2);
+        assert_eq!(store.len(), 1);
+    }
+
+    #[test]
+    fn clear_volatile_keeps_applied_log() {
+        let mut store = VersionedStore::new();
+        store.offer(record(1, 1, 10), SimTime::ZERO);
+        store.offer(record(3, 1, 30), SimTime::ZERO);
+        store.clear_volatile();
+        assert_eq!(store.pending_len(), 0);
+        assert_eq!(store.applied_version(), 1);
+        assert_eq!(store.log().len(), 1);
+    }
+
+    #[test]
+    fn commit_record_wire_roundtrip() {
+        let r = record(9, 4, 44);
+        let bytes = marp_wire::to_bytes(&r);
+        assert_eq!(marp_wire::from_bytes::<CommitRecord>(&bytes).unwrap(), r);
+    }
+}

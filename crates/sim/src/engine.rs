@@ -1,0 +1,742 @@
+//! The discrete-event engine.
+//!
+//! A [`Simulation`] owns a set of [`Process`]es (one per node), a
+//! [`Transport`] policy that prices every message, and a single
+//! time-ordered event queue. Ties are broken by insertion sequence, so a
+//! run is a pure function of (processes, transport, seed, schedule) —
+//! re-running with the same inputs replays the identical event history.
+
+use crate::process::{Context, Delivery, NodeId, Process, TimerId, Transport};
+use crate::time::SimTime;
+use crate::trace::{TraceEvent, TraceLevel, TraceLog};
+use bytes::Bytes;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashSet};
+use std::time::Duration;
+
+/// Out-of-band control actions, scheduled by fault controllers and tests.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Control {
+    /// Fail-stop crash (`up = false`) or recovery (`up = true`) of a node.
+    SetNodeUp {
+        /// Affected node.
+        node: NodeId,
+        /// New liveness.
+        up: bool,
+    },
+    /// Deliver a failure-detector notification to `to` about `about`.
+    Notify {
+        /// Node receiving the notification.
+        to: NodeId,
+        /// Node the notification concerns.
+        about: NodeId,
+        /// Reported liveness of `about`.
+        up: bool,
+    },
+    /// Stop the run at this instant.
+    Halt,
+}
+
+#[derive(Debug)]
+enum EventKind {
+    Start(NodeId),
+    Message {
+        from: NodeId,
+        to: NodeId,
+        payload: Bytes,
+    },
+    Timer {
+        node: NodeId,
+        epoch: u32,
+        timer: TimerId,
+        tag: u64,
+    },
+    Control(Control),
+}
+
+struct Event {
+    at: SimTime,
+    seq: u64,
+    kind: EventKind,
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for Event {}
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+enum Effect {
+    Send { to: NodeId, msg: Bytes },
+    Timer { at: SimTime, id: TimerId, tag: u64 },
+    Cancel(TimerId),
+    Trace(TraceEvent),
+}
+
+struct EngineCtx<'a> {
+    now: SimTime,
+    me: NodeId,
+    effects: &'a mut Vec<Effect>,
+    next_timer: &'a mut u64,
+    halt: &'a mut bool,
+}
+
+impl Context for EngineCtx<'_> {
+    fn now(&self) -> SimTime {
+        self.now
+    }
+    fn me(&self) -> NodeId {
+        self.me
+    }
+    fn send(&mut self, to: NodeId, msg: Bytes) {
+        self.effects.push(Effect::Send { to, msg });
+    }
+    fn set_timer(&mut self, after: Duration, tag: u64) -> TimerId {
+        let id = TimerId(*self.next_timer);
+        *self.next_timer += 1;
+        self.effects.push(Effect::Timer {
+            at: self.now + after,
+            id,
+            tag,
+        });
+        id
+    }
+    fn cancel_timer(&mut self, id: TimerId) {
+        self.effects.push(Effect::Cancel(id));
+    }
+    fn trace(&mut self, event: TraceEvent) {
+        self.effects.push(Effect::Trace(event));
+    }
+    fn halt(&mut self) {
+        *self.halt = true;
+    }
+}
+
+/// Aggregate counters for one run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RunStats {
+    /// Events processed (all kinds).
+    pub events: u64,
+    /// Messages submitted to the transport.
+    pub messages_sent: u64,
+    /// Messages handed to destination processes.
+    pub messages_delivered: u64,
+    /// Messages dropped by the transport or dead destinations.
+    pub messages_dropped: u64,
+    /// Total encoded bytes submitted.
+    pub bytes_sent: u64,
+    /// Timer callbacks invoked.
+    pub timers_fired: u64,
+    /// Virtual time when the run stopped.
+    pub finished_at: SimTime,
+}
+
+/// The node id used as `from` for externally injected messages.
+pub const EXTERNAL: NodeId = NodeId::MAX;
+
+/// A deterministic discrete-event simulation.
+pub struct Simulation {
+    processes: Vec<Box<dyn Process>>,
+    alive: Vec<bool>,
+    epochs: Vec<u32>,
+    queue: BinaryHeap<Reverse<Event>>,
+    seq: u64,
+    next_timer: u64,
+    cancelled: HashSet<u64>,
+    transport: Box<dyn Transport>,
+    trace: TraceLog,
+    now: SimTime,
+    halted: bool,
+    started: bool,
+    stats: RunStats,
+}
+
+impl Simulation {
+    /// Create a simulation over the given transport, tracing at `level`.
+    pub fn new(transport: Box<dyn Transport>, level: TraceLevel) -> Self {
+        Simulation {
+            processes: Vec::new(),
+            alive: Vec::new(),
+            epochs: Vec::new(),
+            queue: BinaryHeap::new(),
+            seq: 0,
+            next_timer: 0,
+            cancelled: HashSet::new(),
+            transport,
+            trace: TraceLog::new(level),
+            now: SimTime::ZERO,
+            halted: false,
+            started: false,
+            stats: RunStats::default(),
+        }
+    }
+
+    /// Register a process; returns its node id (assigned densely from 0).
+    pub fn add_process(&mut self, process: Box<dyn Process>) -> NodeId {
+        assert!(
+            !self.started,
+            "processes must be added before the run starts"
+        );
+        assert!(
+            self.processes.len() < usize::from(EXTERNAL),
+            "too many nodes"
+        );
+        let id = self.processes.len() as NodeId;
+        self.processes.push(process);
+        self.alive.push(true);
+        self.epochs.push(0);
+        id
+    }
+
+    /// Number of registered nodes.
+    pub fn node_count(&self) -> usize {
+        self.processes.len()
+    }
+
+    /// Schedule a control action.
+    pub fn schedule_control(&mut self, at: SimTime, control: Control) {
+        self.push_event(at, EventKind::Control(control));
+    }
+
+    /// Inject a message from outside the simulated system (sender is
+    /// [`EXTERNAL`]); delivered at exactly `at`.
+    pub fn schedule_external(&mut self, at: SimTime, to: NodeId, msg: Bytes) {
+        self.push_event(
+            at,
+            EventKind::Message {
+                from: EXTERNAL,
+                to,
+                payload: msg,
+            },
+        );
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Whether a node is currently up.
+    pub fn is_up(&self, node: NodeId) -> bool {
+        self.alive[usize::from(node)]
+    }
+
+    /// The trace accumulated so far.
+    pub fn trace(&self) -> &TraceLog {
+        &self.trace
+    }
+
+    /// Consume the simulation, returning its trace (for post-run
+    /// analysis without cloning).
+    pub fn into_trace(self) -> TraceLog {
+        self.trace
+    }
+
+    /// Run statistics accumulated so far.
+    pub fn stats(&self) -> RunStats {
+        let mut s = self.stats;
+        s.finished_at = self.now;
+        s
+    }
+
+    /// Borrow a process for inspection, downcast to its concrete type.
+    pub fn process<T: 'static>(&self, node: NodeId) -> Option<&T> {
+        self.processes
+            .get(usize::from(node))?
+            .as_any()
+            .downcast_ref::<T>()
+    }
+
+    /// Mutably borrow a process, downcast to its concrete type.
+    pub fn process_mut<T: 'static>(&mut self, node: NodeId) -> Option<&mut T> {
+        self.processes
+            .get_mut(usize::from(node))?
+            .as_any_mut()
+            .downcast_mut::<T>()
+    }
+
+    /// Run until the queue is exhausted or virtual time exceeds `limit`.
+    /// Returns the run statistics.
+    pub fn run_until(&mut self, limit: SimTime) -> RunStats {
+        self.ensure_started();
+        while !self.halted {
+            let Some(Reverse(head)) = self.queue.peek() else {
+                break;
+            };
+            if head.at > limit {
+                self.now = limit;
+                break;
+            }
+            let Reverse(event) = self.queue.pop().expect("peeked");
+            debug_assert!(event.at >= self.now, "time must not run backwards");
+            self.now = event.at;
+            self.dispatch(event.kind);
+            self.stats.events += 1;
+        }
+        self.stats()
+    }
+
+    /// Run until no events remain (caps at `SimTime::MAX`).
+    pub fn run_to_quiescence(&mut self) -> RunStats {
+        self.run_until(SimTime::MAX)
+    }
+
+    fn ensure_started(&mut self) {
+        if self.started {
+            return;
+        }
+        self.started = true;
+        for node in 0..self.processes.len() as NodeId {
+            self.push_event(SimTime::ZERO, EventKind::Start(node));
+        }
+    }
+
+    fn push_event(&mut self, at: SimTime, kind: EventKind) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Reverse(Event { at, seq, kind }));
+    }
+
+    fn dispatch(&mut self, kind: EventKind) {
+        match kind {
+            EventKind::Start(node) => {
+                self.with_process(node, |p, ctx| p.on_start(ctx));
+            }
+            EventKind::Message { from, to, payload } => {
+                if !self.alive[usize::from(to)] {
+                    self.stats.messages_dropped += 1;
+                    self.trace.push(
+                        self.now,
+                        to,
+                        TraceEvent::MsgDropped {
+                            from,
+                            to,
+                            reason: "destination down",
+                        },
+                    );
+                    return;
+                }
+                self.stats.messages_delivered += 1;
+                self.trace.push(
+                    self.now,
+                    to,
+                    TraceEvent::MsgDelivered {
+                        from,
+                        to,
+                        bytes: payload.len(),
+                    },
+                );
+                self.with_process(to, |p, ctx| p.on_message(from, payload, ctx));
+            }
+            EventKind::Timer {
+                node,
+                epoch,
+                timer,
+                tag,
+            } => {
+                if self.cancelled.remove(&timer.0) {
+                    return;
+                }
+                // A crash bumps the node's epoch: timers armed before the
+                // crash are volatile state and must not fire afterwards.
+                if !self.alive[usize::from(node)] || self.epochs[usize::from(node)] != epoch {
+                    return;
+                }
+                self.stats.timers_fired += 1;
+                self.with_process(node, |p, ctx| p.on_timer(timer, tag, ctx));
+            }
+            EventKind::Control(control) => self.apply_control(control),
+        }
+    }
+
+    fn apply_control(&mut self, control: Control) {
+        match control {
+            Control::SetNodeUp { node, up } => {
+                let idx = usize::from(node);
+                if self.alive[idx] == up {
+                    return;
+                }
+                self.alive[idx] = up;
+                if up {
+                    self.trace.push(self.now, node, TraceEvent::NodeUp(node));
+                    self.with_process(node, |p, ctx| p.on_recover(ctx));
+                } else {
+                    self.epochs[idx] = self.epochs[idx].wrapping_add(1);
+                    self.trace.push(self.now, node, TraceEvent::NodeDown(node));
+                }
+            }
+            Control::Notify { to, about, up } => {
+                if self.alive[usize::from(to)] {
+                    self.with_process(to, |p, ctx| p.on_node_status(about, up, ctx));
+                }
+            }
+            Control::Halt => self.halted = true,
+        }
+    }
+
+    /// Invoke a handler on `node`, then apply the effects it produced.
+    fn with_process<F>(&mut self, node: NodeId, f: F)
+    where
+        F: FnOnce(&mut dyn Process, &mut dyn Context),
+    {
+        let mut effects = Vec::new();
+        let mut halt = false;
+        {
+            let mut ctx = EngineCtx {
+                now: self.now,
+                me: node,
+                effects: &mut effects,
+                next_timer: &mut self.next_timer,
+                halt: &mut halt,
+            };
+            let process = &mut self.processes[usize::from(node)];
+            f(process.as_mut(), &mut ctx);
+        }
+        if halt {
+            self.halted = true;
+        }
+        let epoch = self.epochs[usize::from(node)];
+        for effect in effects {
+            match effect {
+                Effect::Send { to, msg } => self.route_message(node, to, msg),
+                Effect::Timer { at, id, tag } => self.push_event(
+                    at,
+                    EventKind::Timer {
+                        node,
+                        epoch,
+                        timer: id,
+                        tag,
+                    },
+                ),
+                Effect::Cancel(id) => {
+                    self.cancelled.insert(id.0);
+                }
+                Effect::Trace(event) => self.trace.push(self.now, node, event),
+            }
+        }
+    }
+
+    fn route_message(&mut self, from: NodeId, to: NodeId, msg: Bytes) {
+        assert!(
+            usize::from(to) < self.processes.len(),
+            "send to unknown node {to}"
+        );
+        self.stats.messages_sent += 1;
+        self.stats.bytes_sent += msg.len() as u64;
+        self.trace.push(
+            self.now,
+            from,
+            TraceEvent::MsgSent {
+                from,
+                to,
+                bytes: msg.len(),
+            },
+        );
+        match self.transport.route(self.now, from, to, msg.len()) {
+            Delivery::Deliver { at } => {
+                let at = at.max(self.now);
+                self.push_event(at, EventKind::Message {
+                    from,
+                    to,
+                    payload: msg,
+                });
+            }
+            Delivery::Drop { reason } => {
+                self.stats.messages_dropped += 1;
+                self.trace
+                    .push(self.now, from, TraceEvent::MsgDropped { from, to, reason });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::impl_as_any;
+    use crate::process::FixedDelay;
+
+    /// Echoes every message back to its sender and counts deliveries.
+    struct Echo {
+        received: Vec<(NodeId, Bytes)>,
+        timers: Vec<u64>,
+        recovered: u32,
+        statuses: Vec<(NodeId, bool)>,
+    }
+
+    impl Echo {
+        fn new() -> Self {
+            Echo {
+                received: Vec::new(),
+                timers: Vec::new(),
+                recovered: 0,
+                statuses: Vec::new(),
+            }
+        }
+    }
+
+    impl Process for Echo {
+        fn on_message(&mut self, from: NodeId, msg: Bytes, ctx: &mut dyn Context) {
+            self.received.push((from, msg.clone()));
+            if from != EXTERNAL && msg.as_ref() != b"ack" {
+                ctx.send(from, Bytes::from_static(b"ack"));
+            }
+        }
+        fn on_timer(&mut self, _timer: TimerId, tag: u64, _ctx: &mut dyn Context) {
+            self.timers.push(tag);
+        }
+        fn on_node_status(&mut self, node: NodeId, up: bool, _ctx: &mut dyn Context) {
+            self.statuses.push((node, up));
+        }
+        fn on_recover(&mut self, _ctx: &mut dyn Context) {
+            self.recovered += 1;
+        }
+        impl_as_any!();
+    }
+
+    fn two_echo_sim() -> Simulation {
+        let mut sim = Simulation::new(
+            Box::new(FixedDelay(Duration::from_millis(1))),
+            TraceLevel::Full,
+        );
+        sim.add_process(Box::new(Echo::new()));
+        sim.add_process(Box::new(Echo::new()));
+        sim
+    }
+
+    #[test]
+    fn message_roundtrip_with_delay() {
+        let mut sim = two_echo_sim();
+        sim.schedule_external(SimTime::from_millis(5), 0, Bytes::from_static(b"hi"));
+        let stats = sim.run_to_quiescence();
+        // External "hi" delivered at 5ms; node 0 does not echo EXTERNAL.
+        let echo0: &Echo = sim.process(0).unwrap();
+        assert_eq!(echo0.received.len(), 1);
+        assert_eq!(stats.messages_delivered, 1);
+        assert_eq!(sim.now(), SimTime::from_millis(5));
+    }
+
+    #[test]
+    fn node_to_node_echo() {
+        struct Pinger;
+        impl Process for Pinger {
+            fn on_start(&mut self, ctx: &mut dyn Context) {
+                ctx.send(1, Bytes::from_static(b"ping"));
+            }
+            fn on_message(&mut self, _from: NodeId, _msg: Bytes, _ctx: &mut dyn Context) {}
+            impl_as_any!();
+        }
+        let mut sim = Simulation::new(
+            Box::new(FixedDelay(Duration::from_millis(3))),
+            TraceLevel::Full,
+        );
+        sim.add_process(Box::new(Pinger));
+        sim.add_process(Box::new(Echo::new()));
+        let stats = sim.run_to_quiescence();
+        // ping at 3ms, ack back at 6ms.
+        assert_eq!(stats.messages_sent, 2);
+        assert_eq!(stats.messages_delivered, 2);
+        assert_eq!(stats.finished_at, SimTime::from_millis(6));
+    }
+
+    #[test]
+    fn timers_fire_in_order_and_cancel_works() {
+        struct TimerUser {
+            fired: Vec<u64>,
+        }
+        impl Process for TimerUser {
+            fn on_start(&mut self, ctx: &mut dyn Context) {
+                ctx.set_timer(Duration::from_millis(10), 10);
+                let cancel_me = ctx.set_timer(Duration::from_millis(5), 5);
+                ctx.set_timer(Duration::from_millis(1), 1);
+                ctx.cancel_timer(cancel_me);
+            }
+            fn on_message(&mut self, _: NodeId, _: Bytes, _: &mut dyn Context) {}
+            fn on_timer(&mut self, _t: TimerId, tag: u64, _ctx: &mut dyn Context) {
+                self.fired.push(tag);
+            }
+            impl_as_any!();
+        }
+        let mut sim = Simulation::new(
+            Box::new(FixedDelay(Duration::ZERO)),
+            TraceLevel::Off,
+        );
+        sim.add_process(Box::new(TimerUser { fired: Vec::new() }));
+        let stats = sim.run_to_quiescence();
+        let p: &TimerUser = sim.process(0).unwrap();
+        assert_eq!(p.fired, vec![1, 10]);
+        assert_eq!(stats.timers_fired, 2);
+    }
+
+    #[test]
+    fn run_until_stops_at_limit() {
+        let mut sim = two_echo_sim();
+        sim.schedule_external(SimTime::from_millis(50), 0, Bytes::from_static(b"late"));
+        let stats = sim.run_until(SimTime::from_millis(10));
+        assert_eq!(stats.messages_delivered, 0);
+        assert_eq!(sim.now(), SimTime::from_millis(10));
+        // Continuing picks the event back up.
+        let stats = sim.run_until(SimTime::from_millis(100));
+        assert_eq!(stats.messages_delivered, 1);
+    }
+
+    #[test]
+    fn crash_drops_messages_and_timers() {
+        let mut sim = two_echo_sim();
+        sim.schedule_control(
+            SimTime::from_millis(1),
+            Control::SetNodeUp { node: 1, up: false },
+        );
+        sim.schedule_external(SimTime::from_millis(2), 1, Bytes::from_static(b"lost"));
+        let stats = sim.run_to_quiescence();
+        assert_eq!(stats.messages_dropped, 1);
+        let echo1: &Echo = sim.process(1).unwrap();
+        assert!(echo1.received.is_empty());
+        assert!(!sim.is_up(1));
+    }
+
+    #[test]
+    fn recovery_invokes_on_recover_and_delivers_again() {
+        let mut sim = two_echo_sim();
+        sim.schedule_control(
+            SimTime::from_millis(1),
+            Control::SetNodeUp { node: 1, up: false },
+        );
+        sim.schedule_control(
+            SimTime::from_millis(5),
+            Control::SetNodeUp { node: 1, up: true },
+        );
+        sim.schedule_external(SimTime::from_millis(6), 1, Bytes::from_static(b"back"));
+        sim.run_to_quiescence();
+        let echo1: &Echo = sim.process(1).unwrap();
+        assert_eq!(echo1.recovered, 1);
+        assert_eq!(echo1.received.len(), 1);
+        assert!(sim.is_up(1));
+    }
+
+    #[test]
+    fn timers_armed_before_crash_do_not_fire_after_recovery() {
+        struct Armer;
+        impl Process for Armer {
+            fn on_start(&mut self, ctx: &mut dyn Context) {
+                ctx.set_timer(Duration::from_millis(10), 99);
+            }
+            fn on_message(&mut self, _: NodeId, _: Bytes, _: &mut dyn Context) {}
+            fn on_timer(&mut self, _: TimerId, _: u64, _: &mut dyn Context) {
+                panic!("stale timer fired after crash/recovery");
+            }
+            impl_as_any!();
+        }
+        let mut sim = Simulation::new(
+            Box::new(FixedDelay(Duration::ZERO)),
+            TraceLevel::Off,
+        );
+        sim.add_process(Box::new(Armer));
+        sim.schedule_control(
+            SimTime::from_millis(2),
+            Control::SetNodeUp { node: 0, up: false },
+        );
+        sim.schedule_control(
+            SimTime::from_millis(4),
+            Control::SetNodeUp { node: 0, up: true },
+        );
+        let stats = sim.run_to_quiescence();
+        assert_eq!(stats.timers_fired, 0);
+    }
+
+    #[test]
+    fn notify_control_reaches_live_nodes_only() {
+        let mut sim = two_echo_sim();
+        sim.schedule_control(
+            SimTime::from_millis(1),
+            Control::Notify {
+                to: 0,
+                about: 1,
+                up: false,
+            },
+        );
+        sim.schedule_control(
+            SimTime::from_millis(1),
+            Control::SetNodeUp { node: 1, up: false },
+        );
+        sim.schedule_control(
+            SimTime::from_millis(2),
+            Control::Notify {
+                to: 1,
+                about: 0,
+                up: false,
+            },
+        );
+        sim.run_to_quiescence();
+        let echo0: &Echo = sim.process(0).unwrap();
+        assert_eq!(echo0.statuses, vec![(1, false)]);
+        let echo1: &Echo = sim.process(1).unwrap();
+        assert!(echo1.statuses.is_empty());
+    }
+
+    #[test]
+    fn halt_control_stops_the_run() {
+        let mut sim = two_echo_sim();
+        sim.schedule_control(SimTime::from_millis(3), Control::Halt);
+        sim.schedule_external(SimTime::from_millis(10), 0, Bytes::from_static(b"never"));
+        let stats = sim.run_to_quiescence();
+        assert_eq!(stats.messages_delivered, 0);
+        assert_eq!(stats.finished_at, SimTime::from_millis(3));
+    }
+
+    #[test]
+    fn identical_runs_produce_identical_traces() {
+        let build = || {
+            let mut sim = two_echo_sim();
+            sim.schedule_external(SimTime::from_millis(1), 0, Bytes::from_static(b"a"));
+            sim.schedule_external(SimTime::from_millis(1), 1, Bytes::from_static(b"b"));
+            sim.run_to_quiescence();
+            sim.into_trace()
+        };
+        let t1 = build();
+        let t2 = build();
+        assert_eq!(t1.records(), t2.records());
+    }
+
+    #[test]
+    fn same_instant_events_preserve_schedule_order() {
+        let mut sim = two_echo_sim();
+        sim.schedule_external(SimTime::from_millis(1), 0, Bytes::from_static(b"first"));
+        sim.schedule_external(SimTime::from_millis(1), 0, Bytes::from_static(b"second"));
+        sim.run_to_quiescence();
+        let echo0: &Echo = sim.process(0).unwrap();
+        let bodies: Vec<&[u8]> = echo0.received.iter().map(|(_, m)| m.as_ref()).collect();
+        assert_eq!(bodies, vec![b"first".as_ref(), b"second".as_ref()]);
+    }
+
+    #[test]
+    fn stats_count_bytes() {
+        struct Sender;
+        impl Process for Sender {
+            fn on_start(&mut self, ctx: &mut dyn Context) {
+                ctx.send(1, Bytes::from_static(b"12345"));
+            }
+            fn on_message(&mut self, _: NodeId, _: Bytes, _: &mut dyn Context) {}
+            impl_as_any!();
+        }
+        let mut sim = Simulation::new(
+            Box::new(FixedDelay(Duration::ZERO)),
+            TraceLevel::Off,
+        );
+        sim.add_process(Box::new(Sender));
+        sim.add_process(Box::new(Echo::new()));
+        let stats = sim.run_to_quiescence();
+        assert_eq!(stats.bytes_sent, 5 + 3); // "12345" + "ack"
+    }
+}

@@ -1,0 +1,373 @@
+//! Structured trace log.
+//!
+//! Every kernel action and every interesting protocol step is appended to
+//! the run's [`TraceLog`]. The paper demonstrated its prototype with a
+//! visual aglet viewer; here the trace is the machine-checkable
+//! equivalent: the metrics crate derives the paper's ALT/ATT/PRK figures
+//! from it, and the consistency auditor replays it to verify the paper's
+//! theorems on every run.
+
+use crate::time::SimTime;
+use crate::NodeId;
+
+/// A compact, copyable identifier for a mobile agent inside trace events:
+/// the agent's home node in the high bits and its per-home sequence number
+/// in the low bits.
+pub type AgentKey = u64;
+
+/// Build an [`AgentKey`] from a home node and per-home sequence number.
+pub fn agent_key(home: NodeId, seq: u32) -> AgentKey {
+    (u64::from(home) << 32) | u64::from(seq)
+}
+
+/// Split an [`AgentKey`] back into `(home, seq)`.
+pub fn agent_key_parts(key: AgentKey) -> (NodeId, u32) {
+    ((key >> 32) as NodeId, key as u32)
+}
+
+/// One structured trace record. Kernel-level events are emitted by the
+/// engine; protocol-level events are emitted by the replica/agent/protocol
+/// crates through [`crate::Context::trace`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceEvent {
+    // ----- kernel / network level -----
+    /// A message left `from` heading for `to`.
+    MsgSent {
+        /// Sender node.
+        from: NodeId,
+        /// Destination node.
+        to: NodeId,
+        /// Encoded size in bytes.
+        bytes: usize,
+    },
+    /// A message was handed to the destination process.
+    MsgDelivered {
+        /// Sender node.
+        from: NodeId,
+        /// Destination node.
+        to: NodeId,
+        /// Encoded size in bytes.
+        bytes: usize,
+    },
+    /// A message was dropped (dead destination, partition, fault model).
+    MsgDropped {
+        /// Sender node.
+        from: NodeId,
+        /// Destination node.
+        to: NodeId,
+        /// Human-readable drop reason.
+        reason: &'static str,
+    },
+    /// A node crashed (fail-stop).
+    NodeDown(NodeId),
+    /// A node recovered.
+    NodeUp(NodeId),
+
+    // ----- workload level -----
+    /// A client request arrived at a replica server.
+    RequestArrived {
+        /// Receiving replica.
+        node: NodeId,
+        /// Globally unique request id.
+        request: u64,
+        /// True for writes, false for reads.
+        write: bool,
+    },
+    /// A read was served (locally or via quorum).
+    ReadServed {
+        /// Serving replica.
+        node: NodeId,
+        /// Request id.
+        request: u64,
+        /// Version observed by the read.
+        version: u64,
+    },
+
+    // ----- mobile agent level -----
+    /// A replica dispatched an update agent carrying a batch of requests.
+    AgentDispatched {
+        /// Agent identity.
+        agent: AgentKey,
+        /// Home replica.
+        home: NodeId,
+        /// Number of requests in the batch.
+        batch: usize,
+    },
+    /// An agent's serialized state arrived at a new host.
+    AgentMigrated {
+        /// Agent identity.
+        agent: AgentKey,
+        /// Previous host.
+        from: NodeId,
+        /// New host.
+        to: NodeId,
+        /// Total completed migrations including this one.
+        hops: u32,
+    },
+    /// A migration attempt timed out or was refused.
+    AgentMigrateFailed {
+        /// Agent identity.
+        agent: AgentKey,
+        /// Host the agent is stuck on.
+        from: NodeId,
+        /// Unreachable destination.
+        to: NodeId,
+    },
+    /// An agent declared a replica unavailable after repeated failures.
+    ReplicaDeclaredUnavailable {
+        /// Agent identity.
+        agent: AgentKey,
+        /// The replica given up on.
+        node: NodeId,
+    },
+    /// An agent appended itself to a server's Locking List.
+    LockRequested {
+        /// Agent identity.
+        agent: AgentKey,
+        /// The server whose LL was extended.
+        node: NodeId,
+    },
+    /// An agent established that it holds the distributed lock.
+    LockGranted {
+        /// Agent identity.
+        agent: AgentKey,
+        /// Host where the win was established.
+        node: NodeId,
+        /// Number of distinct servers the agent had visited (paper's K).
+        visits: u32,
+        /// True if the win came from the tie-break rule rather than an
+        /// outright majority of LL tops.
+        via_tie: bool,
+    },
+    /// The winning agent broadcast its UPDATE message.
+    UpdateSent {
+        /// Agent identity.
+        agent: AgentKey,
+        /// Proposed version.
+        version: u64,
+    },
+    /// A replica acknowledged (or refused) an UPDATE.
+    UpdateAcked {
+        /// Agent identity.
+        agent: AgentKey,
+        /// Responding replica.
+        node: NodeId,
+        /// True for a positive ack (validation passed).
+        positive: bool,
+    },
+    /// The winning agent aborted a claimed win (validation quorum failed)
+    /// and went back to gathering locking information.
+    WinAborted {
+        /// Agent identity.
+        agent: AgentKey,
+    },
+    /// A replica applied a committed update.
+    CommitApplied {
+        /// Applying replica.
+        node: NodeId,
+        /// Committed version (global order).
+        version: u64,
+        /// Winning agent.
+        agent: AgentKey,
+        /// Updated key.
+        key: u64,
+    },
+    /// An agent finished all requests and disposed itself.
+    AgentDisposed {
+        /// Agent identity.
+        agent: AgentKey,
+        /// Time the agent was created (for lifetime accounting).
+        born: SimTime,
+    },
+
+    // ----- request-level completion (agents and baselines both emit) -----
+    /// An update request completed end to end.
+    UpdateCompleted {
+        /// Request id.
+        request: u64,
+        /// Home replica that accepted the request.
+        home: NodeId,
+        /// Time the request arrived at the replica.
+        arrived: SimTime,
+        /// Time the carrying agent was dispatched (equals `arrived` for
+        /// message-passing baselines).
+        dispatched: SimTime,
+        /// Time the lock was obtained (baselines: quorum assembled).
+        locked: SimTime,
+        /// Servers visited to obtain the lock (baselines: 0).
+        visits: u32,
+    },
+
+    // ----- escape hatch -----
+    /// Free-form protocol event for one-off instrumentation.
+    Custom {
+        /// Event kind label.
+        kind: &'static str,
+        /// First payload value.
+        a: u64,
+        /// Second payload value.
+        b: u64,
+    },
+}
+
+/// A timestamped trace record and the node that emitted it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceRecord {
+    /// Virtual time the event occurred.
+    pub at: SimTime,
+    /// Emitting node (kernel events use the most relevant node).
+    pub node: NodeId,
+    /// The event.
+    pub event: TraceEvent,
+}
+
+/// Which events the log retains.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TraceLevel {
+    /// Keep nothing (benchmark mode).
+    Off,
+    /// Keep protocol-level events, drop per-message kernel noise.
+    #[default]
+    Protocol,
+    /// Keep everything including every message send/deliver.
+    Full,
+}
+
+/// An append-only in-memory trace log.
+#[derive(Debug, Default)]
+pub struct TraceLog {
+    level: TraceLevel,
+    records: Vec<TraceRecord>,
+    dropped: u64,
+}
+
+impl TraceLog {
+    /// Create a log at the given retention level.
+    pub fn new(level: TraceLevel) -> Self {
+        TraceLog {
+            level,
+            records: Vec::new(),
+            dropped: 0,
+        }
+    }
+
+    /// Append one record, subject to the retention level.
+    pub fn push(&mut self, at: SimTime, node: NodeId, event: TraceEvent) {
+        let keep = match self.level {
+            TraceLevel::Off => false,
+            TraceLevel::Full => true,
+            TraceLevel::Protocol => !matches!(
+                event,
+                TraceEvent::MsgSent { .. } | TraceEvent::MsgDelivered { .. }
+            ),
+        };
+        if keep {
+            self.records.push(TraceRecord { at, node, event });
+        } else {
+            self.dropped += 1;
+        }
+    }
+
+    /// All retained records in emission order.
+    pub fn records(&self) -> &[TraceRecord] {
+        &self.records
+    }
+
+    /// Number of records suppressed by the retention level.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Iterate over records matching a predicate.
+    pub fn filter<'a, F>(&'a self, mut pred: F) -> impl Iterator<Item = &'a TraceRecord>
+    where
+        F: FnMut(&TraceEvent) -> bool + 'a,
+    {
+        self.records.iter().filter(move |r| pred(&r.event))
+    }
+
+    /// Count records matching a predicate.
+    pub fn count<F>(&self, pred: F) -> usize
+    where
+        F: FnMut(&TraceEvent) -> bool,
+    {
+        let mut pred = pred;
+        self.records.iter().filter(|r| pred(&r.event)).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn agent_key_roundtrip() {
+        let key = agent_key(7, 12345);
+        assert_eq!(agent_key_parts(key), (7, 12345));
+        let key = agent_key(NodeId::MAX, u32::MAX);
+        assert_eq!(agent_key_parts(key), (NodeId::MAX, u32::MAX));
+    }
+
+    #[test]
+    fn agent_keys_are_unique_across_homes() {
+        assert_ne!(agent_key(1, 5), agent_key(2, 5));
+        assert_ne!(agent_key(1, 5), agent_key(1, 6));
+    }
+
+    #[test]
+    fn protocol_level_drops_message_noise() {
+        let mut log = TraceLog::new(TraceLevel::Protocol);
+        log.push(
+            SimTime::ZERO,
+            0,
+            TraceEvent::MsgSent {
+                from: 0,
+                to: 1,
+                bytes: 10,
+            },
+        );
+        log.push(SimTime::ZERO, 0, TraceEvent::NodeDown(1));
+        assert_eq!(log.records().len(), 1);
+        assert_eq!(log.dropped(), 1);
+        assert!(matches!(log.records()[0].event, TraceEvent::NodeDown(1)));
+    }
+
+    #[test]
+    fn full_level_keeps_everything() {
+        let mut log = TraceLog::new(TraceLevel::Full);
+        log.push(
+            SimTime::ZERO,
+            0,
+            TraceEvent::MsgSent {
+                from: 0,
+                to: 1,
+                bytes: 10,
+            },
+        );
+        assert_eq!(log.records().len(), 1);
+        assert_eq!(log.dropped(), 0);
+    }
+
+    #[test]
+    fn off_level_keeps_nothing() {
+        let mut log = TraceLog::new(TraceLevel::Off);
+        log.push(SimTime::ZERO, 0, TraceEvent::NodeDown(1));
+        assert!(log.records().is_empty());
+        assert_eq!(log.dropped(), 1);
+    }
+
+    #[test]
+    fn filter_and_count() {
+        let mut log = TraceLog::new(TraceLevel::Full);
+        for node in 0..4 {
+            log.push(SimTime::from_millis(node as u64), node, TraceEvent::NodeDown(node));
+        }
+        log.push(SimTime::from_millis(9), 0, TraceEvent::NodeUp(2));
+        assert_eq!(log.count(|e| matches!(e, TraceEvent::NodeDown(_))), 4);
+        let ups: Vec<_> = log
+            .filter(|e| matches!(e, TraceEvent::NodeUp(_)))
+            .collect();
+        assert_eq!(ups.len(), 1);
+        assert_eq!(ups[0].at, SimTime::from_millis(9));
+    }
+}

@@ -1,0 +1,170 @@
+//! LEB128 varint primitives.
+//!
+//! Unsigned values are encoded seven bits at a time, least-significant
+//! group first, with the high bit of each byte marking continuation.
+//! Signed values are zigzag-mapped (`0, -1, 1, -2, …` → `0, 1, 2, 3, …`)
+//! before the unsigned encoding so small negative numbers stay short.
+
+use crate::WireError;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// Maximum number of bytes a 64-bit varint may occupy.
+const MAX_VARINT_LEN: usize = 10;
+
+/// Append an unsigned 64-bit value as a LEB128 varint.
+pub fn put_uvarint(buf: &mut BytesMut, mut value: u64) {
+    loop {
+        let byte = (value & 0x7F) as u8;
+        value >>= 7;
+        if value == 0 {
+            buf.put_u8(byte);
+            return;
+        }
+        buf.put_u8(byte | 0x80);
+    }
+}
+
+/// Read an unsigned LEB128 varint from the front of `buf`.
+pub fn get_uvarint(buf: &mut Bytes) -> Result<u64, WireError> {
+    let mut value: u64 = 0;
+    let mut shift = 0u32;
+    for i in 0..MAX_VARINT_LEN {
+        if !buf.has_remaining() {
+            return Err(WireError::UnexpectedEof);
+        }
+        let byte = buf.get_u8();
+        let group = u64::from(byte & 0x7F);
+        // The tenth byte may only contribute the final bit of a u64.
+        if i == MAX_VARINT_LEN - 1 && byte > 1 {
+            return Err(WireError::VarintOverflow);
+        }
+        value |= group << shift;
+        if byte & 0x80 == 0 {
+            return Ok(value);
+        }
+        shift += 7;
+    }
+    Err(WireError::VarintOverflow)
+}
+
+/// Append a signed 64-bit value as a zigzag LEB128 varint.
+pub fn put_ivarint(buf: &mut BytesMut, value: i64) {
+    put_uvarint(buf, zigzag_encode(value));
+}
+
+/// Read a signed zigzag LEB128 varint from the front of `buf`.
+pub fn get_ivarint(buf: &mut Bytes) -> Result<i64, WireError> {
+    Ok(zigzag_decode(get_uvarint(buf)?))
+}
+
+/// Number of bytes `value` occupies as an unsigned varint.
+pub fn uvarint_len(value: u64) -> usize {
+    if value == 0 {
+        return 1;
+    }
+    let bits = 64 - value.leading_zeros() as usize;
+    bits.div_ceil(7)
+}
+
+fn zigzag_encode(value: i64) -> u64 {
+    ((value << 1) ^ (value >> 63)) as u64
+}
+
+fn zigzag_decode(value: u64) -> i64 {
+    ((value >> 1) as i64) ^ -((value & 1) as i64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn uroundtrip(value: u64) {
+        let mut buf = BytesMut::new();
+        put_uvarint(&mut buf, value);
+        assert_eq!(buf.len(), uvarint_len(value), "length mismatch for {value}");
+        let mut bytes = buf.freeze();
+        assert_eq!(get_uvarint(&mut bytes).unwrap(), value);
+        assert!(bytes.is_empty());
+    }
+
+    fn iroundtrip(value: i64) {
+        let mut buf = BytesMut::new();
+        put_ivarint(&mut buf, value);
+        let mut bytes = buf.freeze();
+        assert_eq!(get_ivarint(&mut bytes).unwrap(), value);
+        assert!(bytes.is_empty());
+    }
+
+    #[test]
+    fn unsigned_roundtrip_boundaries() {
+        for value in [
+            0,
+            1,
+            127,
+            128,
+            16_383,
+            16_384,
+            u64::from(u32::MAX),
+            u64::MAX - 1,
+            u64::MAX,
+        ] {
+            uroundtrip(value);
+        }
+    }
+
+    #[test]
+    fn signed_roundtrip_boundaries() {
+        for value in [0, -1, 1, -64, 63, 64, -65, i64::MIN, i64::MAX] {
+            iroundtrip(value);
+        }
+    }
+
+    #[test]
+    fn zigzag_small_negatives_are_short() {
+        let mut buf = BytesMut::new();
+        put_ivarint(&mut buf, -3);
+        assert_eq!(buf.len(), 1);
+    }
+
+    #[test]
+    fn eof_in_middle_of_varint() {
+        let mut buf = BytesMut::new();
+        put_uvarint(&mut buf, u64::MAX);
+        let bytes = buf.freeze();
+        let mut truncated = bytes.slice(0..bytes.len() - 1);
+        assert_eq!(get_uvarint(&mut truncated), Err(WireError::UnexpectedEof));
+    }
+
+    #[test]
+    fn overlong_varint_rejected() {
+        // Eleven continuation bytes: longer than any valid u64 varint.
+        let raw: Vec<u8> = vec![0x80; 11];
+        let mut bytes = Bytes::from(raw);
+        assert_eq!(get_uvarint(&mut bytes), Err(WireError::VarintOverflow));
+    }
+
+    #[test]
+    fn tenth_byte_range_checked() {
+        // Nine 0xFF continuation bytes followed by 0x02 would need bit 65.
+        let mut raw = vec![0xFF; 9];
+        raw.push(0x02);
+        let mut bytes = Bytes::from(raw);
+        assert_eq!(get_uvarint(&mut bytes), Err(WireError::VarintOverflow));
+    }
+
+    #[test]
+    fn uvarint_len_matches_encoding() {
+        for shift in 0..64 {
+            uroundtrip(1u64 << shift);
+        }
+    }
+
+    #[test]
+    fn zigzag_mapping_is_interleaved() {
+        assert_eq!(zigzag_encode(0), 0);
+        assert_eq!(zigzag_encode(-1), 1);
+        assert_eq!(zigzag_encode(1), 2);
+        assert_eq!(zigzag_encode(-2), 3);
+        assert_eq!(zigzag_decode(zigzag_encode(i64::MIN)), i64::MIN);
+    }
+}

@@ -1,0 +1,17 @@
+//! Umbrella crate for the MARP reproduction.
+//!
+//! Re-exports the workspace crates so examples, integration tests and
+//! downstream users can depend on a single package. See `README.md` for
+//! the tour and `DESIGN.md` for the system inventory.
+
+pub use marp_agent as agent;
+pub use marp_baselines as baselines;
+pub use marp_core as core;
+pub use marp_lab as lab;
+pub use marp_metrics as metrics;
+pub use marp_net as net;
+pub use marp_replica as replica;
+pub use marp_sim as sim;
+pub use marp_threaded as threaded;
+pub use marp_wire as wire;
+pub use marp_workload as workload;

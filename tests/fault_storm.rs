@@ -1,0 +1,235 @@
+//! Fault-storm integration tests: crashes, transient outages and
+//! partitions thrown at a MARP cluster; consistency must survive and
+//! recovering replicas must catch up.
+
+use marp_core::MarpNode;
+use marp_lab::{run_scenario, ProtocolKind, Scenario};
+use marp_net::FaultPlan;
+use marp_sim::SimTime;
+use std::time::Duration;
+
+#[test]
+fn crash_storm_stays_consistent() {
+    let mut s = Scenario::paper(5, 50.0, 13);
+    s.requests_per_client = 15;
+    s.horizon = Some(Duration::from_secs(240));
+    s.faults = Some(
+        FaultPlan::new(5)
+            .detect_delay(Duration::from_millis(100))
+            .crash(1, SimTime::from_secs(1), Duration::from_secs(10))
+            .crash(3, SimTime::from_secs(4), Duration::from_secs(15))
+            .transient(0, SimTime::from_secs(8), Duration::from_millis(300))
+            .transient(2, SimTime::from_secs(12), Duration::from_millis(500)),
+    );
+    let outcome = run_scenario(&s);
+    outcome.audit.assert_ok();
+    // Majority stayed alive throughout (never more than 2 down), so the
+    // vast majority of writes must complete within the horizon;
+    // requests accepted by a server in its pre-crash life are lost with
+    // it until re-dispatch, so allow a small shortfall.
+    let expected = 75u64;
+    assert!(
+        outcome.metrics.completed >= expected - 5,
+        "only {} of {expected} completed",
+        outcome.metrics.completed
+    );
+}
+
+#[test]
+fn partition_heals_and_minority_catches_up() {
+    let mut s = Scenario::paper(5, 40.0, 17);
+    s.requests_per_client = 12;
+    s.horizon = Some(Duration::from_secs(240));
+    // Servers 3,4 cut off for 5 s; the 0-1-2 majority keeps committing.
+    s.faults = Some(FaultPlan::new(5).partition(
+        SimTime::from_secs(1),
+        Duration::from_secs(5),
+        &[&[0, 1, 2], &[3, 4]],
+    ));
+    let outcome = run_scenario(&s);
+    outcome.audit.assert_ok();
+    assert!(
+        outcome.metrics.completed >= 55,
+        "only {} completed",
+        outcome.metrics.completed
+    );
+}
+
+#[test]
+fn crashed_agents_requests_are_redispatched() {
+    // The home of a dispatched agent crashes while the agent may be
+    // anywhere; lock leases clean up its entries and the home's
+    // re-dispatch machinery (or the agent itself, if it survived
+    // elsewhere) finishes the work.
+    let mut s = Scenario::paper(5, 20.0, 23);
+    s.requests_per_client = 10;
+    s.horizon = Some(Duration::from_secs(300));
+    s.faults = Some(
+        FaultPlan::new(5)
+            .detect_delay(Duration::from_millis(100))
+            .crash(0, SimTime::from_millis(1500), Duration::from_secs(5))
+            .crash(4, SimTime::from_millis(1800), Duration::from_secs(5)),
+    );
+    let outcome = run_scenario(&s);
+    outcome.audit.assert_ok();
+    assert!(
+        outcome.metrics.completed >= 40,
+        "only {} of 50 completed",
+        outcome.metrics.completed
+    );
+}
+
+#[test]
+fn primary_copy_stalls_where_marp_does_not() {
+    // Same fault (node 0 dies for good), same workload: MARP keeps
+    // committing, primary-copy cannot commit anything new.
+    let faults = FaultPlan::new(5)
+        .detect_delay(Duration::from_millis(100))
+        .crash_forever(0, SimTime::from_millis(100));
+
+    let mut marp = Scenario::paper(5, 100.0, 31);
+    marp.requests_per_client = 8;
+    marp.horizon = Some(Duration::from_secs(240));
+    marp.faults = Some(faults.clone());
+    let marp_out = run_scenario(&marp);
+    marp_out.audit.assert_ok();
+
+    let mut pc = marp.clone().with_protocol(ProtocolKind::PrimaryCopy);
+    pc.faults = Some(faults);
+    let pc_out = run_scenario(&pc);
+
+    // Clients of the 4 surviving MARP servers all finish (32 writes);
+    // node 0's own client cannot reach its dead server.
+    assert!(
+        marp_out.metrics.completed >= 32,
+        "MARP completed only {}",
+        marp_out.metrics.completed
+    );
+    assert!(
+        pc_out.metrics.completed < marp_out.metrics.completed / 2,
+        "primary-copy should stall without its primary (completed {})",
+        pc_out.metrics.completed
+    );
+}
+
+#[test]
+fn recovered_replica_log_matches_survivors() {
+    use marp_core::{build_cluster, wrap_client_request, MarpConfig};
+    use marp_net::{LinkModel, SimTransport, Topology};
+    use marp_replica::ClientProcess;
+    use marp_sim::{SimRng, Simulation, TraceLevel};
+    use marp_workload::WorkloadSource;
+
+    let n = 5usize;
+    let topo = Topology::uniform_lan(n + 2, Duration::from_millis(2));
+    let plan = FaultPlan::new(n).crash(2, SimTime::from_millis(100), Duration::from_secs(4));
+    let transport = SimTransport::new(topo.clone(), LinkModel::ideal(), SimRng::from_seed(3))
+        .with_schedule(plan.net_schedule());
+    let mut sim = Simulation::new(Box::new(transport), TraceLevel::Protocol);
+    build_cluster(&mut sim, &MarpConfig::new(n), &topo);
+    for k in 0..2 {
+        sim.add_process(Box::new(ClientProcess::new(
+            k,
+            Box::new(WorkloadSource::paper_writes(80.0, 12, 900 + u64::from(k))),
+            wrap_client_request,
+        )));
+    }
+    plan.schedule_controls(&mut sim);
+    sim.run_until(SimTime::from_secs(60));
+
+    let logs: Vec<Vec<u64>> = (0..n as u16)
+        .map(|s| {
+            sim.process::<MarpNode>(s)
+                .unwrap()
+                .state()
+                .core
+                .store
+                .log()
+                .iter()
+                .map(|r| r.version)
+                .collect()
+        })
+        .collect();
+    assert_eq!(logs[0].len(), 24);
+    for (server, log) in logs.iter().enumerate() {
+        assert_eq!(log, &logs[0], "server {server} diverged");
+    }
+}
+
+#[test]
+fn regression_presence_gate_prevents_claim_abort_livelock() {
+    // Exact configuration that once livelocked: node 0 crashes at 1 s
+    // for 20 s, node 1 blips at 2 s, seed 202. Agents whose itinerary
+    // ended early (replicas declared unavailable during the crash) used
+    // to tie-"win" with presence at fewer than a majority of Locking
+    // Lists and then claim/abort forever; the presence gate in
+    // `marp_core::lt::decide` keeps them travelling instead.
+    let mut s = Scenario::paper(5, 100.0, 202);
+    s.requests_per_client = 40;
+    s.horizon = Some(Duration::from_secs(180));
+    s.faults = Some(
+        FaultPlan::new(5)
+            .detect_delay(Duration::from_millis(100))
+            .crash(0, SimTime::from_secs(1), Duration::from_secs(20))
+            .transient(1, SimTime::from_secs(2), Duration::from_millis(400)),
+    );
+    let outcome = run_scenario(&s);
+    outcome.audit.assert_ok();
+    // Nearly everything commits (requests sent to the dead server while
+    // it was down are lost at the client, which does not retry).
+    assert!(
+        outcome.metrics.completed >= 160,
+        "completed only {} of 200",
+        outcome.metrics.completed
+    );
+    // The livelock burned hundreds of thousands of messages; a healthy
+    // run is two orders of magnitude cheaper.
+    assert!(
+        outcome.stats.messages_sent < 100_000,
+        "suspicious message volume: {}",
+        outcome.stats.messages_sent
+    );
+}
+
+#[test]
+fn lossy_network_degrades_gracefully_and_stays_consistent() {
+    // 1% independent message loss. MARP's channels are nominally
+    // reliable (paper §2), but every layer already retries or repairs:
+    // migrations are acked, claims time out and re-run, missed commits
+    // are back-filled by anti-entropy. Consistency must be untouched;
+    // a small completion shortfall (lost client traffic has no retry)
+    // is acceptable.
+    let mut s = Scenario::paper(5, 60.0, 55);
+    s.requests_per_client = 8;
+    s.horizon = Some(Duration::from_secs(120));
+    s.faults = Some(FaultPlan::new(5).loss(SimTime::ZERO, 0.01));
+    let outcome = run_scenario(&s);
+    outcome.audit.assert_ok();
+    assert!(
+        outcome.metrics.completed >= 34,
+        "only {} of 40 completed under 1% loss",
+        outcome.metrics.completed
+    );
+}
+
+#[test]
+fn directional_link_outage_is_routed_around() {
+    // The 0→1 link (only) is dead for 3 s. Agents migrating 0→1 fail
+    // and retry or declare node 1 unavailable for the round; everything
+    // still commits because majorities avoid the broken direction.
+    let mut s = Scenario::paper(5, 50.0, 66);
+    s.requests_per_client = 10;
+    s.horizon = Some(Duration::from_secs(240));
+    s.faults = Some(FaultPlan::new(5).link_outage(
+        0,
+        1,
+        SimTime::from_millis(200),
+        Duration::from_secs(3),
+    ));
+    let outcome = run_scenario(&s);
+    outcome.audit.assert_ok();
+    assert_eq!(
+        outcome.metrics.completed, 50,
+        "a one-way link outage must not lose updates"
+    );
+}
