@@ -12,6 +12,7 @@ use crate::behavior::{Action, AgentBehavior, AgentEnv, WrapFn};
 use crate::envelope::AgentEnvelope;
 use crate::id::AgentId;
 use bytes::Bytes;
+use marp_quorum::RetryPolicy;
 use marp_sim::{Context, NodeId, TimerId, TraceEvent};
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::time::Duration;
@@ -36,6 +37,14 @@ impl Default for AgentConfig {
             migrate_timeout: Duration::from_millis(500),
             max_attempts: 3,
         }
+    }
+}
+
+impl AgentConfig {
+    /// The ack-wait schedule: a fixed `migrate_timeout` per attempt (no
+    /// growth — the delay bounds ack latency, not contention).
+    pub fn retry(&self) -> RetryPolicy {
+        RetryPolicy::fixed(self.migrate_timeout)
     }
 }
 
@@ -250,7 +259,7 @@ impl<B: AgentBehavior> AgentRuntime<B> {
                 state: out.state.clone(),
             });
             ctx.send(out.dest, msg);
-            let timer = ctx.set_timer(self.cfg.migrate_timeout, 0);
+            let timer = ctx.set_timer(self.cfg.retry().next_delay(out.attempts), 0);
             out.timer = timer;
             self.migrate_timers.insert(timer, agent);
             return;
@@ -334,7 +343,7 @@ impl<B: AgentBehavior> AgentRuntime<B> {
             state: state.clone(),
         });
         ctx.send(dest, msg);
-        let timer = ctx.set_timer(self.cfg.migrate_timeout, 0);
+        let timer = ctx.set_timer(self.cfg.retry().next_delay(1), 0);
         self.migrate_timers.insert(timer, id);
         self.outbound.insert(
             id,

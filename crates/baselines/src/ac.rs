@@ -11,12 +11,13 @@
 
 use crate::common::{LwwStore, LwwTs};
 use bytes::{Bytes, BytesMut};
+use marp_quorum::{QuorumCall, SuccessRule, TimerMux, Verdict};
 use marp_replica::{ClientReply, ClientRequest, Operation};
 use marp_sim::{
-    impl_as_any, Context, NodeId, Process, SimTime, TimerId, TraceEvent,
+    impl_as_any, Context, NodeId, Process, TimerId, TraceEvent,
 };
 use marp_wire::{Wire, WireError};
-use std::collections::{BTreeSet, HashMap};
+use std::collections::HashMap;
 use std::time::Duration;
 
 /// AC deployment knobs.
@@ -137,12 +138,13 @@ pub fn wrap_client_request(request: ClientRequest) -> Bytes {
     marp_wire::to_bytes(&AcMsg::Client(request))
 }
 
-const TAG_ACK_TIMEOUT: u64 = 1;
+const TIMER_ACK: u8 = 1;
 
 struct PendingWrite {
     client: NodeId,
-    arrived: SimTime,
-    waiting: BTreeSet<NodeId>,
+    /// The propagation round: every available replica must ack
+    /// ([`SuccessRule::AllAvailable`]); failed replicas are retracted.
+    call: QuorumCall<()>,
     version: u64,
 }
 
@@ -154,6 +156,7 @@ pub struct AcNode {
     pub store: LwwStore,
     up: Vec<bool>,
     pending: HashMap<u64, PendingWrite>,
+    timers: TimerMux,
 }
 
 impl AcNode {
@@ -164,6 +167,7 @@ impl AcNode {
             up: vec![true; cfg.n_servers],
             store: LwwStore::new(),
             pending: HashMap::new(),
+            timers: TimerMux::new(),
             cfg,
         }
     }
@@ -175,11 +179,13 @@ impl AcNode {
 
     fn complete(&mut self, request: u64, ctx: &mut dyn Context) {
         if let Some(done) = self.pending.remove(&request) {
+            self.timers.disarm(TIMER_ACK, request);
+            let arrived = done.call.started();
             ctx.trace(TraceEvent::UpdateCompleted {
                 request,
                 home: self.me,
-                arrived: done.arrived,
-                dispatched: done.arrived,
+                arrived,
+                dispatched: arrived,
                 locked: ctx.now(),
                 visits: 0,
             });
@@ -222,7 +228,7 @@ impl AcNode {
                         let ts = self.store.stamp(self.me);
                         self.store.apply(key, value, ts);
                         // Write to every *available* replica.
-                        let waiting: BTreeSet<NodeId> = (0..self.cfg.n_servers as NodeId)
+                        let waiting: Vec<NodeId> = (0..self.cfg.n_servers as NodeId)
                             .filter(|&s| s != self.me && self.up[usize::from(s)])
                             .collect();
                         let payload = marp_wire::to_bytes(&AcMsg::Write {
@@ -234,18 +240,27 @@ impl AcNode {
                         for &server in &waiting {
                             ctx.send(server, payload.clone());
                         }
+                        // With no other available replica the call is
+                        // won at construction: done immediately.
+                        let call = QuorumCall::new(
+                            SuccessRule::AllAvailable,
+                            waiting,
+                            ctx.now(),
+                        );
+                        let won = call.verdict() == Some(Verdict::Won);
                         self.pending.insert(
                             request.id,
                             PendingWrite {
                                 client: from,
-                                arrived: ctx.now(),
-                                waiting,
+                                call,
                                 version: ts.counter,
                             },
                         );
-                        ctx.set_timer(self.cfg.ack_timeout, (request.id << 8) | TAG_ACK_TIMEOUT);
-                        // No other available replica: done immediately.
-                        self.sweep_complete(request.id, ctx);
+                        let tag = self.timers.arm(TIMER_ACK, request.id);
+                        ctx.set_timer(self.cfg.ack_timeout, tag);
+                        if won {
+                            self.complete(request.id, ctx);
+                        }
                     }
                 }
             }
@@ -265,10 +280,12 @@ impl AcNode {
                 ctx.send(from, marp_wire::to_bytes(&AcMsg::WriteAck { request }));
             }
             AcMsg::WriteAck { request } => {
-                if let Some(pending) = self.pending.get_mut(&request) {
-                    pending.waiting.remove(&from);
+                let won = self.pending.get_mut(&request).is_some_and(|pending| {
+                    pending.call.offer_vote(from, true, ()) == Some(Verdict::Won)
+                });
+                if won {
+                    self.complete(request, ctx);
                 }
-                self.sweep_complete(request, ctx);
             }
             AcMsg::StatePull => {
                 let reply = AcMsg::StatePush {
@@ -277,16 +294,6 @@ impl AcNode {
                 ctx.send(from, marp_wire::to_bytes(&reply));
             }
             AcMsg::StatePush { dump } => self.store.absorb(dump),
-        }
-    }
-
-    fn sweep_complete(&mut self, request: u64, ctx: &mut dyn Context) {
-        if self
-            .pending
-            .get(&request)
-            .is_some_and(|p| p.waiting.is_empty())
-        {
-            self.complete(request, ctx);
         }
     }
 }
@@ -299,8 +306,10 @@ impl Process for AcNode {
     }
 
     fn on_timer(&mut self, _timer: TimerId, tag: u64, ctx: &mut dyn Context) {
-        if tag & 0xFF == TAG_ACK_TIMEOUT {
-            let request = tag >> 8;
+        let Some((kind, request)) = self.timers.fired(tag) else {
+            return; // stale: the write completed or a crash intervened
+        };
+        if kind == TIMER_ACK {
             // Give up on missing acks: the replicas that answered have
             // the write; the silent ones are treated as failed (the
             // paper's fail-stop detection will confirm or they will
@@ -326,8 +335,7 @@ impl Process for AcNode {
                 .pending
                 .iter_mut()
                 .filter_map(|(&req, p)| {
-                    p.waiting.remove(&node);
-                    p.waiting.is_empty().then_some(req)
+                    (p.call.retract(node) == Some(Verdict::Won)).then_some(req)
                 })
                 .collect();
             for request in stalled {
@@ -339,6 +347,9 @@ impl Process for AcNode {
     fn on_recover(&mut self, ctx: &mut dyn Context) {
         self.pending.clear();
         self.up = vec![true; self.cfg.n_servers];
+        // Timers armed before the crash never fire again (the engine
+        // drops them), so the mux restarts from scratch.
+        self.timers.clear();
         // Pull the writes we missed from a peer.
         let peer = (self.me + 1) % self.cfg.n_servers as NodeId;
         if peer != self.me {

@@ -37,6 +37,12 @@ marp_wire::wire_struct!(Ballot { seq, coordinator });
 
 /// A replica's vote promise: granted to one ballot at a time, with an
 /// expiry so a crashed coordinator cannot wedge the replica.
+///
+/// Leases are half-open intervals `[granted, granted + lease)`: the
+/// promise binds while `now < expires` and is free at the expiry
+/// instant itself. This matches `LockingList::purge_expired` in
+/// `marp-replica`, which purges entries with `expires_at <= now` — at
+/// exactly `t = expires` both structures agree the holder is gone.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct Promise {
     current: Option<(Ballot, SimTime)>,
@@ -208,6 +214,21 @@ mod tests {
         let later = SimTime::from_millis(20);
         assert_eq!(p.holder(later), None);
         assert!(p.try_grant(Ballot::first(1), later, lease));
+    }
+
+    #[test]
+    fn promise_lease_boundary_is_half_open() {
+        let mut p = Promise::new();
+        let lease = Duration::from_millis(10);
+        assert!(p.try_grant(Ballot::first(0), SimTime::from_millis(1), lease));
+        // One instant before expiry the promise still binds...
+        let almost = SimTime::from_nanos(11_000_000 - 1);
+        assert_eq!(p.holder(almost), Some(Ballot::first(0)));
+        assert!(!p.try_grant(Ballot::first(1), almost, lease));
+        // ...and at exactly t = granted + lease it is free.
+        let expiry = SimTime::from_millis(11);
+        assert_eq!(p.holder(expiry), None);
+        assert!(p.try_grant(Ballot::first(1), expiry, lease));
     }
 
     #[test]

@@ -10,11 +10,12 @@
 
 use crate::common::{Ballot, Promise};
 use bytes::{Bytes, BytesMut};
+use marp_quorum::{QuorumCall, RetryPolicy, TimerMux, Verdict};
 use marp_replica::{
     ClientRequest, CommitRecord, ServerConfig, ServerCore, SyncMsg, WriteRequest,
 };
 use marp_sim::{
-    impl_as_any, Context, NodeId, Process, SimTime, TimerId, TraceEvent,
+    impl_as_any, Context, NodeId, Process, TimerId, TraceEvent,
 };
 use marp_wire::{Wire, WireError};
 use std::collections::VecDeque;
@@ -29,8 +30,9 @@ pub struct McvConfig {
     pub promise_lease: Duration,
     /// Coordinator round timeout before aborting and backing off.
     pub round_timeout: Duration,
-    /// Base backoff after a failed round (scaled by attempt count).
-    pub backoff_base: Duration,
+    /// Backoff after a failed round (grown by attempt count; the
+    /// per-node stagger is folded in at node construction).
+    pub retry: RetryPolicy,
     /// Maintenance cadence (anti-entropy checks).
     pub maintenance_interval: Duration,
 }
@@ -44,13 +46,9 @@ impl McvConfig {
             n_servers,
             promise_lease: Duration::from_secs(2),
             round_timeout: Duration::from_millis(100),
-            backoff_base: Duration::from_millis(8),
+            retry: RetryPolicy::default_for(Duration::ZERO),
             maintenance_interval: Duration::from_millis(500),
         }
-    }
-
-    fn majority(&self) -> usize {
-        self.n_servers / 2 + 1
     }
 
     /// Scale the coordinator's timeouts to a deployment whose worst
@@ -60,7 +58,7 @@ impl McvConfig {
     pub fn scaled_to_latency(mut self, max_latency: std::time::Duration) -> Self {
         let lat = max_latency.max(Duration::from_millis(1));
         self.round_timeout = self.round_timeout.max(lat * 5);
-        self.backoff_base = self.backoff_base.max(lat);
+        self.retry = self.retry.with_min_base(lat);
         self.promise_lease = self.promise_lease.max(self.round_timeout * 10);
         self
     }
@@ -173,16 +171,16 @@ fn wrap_sync(msg: SyncMsg) -> Bytes {
     marp_wire::to_bytes(&McvMsg::Sync(msg))
 }
 
-const TAG_ROUND_TIMEOUT: u64 = 1;
-const TAG_RETRY: u64 = 2;
-const TAG_MAINTENANCE: u64 = 3;
+const TIMER_ROUND: u8 = 1;
+const TIMER_RETRY: u8 = 2;
+const TIMER_MAINTENANCE: u8 = 3;
 
 struct Round {
     ballot: Ballot,
     request: WriteRequest,
-    grants: Vec<(NodeId, u64)>,
-    rejects: Vec<NodeId>,
-    started: SimTime,
+    /// The vote round: majority of grants wins, each grant carrying the
+    /// voter's applied version.
+    call: QuorumCall<u64>,
 }
 
 /// One MCV replica server.
@@ -195,12 +193,18 @@ pub struct McvNode {
     round: Option<Round>,
     ballot_seq: u64,
     attempts: u32,
-    retry_armed: bool,
+    /// The coordinator's backoff schedule, with this node's stagger
+    /// folded in.
+    retry: RetryPolicy,
+    timers: TimerMux,
 }
 
 impl McvNode {
     /// Build the node for server `me`.
     pub fn new(me: NodeId, cfg: McvConfig) -> Self {
+        let retry = cfg
+            .retry
+            .staggered(Duration::from_micros(500), u64::from(me), 0);
         McvNode {
             cfg,
             core: ServerCore::new(me, ServerConfig::default(), wrap_sync),
@@ -209,7 +213,8 @@ impl McvNode {
             round: None,
             ballot_seq: 0,
             attempts: 0,
-            retry_armed: false,
+            retry,
+            timers: TimerMux::new(),
         }
     }
 
@@ -230,7 +235,7 @@ impl McvNode {
     }
 
     fn try_start_round(&mut self, ctx: &mut dyn Context) {
-        if self.round.is_some() || self.retry_armed {
+        if self.round.is_some() || self.timers.is_kind_armed(TIMER_RETRY) {
             return;
         }
         let Some(request) = self.queue.pop_front() else {
@@ -244,21 +249,18 @@ impl McvNode {
         self.round = Some(Round {
             ballot,
             request,
-            grants: Vec::new(),
-            rejects: Vec::new(),
-            started: ctx.now(),
+            call: QuorumCall::majority(self.cfg.n_servers as u16, ctx.now()),
         });
         self.broadcast(&McvMsg::VoteReq { ballot }, ctx);
-        ctx.set_timer(
-            self.cfg.round_timeout,
-            (ballot.seq << 8) | TAG_ROUND_TIMEOUT,
-        );
+        let tag = self.timers.arm(TIMER_ROUND, ballot.seq);
+        ctx.set_timer(self.cfg.round_timeout, tag);
     }
 
     fn abort_round(&mut self, ctx: &mut dyn Context) {
         let Some(round) = self.round.take() else {
             return;
         };
+        self.timers.disarm(TIMER_ROUND, round.ballot.seq);
         self.broadcast(
             &McvMsg::Release {
                 ballot: round.ballot,
@@ -268,30 +270,24 @@ impl McvNode {
         // Retry the same write later.
         self.queue.push_front(round.request);
         self.attempts += 1;
-        // Linear backoff with a deterministic per-node stagger.
-        let backoff = self.cfg.backoff_base * self.attempts.min(16)
-            + Duration::from_micros(u64::from(self.me()) * 500);
-        self.retry_armed = true;
-        ctx.set_timer(backoff, TAG_RETRY);
+        let tag = self.timers.arm(TIMER_RETRY, 0);
+        ctx.set_timer(self.retry.next_delay(self.attempts), tag);
     }
 
     fn on_vote(&mut self, from: NodeId, ballot: Ballot, granted: bool, version: u64, ctx: &mut dyn Context) {
-        let maj = self.cfg.majority();
-        let n = self.cfg.n_servers;
         let Some(round) = &mut self.round else {
             return;
         };
-        if round.ballot != ballot
-            || round.grants.iter().any(|&(s, _)| s == from)
-            || round.rejects.contains(&from)
-        {
+        if round.ballot != ballot {
             return;
         }
-        if granted {
-            round.grants.push((from, version));
-            if round.grants.len() >= maj {
+        // The call dedupes repeated votes; only a deciding vote returns
+        // a verdict.
+        match round.call.offer_vote(from, granted, version) {
+            Some(Verdict::Won) => {
                 let round = self.round.take().expect("checked");
-                let base = round.grants.iter().map(|&(_, v)| v).max().unwrap_or(0);
+                self.timers.disarm(TIMER_ROUND, round.ballot.seq);
+                let base = round.call.max_payload().unwrap_or(0);
                 let record = CommitRecord {
                     version: base + 1,
                     key: round.request.key,
@@ -311,18 +307,15 @@ impl McvNode {
                     request: round.request.id,
                     home: self.me(),
                     arrived: round.request.arrived,
-                    dispatched: round.started,
+                    dispatched: round.call.started(),
                     locked: ctx.now(),
                     visits: 0,
                 });
                 self.attempts = 0;
                 self.try_start_round(ctx);
             }
-        } else {
-            round.rejects.push(from);
-            if round.rejects.len() > n - maj {
-                self.abort_round(ctx);
-            }
+            Some(Verdict::Lost) => self.abort_round(ctx),
+            _ => {}
         }
     }
 
@@ -370,7 +363,8 @@ impl McvNode {
 
 impl Process for McvNode {
     fn on_start(&mut self, ctx: &mut dyn Context) {
-        ctx.set_timer(self.cfg.maintenance_interval, TAG_MAINTENANCE);
+        let tag = self.timers.arm(TIMER_MAINTENANCE, 0);
+        ctx.set_timer(self.cfg.maintenance_interval, tag);
     }
 
     fn on_message(&mut self, from: NodeId, msg: Bytes, ctx: &mut dyn Context) {
@@ -380,23 +374,23 @@ impl Process for McvNode {
     }
 
     fn on_timer(&mut self, _timer: TimerId, tag: u64, ctx: &mut dyn Context) {
-        match tag & 0xFF {
-            TAG_ROUND_TIMEOUT => {
-                let seq = tag >> 8;
-                if self.round.as_ref().is_some_and(|r| r.ballot.seq == seq) {
-                    self.abort_round(ctx);
-                }
+        let Some((kind, epoch)) = self.timers.fired(tag) else {
+            return; // stale: disarmed or from a superseded round
+        };
+        match kind {
+            TIMER_ROUND if self.round.as_ref().is_some_and(|r| r.ballot.seq == epoch) => {
+                self.abort_round(ctx);
             }
-            TAG_RETRY => {
-                self.retry_armed = false;
+            TIMER_RETRY => {
                 self.try_start_round(ctx);
             }
-            TAG_MAINTENANCE => {
+            TIMER_MAINTENANCE => {
                 let peer = (self.me() + 1) % self.cfg.n_servers as NodeId;
                 if peer != self.me() {
                     self.core.pull_if_behind(peer, ctx);
                 }
-                ctx.set_timer(self.cfg.maintenance_interval, TAG_MAINTENANCE);
+                let tag = self.timers.arm(TIMER_MAINTENANCE, 0);
+                ctx.set_timer(self.cfg.maintenance_interval, tag);
             }
             _ => {}
         }
@@ -407,9 +401,12 @@ impl Process for McvNode {
         self.promise.clear();
         self.queue.clear();
         self.round = None;
-        self.retry_armed = false;
         self.attempts = 0;
-        ctx.set_timer(self.cfg.maintenance_interval, TAG_MAINTENANCE);
+        // Timers armed before the crash never fire again (the engine
+        // drops them), so the mux restarts from scratch.
+        self.timers.clear();
+        let tag = self.timers.arm(TIMER_MAINTENANCE, 0);
+        ctx.set_timer(self.cfg.maintenance_interval, tag);
         let peer = (self.me() + 1) % self.cfg.n_servers as NodeId;
         if peer != self.me() {
             self.core.pull_from(peer, ctx);
@@ -424,7 +421,7 @@ mod tests {
     use super::*;
     use marp_net::{LinkModel, SimTransport, Topology};
     use marp_replica::{ClientProcess, Operation, ScriptedSource};
-    use marp_sim::{SimRng, Simulation, TraceLevel};
+    use marp_sim::{SimRng, SimTime, Simulation, TraceLevel};
 
     fn build(n: usize, seed: u64) -> Simulation {
         let topo = Topology::uniform_lan(n * 2 + 2, Duration::from_millis(2));

@@ -9,11 +9,12 @@
 //! MARP design avoids, and experiment E7 shows it.
 
 use bytes::{Bytes, BytesMut};
+use marp_quorum::{QuorumCall, TimerMux, Verdict};
 use marp_replica::{
     ClientRequest, CommitRecord, ServerConfig, ServerCore, SyncMsg, WriteRequest,
 };
 use marp_sim::{
-    impl_as_any, Context, NodeId, Process, SimTime, TimerId, TraceEvent,
+    impl_as_any, Context, NodeId, Process, TimerId, TraceEvent,
 };
 use marp_wire::{Wire, WireError};
 use std::collections::HashMap;
@@ -39,10 +40,6 @@ impl PcConfig {
             primary: 0,
             maintenance_interval: Duration::from_millis(500),
         }
-    }
-
-    fn majority(&self) -> usize {
-        self.n_servers / 2 + 1
     }
 }
 
@@ -125,13 +122,13 @@ fn wrap_sync(msg: SyncMsg) -> Bytes {
     marp_wire::to_bytes(&PcMsg::Sync(msg))
 }
 
-const TAG_MAINTENANCE: u64 = 1;
+const TIMER_MAINTENANCE: u8 = 1;
 
 struct InFlight {
     request: WriteRequest,
-    acks: usize,
-    completed: bool,
-    started: SimTime,
+    /// The replication round: a majority of per-replica acks (the
+    /// primary's own copy included) completes the write.
+    call: QuorumCall<()>,
 }
 
 /// One primary-copy replica server.
@@ -141,6 +138,7 @@ pub struct PcNode {
     pub core: ServerCore,
     next_version: u64,
     in_flight: HashMap<u64, InFlight>,
+    timers: TimerMux,
 }
 
 impl PcNode {
@@ -151,6 +149,7 @@ impl PcNode {
             core: ServerCore::new(me, ServerConfig::default(), wrap_sync),
             next_version: 0,
             in_flight: HashMap::new(),
+            timers: TimerMux::new(),
         }
     }
 
@@ -173,15 +172,10 @@ impl PcNode {
             request: request.id,
             committed_at: ctx.now(),
         };
-        self.in_flight.insert(
-            record.version,
-            InFlight {
-                request,
-                acks: 1, // the primary's own copy counts
-                completed: false,
-                started: ctx.now(),
-            },
-        );
+        let mut call = QuorumCall::majority(self.cfg.n_servers as u16, ctx.now());
+        // The primary's own copy counts (decides outright when n = 1).
+        let verdict = call.offer_vote(self.me(), true, ());
+        self.in_flight.insert(record.version, InFlight { request, call });
         let msg = PcMsg::Replicate {
             record: record.clone(),
         };
@@ -192,26 +186,23 @@ impl PcNode {
             }
         }
         self.core.apply_commits(vec![record], ctx);
-        self.maybe_complete(self.next_version, ctx);
+        if verdict == Some(Verdict::Won) {
+            self.complete(self.next_version, ctx);
+        }
     }
 
-    fn maybe_complete(&mut self, version: u64, ctx: &mut dyn Context) {
-        let maj = self.cfg.majority();
-        let Some(flight) = self.in_flight.get_mut(&version) else {
+    fn complete(&mut self, version: u64, ctx: &mut dyn Context) {
+        let Some(flight) = self.in_flight.remove(&version) else {
             return;
         };
-        if !flight.completed && flight.acks >= maj {
-            flight.completed = true;
-            ctx.trace(TraceEvent::UpdateCompleted {
-                request: flight.request.id,
-                home: flight.request.client, // home unknown at primary; use origin marker
-                arrived: flight.request.arrived,
-                dispatched: flight.started,
-                locked: ctx.now(),
-                visits: 0,
-            });
-            self.in_flight.remove(&version);
-        }
+        ctx.trace(TraceEvent::UpdateCompleted {
+            request: flight.request.id,
+            home: flight.request.client, // home unknown at primary; use origin marker
+            arrived: flight.request.arrived,
+            dispatched: flight.call.started(),
+            locked: ctx.now(),
+            visits: 0,
+        });
     }
 
     fn handle_msg(&mut self, from: NodeId, msg: PcMsg, ctx: &mut dyn Context) {
@@ -248,10 +239,14 @@ impl PcNode {
                 );
             }
             PcMsg::RepAck { version } => {
-                if let Some(flight) = self.in_flight.get_mut(&version) {
-                    flight.acks += 1;
+                // The call dedupes repeated acks; only the deciding ack
+                // returns a verdict.
+                let won = self.in_flight.get_mut(&version).is_some_and(|flight| {
+                    flight.call.offer_vote(from, true, ()) == Some(Verdict::Won)
+                });
+                if won {
+                    self.complete(version, ctx);
                 }
-                self.maybe_complete(version, ctx);
             }
             PcMsg::Sync(sync) => self.core.handle_sync(from, sync, ctx),
         }
@@ -260,7 +255,8 @@ impl PcNode {
 
 impl Process for PcNode {
     fn on_start(&mut self, ctx: &mut dyn Context) {
-        ctx.set_timer(self.cfg.maintenance_interval, TAG_MAINTENANCE);
+        let tag = self.timers.arm(TIMER_MAINTENANCE, 0);
+        ctx.set_timer(self.cfg.maintenance_interval, tag);
     }
 
     fn on_message(&mut self, from: NodeId, msg: Bytes, ctx: &mut dyn Context) {
@@ -270,12 +266,16 @@ impl Process for PcNode {
     }
 
     fn on_timer(&mut self, _timer: TimerId, tag: u64, ctx: &mut dyn Context) {
-        if tag == TAG_MAINTENANCE {
+        let Some((kind, _)) = self.timers.fired(tag) else {
+            return; // stale: armed before a crash
+        };
+        if kind == TIMER_MAINTENANCE {
             let peer = self.cfg.primary;
             if peer != self.me() {
                 self.core.pull_if_behind(peer, ctx);
             }
-            ctx.set_timer(self.cfg.maintenance_interval, TAG_MAINTENANCE);
+            let tag = self.timers.arm(TIMER_MAINTENANCE, 0);
+            ctx.set_timer(self.cfg.maintenance_interval, tag);
         }
     }
 
@@ -283,7 +283,11 @@ impl Process for PcNode {
         self.core.on_recover();
         self.in_flight.clear();
         self.next_version = self.core.store.applied_version();
-        ctx.set_timer(self.cfg.maintenance_interval, TAG_MAINTENANCE);
+        // Timers armed before the crash never fire again (the engine
+        // drops them), so the mux restarts from scratch.
+        self.timers.clear();
+        let tag = self.timers.arm(TIMER_MAINTENANCE, 0);
+        ctx.set_timer(self.cfg.maintenance_interval, tag);
         if !self.is_primary() {
             self.core.pull_from(self.cfg.primary, ctx);
         }
@@ -297,7 +301,7 @@ mod tests {
     use super::*;
     use marp_net::{LinkModel, SimTransport, Topology};
     use marp_replica::{ClientProcess, Operation, ScriptedSource};
-    use marp_sim::{SimRng, Simulation, TraceLevel};
+    use marp_sim::{SimRng, SimTime, Simulation, TraceLevel};
 
     fn build(n: usize, seed: u64) -> Simulation {
         let topo = Topology::uniform_lan(n * 2 + 2, Duration::from_millis(2));

@@ -8,9 +8,10 @@
 
 use crate::common::{Ballot, Promise};
 use bytes::{Bytes, BytesMut};
+use marp_quorum::{QuorumCall, RetryPolicy, SuccessRule, TimerMux, Verdict};
 use marp_replica::{ClientReply, ClientRequest, Operation, WriteRequest};
 use marp_sim::{
-    impl_as_any, Context, NodeId, Process, SimTime, TimerId, TraceEvent,
+    impl_as_any, Context, NodeId, Process, TimerId, TraceEvent,
 };
 use marp_wire::{Wire, WireError};
 use std::collections::{BTreeMap, HashMap, VecDeque};
@@ -29,8 +30,9 @@ pub struct WvConfig {
     pub promise_lease: Duration,
     /// Coordinator round timeout.
     pub round_timeout: Duration,
-    /// Backoff base after a failed round.
-    pub backoff_base: Duration,
+    /// Backoff after a failed round (the per-node stagger is folded in
+    /// at node construction).
+    pub retry: RetryPolicy,
 }
 
 impl WvConfig {
@@ -45,7 +47,7 @@ impl WvConfig {
             write_quorum: w,
             promise_lease: Duration::from_secs(2),
             round_timeout: Duration::from_millis(100),
-            backoff_base: Duration::from_millis(8),
+            retry: RetryPolicy::default_for(Duration::ZERO),
         }
     }
 
@@ -57,7 +59,7 @@ impl WvConfig {
             write_quorum: n_servers as u32,
             promise_lease: Duration::from_secs(2),
             round_timeout: Duration::from_millis(200),
-            backoff_base: Duration::from_millis(8),
+            retry: RetryPolicy::default_for(Duration::ZERO),
         }
     }
 
@@ -76,7 +78,7 @@ impl WvConfig {
     pub fn scaled_to_latency(mut self, max_latency: Duration) -> Self {
         let lat = max_latency.max(Duration::from_millis(1));
         self.round_timeout = self.round_timeout.max(lat * 5);
-        self.backoff_base = self.backoff_base.max(lat);
+        self.retry = self.retry.with_min_base(lat);
         self.promise_lease = self.promise_lease.max(self.round_timeout * 10);
         self
     }
@@ -253,26 +255,24 @@ pub fn wrap_client_request(request: ClientRequest) -> Bytes {
     marp_wire::to_bytes(&WvMsg::Client(request))
 }
 
-const TAG_ROUND_TIMEOUT: u64 = 1;
-const TAG_RETRY: u64 = 2;
+const TIMER_ROUND: u8 = 1;
+const TIMER_RETRY: u8 = 2;
 
 struct WriteRound {
     ballot: Ballot,
     request: WriteRequest,
-    granted_votes: u32,
-    granted_nodes: Vec<NodeId>,
-    max_version: u64,
-    rejected_votes: u32,
-    started: SimTime,
+    /// The vote round: a write quorum of granted votes wins, each grant
+    /// carrying the granter's highest held version.
+    call: QuorumCall<u64>,
 }
 
 struct ReadRound {
     request: u64,
     client: NodeId,
     key: u64,
-    votes: u32,
-    best: Option<(u64, u64)>,
-    done: bool,
+    /// The read round: a read quorum of votes wins, each reply carrying
+    /// the responder's `(value, version)` for the key, if present.
+    call: QuorumCall<Option<(u64, u64)>>,
 }
 
 /// One weighted-voting replica server.
@@ -289,13 +289,19 @@ pub struct WvNode {
     ballot_seq: u64,
     read_seq: u64,
     attempts: u32,
-    retry_armed: bool,
+    /// The coordinator's backoff schedule, with this node's stagger
+    /// folded in.
+    retry: RetryPolicy,
+    timers: TimerMux,
 }
 
 impl WvNode {
     /// Build the node for server `me`.
     pub fn new(me: NodeId, cfg: WvConfig) -> Self {
         cfg.validate();
+        let retry = cfg
+            .retry
+            .staggered(Duration::from_micros(500), u64::from(me), 0);
         WvNode {
             me,
             store: BTreeMap::new(),
@@ -306,7 +312,8 @@ impl WvNode {
             ballot_seq: 0,
             read_seq: 0,
             attempts: 0,
-            retry_armed: false,
+            retry,
+            timers: TimerMux::new(),
             cfg,
         }
     }
@@ -323,7 +330,7 @@ impl WvNode {
     }
 
     fn try_start_round(&mut self, ctx: &mut dyn Context) {
-        if self.round.is_some() || self.retry_armed {
+        if self.round.is_some() || self.timers.is_kind_armed(TIMER_RETRY) {
             return;
         }
         let Some(request) = self.queue.pop_front() else {
@@ -337,37 +344,38 @@ impl WvNode {
         self.round = Some(WriteRound {
             ballot,
             request,
-            granted_votes: 0,
-            granted_nodes: Vec::new(),
-            max_version: 0,
-            rejected_votes: 0,
-            started: ctx.now(),
+            call: QuorumCall::new(
+                SuccessRule::Weighted {
+                    total_votes: self.cfg.total_votes(),
+                    threshold: self.cfg.write_quorum,
+                },
+                0..self.n() as NodeId,
+                ctx.now(),
+            ),
         });
         self.broadcast(&WvMsg::WReq { ballot }, ctx);
-        ctx.set_timer(
-            self.cfg.round_timeout,
-            (ballot.seq << 8) | TAG_ROUND_TIMEOUT,
-        );
+        let tag = self.timers.arm(TIMER_ROUND, ballot.seq);
+        ctx.set_timer(self.cfg.round_timeout, tag);
     }
 
     fn abort_round(&mut self, ctx: &mut dyn Context) {
         let Some(round) = self.round.take() else {
             return;
         };
+        self.timers.disarm(TIMER_ROUND, round.ballot.seq);
         self.broadcast(&WvMsg::WRelease { ballot: round.ballot }, ctx);
         self.queue.push_front(round.request);
         self.attempts += 1;
-        let backoff = self.cfg.backoff_base * self.attempts.min(16)
-            + Duration::from_micros(u64::from(self.me) * 500);
-        self.retry_armed = true;
-        ctx.set_timer(backoff, TAG_RETRY);
+        let tag = self.timers.arm(TIMER_RETRY, 0);
+        ctx.set_timer(self.retry.next_delay(self.attempts), tag);
     }
 
     fn finish_round(&mut self, ctx: &mut dyn Context) {
         let Some(round) = self.round.take() else {
             return;
         };
-        let version = round.max_version + 1;
+        self.timers.disarm(TIMER_ROUND, round.ballot.seq);
+        let version = round.call.max_payload().unwrap_or(0) + 1;
         let apply = WvMsg::WApply {
             ballot: round.ballot,
             key: round.request.key,
@@ -376,14 +384,14 @@ impl WvNode {
         };
         let bytes = marp_wire::to_bytes(&apply);
         // Gifford: the write lands on the granting quorum only.
-        for &server in &round.granted_nodes {
+        for server in round.call.positive_nodes() {
             ctx.send(server, bytes.clone());
         }
         ctx.trace(TraceEvent::UpdateCompleted {
             request: round.request.id,
             home: self.me,
             arrived: round.request.arrived,
-            dispatched: round.started,
+            dispatched: round.call.started(),
             locked: ctx.now(),
             visits: 0,
         });
@@ -410,15 +418,21 @@ impl WvNode {
                     Operation::Read { key } | Operation::ReadFresh { key } => {
                         self.read_seq += 1;
                         let rid = (u64::from(self.me) << 40) | self.read_seq;
+                        let n = self.n() as NodeId;
                         self.reads.insert(
                             rid,
                             ReadRound {
                                 request: request.id,
                                 client: from,
                                 key,
-                                votes: 0,
-                                best: None,
-                                done: false,
+                                call: QuorumCall::new(
+                                    SuccessRule::Weighted {
+                                        total_votes: self.cfg.total_votes(),
+                                        threshold: self.cfg.read_quorum,
+                                    },
+                                    0..n,
+                                    ctx.now(),
+                                ),
                             },
                         );
                         self.broadcast(&WvMsg::RReq { rid, key }, ctx);
@@ -464,29 +478,24 @@ impl WvNode {
                 votes,
                 version,
             } => {
-                let write_quorum = self.cfg.write_quorum;
-                if let Some(round) = &mut self.round {
-                    if round.ballot == ballot && !round.granted_nodes.contains(&from) {
-                        round.granted_nodes.push(from);
-                        round.granted_votes += votes;
-                        round.max_version = round.max_version.max(version);
-                        if round.granted_votes >= write_quorum {
-                            self.finish_round(ctx);
-                        }
-                    }
+                // The call dedupes repeated grants; only the deciding
+                // vote returns a verdict.
+                let won = self.round.as_mut().is_some_and(|round| {
+                    round.ballot == ballot
+                        && round.call.offer(from, votes, true, version)
+                            == Some(Verdict::Won)
+                });
+                if won {
+                    self.finish_round(ctx);
                 }
             }
             WvMsg::WReject { ballot, votes } => {
-                let total = self.cfg.total_votes();
-                let write_quorum = self.cfg.write_quorum;
-                let mut abort = false;
-                if let Some(round) = &mut self.round {
-                    if round.ballot == ballot {
-                        round.rejected_votes += votes;
-                        abort = total - round.rejected_votes < write_quorum;
-                    }
-                }
-                if abort {
+                let lost = self.round.as_mut().is_some_and(|round| {
+                    round.ballot == ballot
+                        && round.call.offer(from, votes, false, 0)
+                            == Some(Verdict::Lost)
+                });
+                if lost {
                     self.abort_round(ctx);
                 }
             }
@@ -518,44 +527,37 @@ impl WvNode {
                 ctx.send(from, marp_wire::to_bytes(&reply));
             }
             WvMsg::RResp { rid, votes, held } => {
-                let read_quorum = self.cfg.read_quorum;
-                let mut finished: Option<(u64, NodeId, u64, Option<u64>, u64)> = None;
-                if let Some(read) = self.reads.get_mut(&rid) {
-                    if read.done {
-                        return;
-                    }
-                    read.votes += votes;
+                let won = self.reads.get_mut(&rid).is_some_and(|read| {
+                    read.call.offer(from, votes, true, held) == Some(Verdict::Won)
+                });
+                if !won {
+                    return;
+                }
+                let read = self.reads.remove(&rid).expect("checked");
+                // The first-seen observation of the highest version wins:
+                // the strictly-greater comparison keeps arrival order as
+                // the tiebreak, as before the kernel extraction.
+                let mut best: Option<(u64, u64)> = None;
+                for &(_, held) in read.call.positives() {
                     if let Some((value, version)) = held {
-                        if read.best.is_none_or(|(_, bv)| version > bv) {
-                            read.best = Some((value, version));
+                        if best.is_none_or(|(_, bv)| version > bv) {
+                            best = Some((value, version));
                         }
                     }
-                    if read.votes >= read_quorum {
-                        read.done = true;
-                        finished = Some((
-                            read.request,
-                            read.client,
-                            read.key,
-                            read.best.map(|(v, _)| v),
-                            read.best.map_or(0, |(_, ver)| ver),
-                        ));
-                    }
                 }
-                if let Some((request, client, key, value, version)) = finished {
-                    ctx.trace(TraceEvent::ReadServed {
-                        node: self.me,
-                        request,
-                        version,
-                    });
-                    let reply = ClientReply::ReadOk {
-                        id: request,
-                        key,
-                        value,
-                        version,
-                    };
-                    ctx.send(client, marp_wire::to_bytes(&reply));
-                    self.reads.remove(&rid);
-                }
+                let version = best.map_or(0, |(_, ver)| ver);
+                ctx.trace(TraceEvent::ReadServed {
+                    node: self.me,
+                    request: read.request,
+                    version,
+                });
+                let reply = ClientReply::ReadOk {
+                    id: read.request,
+                    key: read.key,
+                    value: best.map(|(v, _)| v),
+                    version,
+                };
+                ctx.send(read.client, marp_wire::to_bytes(&reply));
             }
         }
     }
@@ -569,15 +571,14 @@ impl Process for WvNode {
     }
 
     fn on_timer(&mut self, _timer: TimerId, tag: u64, ctx: &mut dyn Context) {
-        match tag & 0xFF {
-            TAG_ROUND_TIMEOUT => {
-                let seq = tag >> 8;
-                if self.round.as_ref().is_some_and(|r| r.ballot.seq == seq) {
-                    self.abort_round(ctx);
-                }
+        let Some((kind, epoch)) = self.timers.fired(tag) else {
+            return; // stale: disarmed or from a superseded round
+        };
+        match kind {
+            TIMER_ROUND if self.round.as_ref().is_some_and(|r| r.ballot.seq == epoch) => {
+                self.abort_round(ctx);
             }
-            TAG_RETRY => {
-                self.retry_armed = false;
+            TIMER_RETRY => {
                 self.try_start_round(ctx);
             }
             _ => {}
@@ -589,8 +590,10 @@ impl Process for WvNode {
         self.queue.clear();
         self.round = None;
         self.reads.clear();
-        self.retry_armed = false;
         self.attempts = 0;
+        // Timers armed before the crash never fire again (the engine
+        // drops them), so the mux restarts from scratch.
+        self.timers.clear();
         // The store survives (stable storage); stale versions are
         // masked by quorum intersection.
     }
@@ -603,7 +606,7 @@ mod tests {
     use super::*;
     use marp_net::{LinkModel, SimTransport, Topology};
     use marp_replica::{ClientProcess, ScriptedSource};
-    use marp_sim::{SimRng, Simulation, TraceLevel};
+    use marp_sim::{SimRng, SimTime, Simulation, TraceLevel};
 
     fn build(cfg: WvConfig, seed: u64) -> Simulation {
         let n = cfg.n_servers();
@@ -725,7 +728,7 @@ mod tests {
             write_quorum: 4,
             promise_lease: Duration::from_secs(2),
             round_timeout: Duration::from_millis(100),
-            backoff_base: Duration::from_millis(8),
+            retry: RetryPolicy::default_for(Duration::ZERO),
         };
         cfg.validate();
         assert_eq!(cfg.total_votes(), 7);
@@ -761,7 +764,7 @@ mod tests {
             write_quorum: 3,
             promise_lease: Duration::from_secs(2),
             round_timeout: Duration::from_millis(100),
-            backoff_base: Duration::from_millis(8),
+            retry: RetryPolicy::default_for(Duration::ZERO),
         }
         .validate();
     }

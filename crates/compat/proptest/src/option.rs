@@ -1,0 +1,41 @@
+//! Strategies for `Option`.
+
+use crate::strategy::Strategy;
+use crate::test_runner::Gen;
+
+/// `Some(value)` about three times out of four, `None` otherwise
+/// (matching upstream's default 0.75 `Some` probability).
+pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+    OptionStrategy { inner }
+}
+
+/// See [`of`].
+pub struct OptionStrategy<S> {
+    inner: S,
+}
+
+impl<S: Strategy> Strategy for OptionStrategy<S> {
+    type Value = Option<S::Value>;
+    fn generate(&self, gen: &mut Gen) -> Option<S::Value> {
+        if gen.below(4) < 3 {
+            Some(self.inner.generate(gen))
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn produces_both_variants() {
+        let mut g = Gen::from_seed(11);
+        let strat = of(0u64..100);
+        let draws: Vec<_> = (0..200).map(|_| strat.generate(&mut g)).collect();
+        assert!(draws.iter().any(Option::is_some));
+        assert!(draws.iter().any(Option::is_none));
+        assert!(draws.iter().flatten().all(|&v| v < 100));
+    }
+}

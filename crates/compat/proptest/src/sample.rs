@@ -1,0 +1,105 @@
+//! Sampling helpers: [`Index`] and [`subsequence`].
+
+use crate::strategy::{Arbitrary, SizeRange, Strategy};
+use crate::test_runner::Gen;
+
+/// A length-agnostic index: drawn once, then projected onto any
+/// collection length with [`Index::index`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Index(u64);
+
+impl Index {
+    /// Project onto `[0, len)`. Panics when `len == 0`, as upstream.
+    pub fn index(&self, len: usize) -> usize {
+        assert!(len > 0, "Index::index on empty collection");
+        (self.0 % len as u64) as usize
+    }
+}
+
+impl Arbitrary for Index {
+    fn arbitrary(gen: &mut Gen) -> Self {
+        Index(gen.next_u64())
+    }
+}
+
+/// An order-preserving random subsequence of `values`, with length drawn
+/// from `size` (which must fit within `values.len()`).
+pub fn subsequence<T: Clone + 'static>(
+    values: Vec<T>,
+    size: impl Into<SizeRange>,
+) -> Subsequence<T> {
+    Subsequence {
+        values,
+        size: size.into(),
+    }
+}
+
+/// See [`subsequence`].
+pub struct Subsequence<T> {
+    values: Vec<T>,
+    size: SizeRange,
+}
+
+impl<T: Clone + 'static> Strategy for Subsequence<T> {
+    type Value = Vec<T>;
+    fn generate(&self, gen: &mut Gen) -> Vec<T> {
+        let want = self.size.pick(gen);
+        assert!(
+            want <= self.values.len(),
+            "subsequence of {} from {} values",
+            want,
+            self.values.len()
+        );
+        // Floyd-style reservoir over indices, then sort to preserve the
+        // original order.
+        let mut picked: Vec<usize> = Vec::with_capacity(want);
+        let n = self.values.len();
+        for seen in (n - want)..n {
+            let candidate = gen.below(seen as u64 + 1) as usize;
+            if picked.contains(&candidate) {
+                picked.push(seen);
+            } else {
+                picked.push(candidate);
+            }
+        }
+        picked.sort_unstable();
+        picked.into_iter().map(|i| self.values[i].clone()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::any;
+
+    #[test]
+    fn index_projects_within_len() {
+        let mut g = Gen::from_seed(13);
+        for _ in 0..200 {
+            let idx = any::<Index>().generate(&mut g);
+            assert!(idx.index(7) < 7);
+            assert!(idx.index(1) == 0);
+        }
+    }
+
+    #[test]
+    fn subsequence_preserves_order() {
+        let mut g = Gen::from_seed(17);
+        let base: Vec<u32> = (0..20).collect();
+        let strat = subsequence(base.clone(), 0..=20);
+        for _ in 0..200 {
+            let sub = strat.generate(&mut g);
+            assert!(sub.windows(2).all(|w| w[0] < w[1]));
+            assert!(sub.iter().all(|v| base.contains(v)));
+        }
+    }
+
+    #[test]
+    fn subsequence_hits_requested_sizes() {
+        let mut g = Gen::from_seed(19);
+        let strat = subsequence(vec![1, 2, 3, 4, 5], 2..=2);
+        for _ in 0..50 {
+            assert_eq!(strat.generate(&mut g).len(), 2);
+        }
+    }
+}

@@ -19,13 +19,14 @@ use crate::lt::{decide, majority, LockingTable, Priority};
 use crate::msg::{AgentReply, CommitMsg, NodeMsg, UpdateMsg};
 use bytes::{Bytes, BytesMut};
 use marp_agent::{Action, AgentBehavior, AgentEnv, AgentId, Itinerary};
+use marp_quorum::{QuorumCall, RetryPolicy, TimerMux, Verdict};
 use marp_replica::{CommitRecord, UpdatedList, WriteRequest};
-use marp_sim::{NodeId, SimTime, TraceEvent};
+use marp_sim::{NodeId, TraceEvent};
 use marp_wire::{Wire, WireError};
 use std::time::Duration;
 
-const TAG_REPOLL: u64 = 1;
-const TAG_ACK_TIMEOUT: u64 = 2;
+const TIMER_REPOLL: u8 = 1;
+const TIMER_ACK: u8 = 2;
 
 /// The agent's current protocol phase.
 #[derive(Debug, Clone, PartialEq)]
@@ -40,12 +41,10 @@ pub enum Phase {
         via_tie: bool,
         /// The tie certificate sent with the claim.
         certificate: Vec<AgentId>,
-        /// Positive acks: (server, its applied version).
-        positives: Vec<(NodeId, u64)>,
-        /// Servers that refused the claim.
-        negatives: Vec<NodeId>,
-        /// When the lock was established (paper's ALT endpoint).
-        locked_at: SimTime,
+        /// The majority ack round; each positive reply carries the
+        /// server's applied version. Its start time is when the lock was
+        /// established (the paper's ALT endpoint).
+        call: QuorumCall<u64>,
     },
 }
 
@@ -57,16 +56,12 @@ impl Wire for Phase {
             Phase::Updating {
                 via_tie,
                 certificate,
-                positives,
-                negatives,
-                locked_at,
+                call,
             } => {
                 2u8.encode(buf);
                 via_tie.encode(buf);
                 certificate.encode(buf);
-                positives.encode(buf);
-                negatives.encode(buf);
-                locked_at.encode(buf);
+                call.encode(buf);
             }
         }
     }
@@ -77,9 +72,7 @@ impl Wire for Phase {
             2 => Ok(Phase::Updating {
                 via_tie: bool::decode(buf)?,
                 certificate: Vec::decode(buf)?,
-                positives: Vec::decode(buf)?,
-                negatives: Vec::decode(buf)?,
-                locked_at: SimTime::decode(buf)?,
+                call: QuorumCall::decode(buf)?,
             }),
             tag => Err(WireError::InvalidTag {
                 type_name: "Phase",
@@ -109,6 +102,7 @@ pub struct UpdateAgent {
     attempt: u32,
     repoll_epoch: u32,
     repoll_round: u32,
+    timers: TimerMux,
     phase: Phase,
 }
 
@@ -127,6 +121,7 @@ impl Wire for UpdateAgent {
         self.attempt.encode(buf);
         self.repoll_epoch.encode(buf);
         self.repoll_round.encode(buf);
+        self.timers.encode(buf);
         self.phase.encode(buf);
     }
     fn decode(buf: &mut Bytes) -> Result<Self, WireError> {
@@ -144,6 +139,7 @@ impl Wire for UpdateAgent {
             attempt: u32::decode(buf)?,
             repoll_epoch: u32::decode(buf)?,
             repoll_round: u32::decode(buf)?,
+            timers: TimerMux::decode(buf)?,
             phase: Phase::decode(buf)?,
         })
     }
@@ -167,6 +163,7 @@ impl UpdateAgent {
             attempt: 0,
             repoll_epoch: 0,
             repoll_round: 0,
+            timers: TimerMux::new(),
             phase: Phase::Travelling,
         }
     }
@@ -256,23 +253,27 @@ impl UpdateAgent {
             return;
         }
         self.phase = Phase::Parked;
+        self.timers.disarm_kind(TIMER_REPOLL);
         self.repoll_epoch += 1;
         self.repoll_round = 0;
         self.arm_repoll(env);
     }
 
+    /// The parked re-poll backoff: parked agents mostly learn of LL
+    /// changes through pushed notifications, so the re-poll is a
+    /// fallback that should not flood the network under heavy
+    /// contention — exponential, capped at 8x, with a small
+    /// deterministic per-agent stagger so many agents parking together
+    /// do not re-poll in lockstep.
+    fn repoll_policy(&self) -> RetryPolicy {
+        RetryPolicy::exponential(Duration::from_millis(u64::from(self.park_repoll_ms)), 3)
+            .staggered(Duration::from_millis(1), self.id.key(), 8)
+    }
+
     fn arm_repoll(&mut self, env: &mut AgentEnv<'_>) {
-        // Exponential backoff (capped at 8x): parked agents mostly learn
-        // of LL changes through pushed notifications, so the re-poll is
-        // a fallback that should not flood the network under heavy
-        // contention. A small deterministic per-agent stagger avoids
-        // synchronized re-poll storms when many agents park together.
-        let factor = 1u64 << self.repoll_round.min(3);
-        let stagger = self.id.key() % 8;
-        env.set_timer(
-            Duration::from_millis(u64::from(self.park_repoll_ms) * factor + stagger),
-            (u64::from(self.repoll_epoch) << 8) | TAG_REPOLL,
-        );
+        let delay = self.repoll_policy().next_delay(self.repoll_round);
+        let tag = self.timers.arm(TIMER_REPOLL, u64::from(self.repoll_epoch));
+        env.set_timer(delay, tag);
     }
 
     fn start_update(&mut self, env: &mut AgentEnv<'_>, via_tie: bool, certificate: Vec<AgentId>) {
@@ -298,30 +299,22 @@ impl UpdateAgent {
         self.phase = Phase::Updating {
             via_tie,
             certificate,
-            positives: Vec::new(),
-            negatives: Vec::new(),
-            locked_at: env.now(),
+            call: QuorumCall::majority(self.n, env.now()),
         };
-        env.set_timer(
-            Duration::from_millis(u64::from(self.ack_timeout_ms)),
-            (u64::from(self.attempt) << 8) | TAG_ACK_TIMEOUT,
-        );
+        self.timers.disarm_kind(TIMER_ACK);
+        let tag = self.timers.arm(TIMER_ACK, u64::from(self.attempt));
+        env.set_timer(Duration::from_millis(u64::from(self.ack_timeout_ms)), tag);
     }
 
     fn commit_and_dispose(&mut self, env: &mut AgentEnv<'_>) -> Action {
-        let Phase::Updating {
-            positives,
-            locked_at,
-            ..
-        } = &self.phase
-        else {
+        let Phase::Updating { call, .. } = &self.phase else {
             return Action::Stay;
         };
-        let locked_at = *locked_at;
+        let locked_at = call.started();
         // "It then checks the time of last update of all the quorum
         // members and uses the most recent copy": commit on top of the
         // quorum's maximum applied version.
-        let base = positives.iter().map(|&(_, v)| v).max().unwrap_or(0);
+        let base = call.max_payload().unwrap_or(0);
         let records: Vec<CommitRecord> = self
             .rl
             .iter()
@@ -357,6 +350,7 @@ impl UpdateAgent {
         env.trace(TraceEvent::WinAborted {
             agent: self.id.key(),
         });
+        self.timers.disarm_kind(TIMER_ACK);
         let msg = NodeMsg::Release { agent: self.id };
         self.broadcast(env, &msg);
         // Fall back to parked: the next re-poll (after a short pause,
@@ -439,32 +433,20 @@ impl AgentBehavior for UpdateAgent {
                 if attempt != self.attempt {
                     return Action::Stay; // stale ack from an aborted claim
                 }
-                let maj = self.maj();
-                let n = usize::from(self.n);
-                let Phase::Updating {
-                    positives,
-                    negatives,
-                    ..
-                } = &mut self.phase
-                else {
+                let Phase::Updating { call, .. } = &mut self.phase else {
                     return Action::Stay;
                 };
-                if positives.iter().any(|&(s, _)| s == node) || negatives.contains(&node) {
-                    return Action::Stay;
-                }
-                if positive {
-                    positives.push((node, store_version));
-                    if positives.len() >= maj {
-                        return self.commit_and_dispose(env);
-                    }
-                } else {
-                    negatives.push(node);
-                    if negatives.len() > n - maj {
+                // The call dedupes repeated acks; only a deciding reply
+                // returns a verdict.
+                match call.offer_vote(node, positive, store_version) {
+                    Some(Verdict::Won) => self.commit_and_dispose(env),
+                    Some(Verdict::Lost) => {
                         // A positive majority is no longer possible.
                         self.abort_claim(env);
+                        Action::Stay
                     }
+                    _ => Action::Stay,
                 }
-                Action::Stay
             }
             AgentReply::LlInfo {
                 node,
@@ -488,11 +470,12 @@ impl AgentBehavior for UpdateAgent {
         _host: &mut MarpServerState,
         env: &mut AgentEnv<'_>,
     ) -> Action {
-        let kind = tag & 0xFF;
-        let epoch = (tag >> 8) as u32;
+        let Some((kind, epoch)) = self.timers.fired(tag) else {
+            return Action::Stay; // stale: disarmed or from a dead epoch
+        };
         match kind {
-            TAG_REPOLL => {
-                if matches!(self.phase, Phase::Parked) && epoch == self.repoll_epoch {
+            TIMER_REPOLL => {
+                if matches!(self.phase, Phase::Parked) && epoch == u64::from(self.repoll_epoch) {
                     let msg = NodeMsg::LlQuery {
                         agent: self.id,
                         reply_to: env.here(),
@@ -503,8 +486,9 @@ impl AgentBehavior for UpdateAgent {
                 }
                 Action::Stay
             }
-            TAG_ACK_TIMEOUT => {
-                if matches!(self.phase, Phase::Updating { .. }) && epoch == self.attempt {
+            TIMER_ACK => {
+                if matches!(self.phase, Phase::Updating { .. }) && epoch == u64::from(self.attempt)
+                {
                     self.abort_claim(env);
                 }
                 Action::Stay
@@ -529,6 +513,7 @@ impl AgentBehavior for UpdateAgent {
 mod tests {
     use super::*;
     use crate::MarpConfig;
+    use marp_sim::SimTime;
 
     fn agent() -> UpdateAgent {
         let cfg = MarpConfig::new(5);
@@ -556,15 +541,18 @@ mod tests {
     #[test]
     fn wire_roundtrip_of_updating_phase() {
         let mut a = agent();
+        let mut call = QuorumCall::majority(5, SimTime::from_millis(7));
+        call.offer_vote(0, true, 4);
+        call.offer_vote(2, true, 5);
+        call.offer_vote(1, false, 0);
         a.phase = Phase::Updating {
             via_tie: true,
             certificate: vec![AgentId::new(1, SimTime::ZERO, 0)],
-            positives: vec![(0, 4), (2, 5)],
-            negatives: vec![1],
-            locked_at: SimTime::from_millis(7),
+            call,
         };
         a.visited = vec![0, 1, 2];
         a.attempt = 3;
+        a.timers.arm(TIMER_ACK, 3);
         let bytes = marp_wire::to_bytes(&a);
         let back: UpdateAgent = marp_wire::from_bytes(&bytes).unwrap();
         assert_eq!(back, a);

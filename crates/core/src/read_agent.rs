@@ -15,9 +15,14 @@
 use crate::host::MarpServerState;
 use bytes::{Bytes, BytesMut};
 use marp_agent::{Action, AgentBehavior, AgentEnv, AgentId, Itinerary};
+use marp_quorum::{QuorumCall, SuccessRule, Verdict};
 use marp_replica::ClientReply;
 use marp_sim::{NodeId, TraceEvent};
 use marp_wire::{Wire, WireError};
+
+/// What one visit observes: (applied version, key version, value if
+/// present).
+type Observation = (u64, u64, Option<u64>);
 
 /// A travelling quorum-read agent.
 #[derive(Debug, Clone, PartialEq)]
@@ -30,9 +35,9 @@ pub struct ReadAgent {
     client: NodeId,
     /// Key under inspection.
     key: u64,
-    /// Per-visited-replica observations: (applied version, key version,
-    /// value if present).
-    observed: Vec<(u64, u64, Option<u64>)>,
+    /// The visit round: first-majority-of-replicas-consulted wins, each
+    /// positive reply carrying that replica's observation.
+    call: QuorumCall<Observation>,
     itinerary: Itinerary,
     visited: u32,
 }
@@ -44,7 +49,7 @@ impl Wire for ReadAgent {
         self.request.encode(buf);
         self.client.encode(buf);
         self.key.encode(buf);
-        self.observed.encode(buf);
+        self.call.encode(buf);
         self.itinerary.encode(buf);
         self.visited.encode(buf);
     }
@@ -55,7 +60,7 @@ impl Wire for ReadAgent {
             request: u64::decode(buf)?,
             client: NodeId::decode(buf)?,
             key: u64::decode(buf)?,
-            observed: Vec::decode(buf)?,
+            call: QuorumCall::decode(buf)?,
             itinerary: Itinerary::decode(buf)?,
             visited: u32::decode(buf)?,
         })
@@ -71,13 +76,15 @@ impl ReadAgent {
         client: NodeId,
         key: u64,
     ) -> Self {
+        let n = cfg.n_servers as u16;
+        let k = crate::lt::majority(cfg.n_servers) as u16;
         ReadAgent {
             id,
-            n: cfg.n_servers as u16,
+            n,
             request,
             client,
             key,
-            observed: Vec::new(),
+            call: QuorumCall::new(SuccessRule::FirstK { k }, 0..n, id.born),
             itinerary: Itinerary::for_system(cfg.n_servers, id.home, cfg.itinerary),
             visited: 0,
         }
@@ -88,6 +95,7 @@ impl ReadAgent {
         self.visited
     }
 
+    #[cfg(test)]
     fn maj(&self) -> usize {
         crate::lt::majority(usize::from(self.n))
     }
@@ -96,10 +104,11 @@ impl ReadAgent {
         // The freshest observation wins: highest key version, with the
         // highest applied version as tiebreak for absent keys.
         let best = self
-            .observed
+            .call
+            .positives()
             .iter()
-            .max_by_key(|&&(applied, key_version, _)| (key_version, applied))
-            .copied();
+            .map(|&(_, obs)| obs)
+            .max_by_key(|&(applied, key_version, _)| (key_version, applied));
         let (applied, key_version, value) = best.unwrap_or((0, 0, None));
         env.trace(TraceEvent::ReadServed {
             node: env.here(),
@@ -125,7 +134,7 @@ impl ReadAgent {
     }
 
     fn proceed(&mut self, host: &mut MarpServerState, env: &mut AgentEnv<'_>) -> Action {
-        if self.observed.len() >= self.maj() {
+        if self.call.verdict() == Some(Verdict::Won) {
             return self.finish(env);
         }
         match self.itinerary.next_destination(|to| host.route_cost(to)) {
@@ -147,11 +156,15 @@ impl AgentBehavior for ReadAgent {
         self.visited += 1;
         let store = &host.core.store;
         let stored = store.get(self.key);
-        self.observed.push((
-            store.applied_version(),
-            stored.map_or(0, |s| s.version),
-            stored.map(|s| s.value),
-        ));
+        self.call.offer_vote(
+            env.here(),
+            true,
+            (
+                store.applied_version(),
+                stored.map_or(0, |s| s.version),
+                stored.map(|s| s.value),
+            ),
+        );
         self.proceed(host, env)
     }
 
@@ -183,7 +196,7 @@ mod tests {
             9,
             5,
         );
-        agent.observed.push((3, 2, Some(20)));
+        agent.call.offer_vote(1, true, (3, 2, Some(20)));
         agent.visited = 1;
         let bytes = marp_wire::to_bytes(&agent);
         let back: ReadAgent = marp_wire::from_bytes(&bytes).unwrap();

@@ -1,0 +1,455 @@
+//! Quorum calls: broadcast a question, collect deduplicated per-node
+//! replies, decide through a configurable success predicate.
+
+use bytes::{Bytes, BytesMut};
+use marp_sim::{NodeId, SimTime};
+use marp_wire::{Wire, WireError};
+
+/// When is a call decided, and how?
+///
+/// Each variant captures one protocol family's predicate. The *lost*
+/// condition is always "success has become impossible", specialized per
+/// rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SuccessRule {
+    /// Strict majority of `n` voters: won at `n/2 + 1` positive
+    /// replies, lost when more than `n - (n/2 + 1)` voters refused
+    /// (a positive majority can no longer be assembled). Used by the
+    /// MARP update agent's UPDATE round, MCV vote rounds, and the
+    /// primary-copy replication ack round.
+    Majority {
+        /// Number of voters.
+        n: u16,
+    },
+    /// Weighted (Gifford) voting: won when the granted vote weight
+    /// reaches `threshold`, lost when even every still-silent voter
+    /// could not lift the granted weight to `threshold` (i.e.
+    /// `total_votes - rejected < threshold`).
+    Weighted {
+        /// Sum of all voters' weights.
+        total_votes: u32,
+        /// Weight that must be granted to win.
+        threshold: u32,
+    },
+    /// Won only when *every* recipient has answered (or been
+    /// retracted as failed): the Available-Copy write-all-available
+    /// rule. Never lost by replies alone.
+    AllAvailable,
+    /// Won at the first `k` positive replies, regardless of how many
+    /// recipients exist: the travelling read agent's majority visit.
+    /// Never lost by replies alone (the caller decides when to give
+    /// up).
+    FirstK {
+        /// Positive replies required.
+        k: u16,
+    },
+}
+
+/// The terminal outcome of a call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// The success predicate fired.
+    Won,
+    /// Success became impossible.
+    Lost,
+    /// The caller's deadline expired first.
+    TimedOut,
+}
+
+/// One broadcast/collect round.
+///
+/// Create it when the question is broadcast, [`offer`](Self::offer)
+/// each reply as it arrives, and act on the verdict transition the
+/// offer reports. Replies are deduplicated per node (only the first
+/// answer from each recipient counts) and replies from nodes outside
+/// the recipient set are ignored, so duplicate or reordered deliveries
+/// can never change the verdict. `T` is the payload a positive reply
+/// carries (a store version, an observation, or `()`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuorumCall<T> {
+    rule: SuccessRule,
+    /// Recipients that have not answered (and not been retracted).
+    outstanding: Vec<NodeId>,
+    positives: Vec<(NodeId, T)>,
+    negatives: Vec<NodeId>,
+    granted_votes: u32,
+    rejected_votes: u32,
+    started: SimTime,
+    verdict: Option<Verdict>,
+}
+
+impl<T> QuorumCall<T> {
+    /// Open a call to `recipients` under `rule`, started at `started`
+    /// (kept for latency accounting). An [`SuccessRule::AllAvailable`]
+    /// call with no recipients is won immediately.
+    pub fn new(
+        rule: SuccessRule,
+        recipients: impl IntoIterator<Item = NodeId>,
+        started: SimTime,
+    ) -> Self {
+        let mut outstanding: Vec<NodeId> = recipients.into_iter().collect();
+        outstanding.sort_unstable();
+        outstanding.dedup();
+        let mut call = QuorumCall {
+            rule,
+            outstanding,
+            positives: Vec::new(),
+            negatives: Vec::new(),
+            granted_votes: 0,
+            rejected_votes: 0,
+            started,
+            verdict: None,
+        };
+        call.evaluate();
+        call
+    }
+
+    /// A majority call over servers `0..n`.
+    pub fn majority(n: u16, started: SimTime) -> Self {
+        QuorumCall::new(SuccessRule::Majority { n }, 0..n, started)
+    }
+
+    /// Record one reply. `votes` is the replier's weight (1 for
+    /// unweighted rules); a positive reply attaches `payload`. Returns
+    /// the verdict if — and only if — this reply decided the call;
+    /// duplicate replies, replies from non-recipients, and replies
+    /// after the call is decided all return `None` without changing
+    /// anything.
+    pub fn offer(&mut self, node: NodeId, votes: u32, positive: bool, payload: T) -> Option<Verdict> {
+        if self.verdict.is_some() {
+            return None;
+        }
+        let slot = self.outstanding.iter().position(|&r| r == node)?;
+        self.outstanding.swap_remove(slot);
+        if positive {
+            self.positives.push((node, payload));
+            self.granted_votes += votes;
+        } else {
+            self.negatives.push(node);
+            self.rejected_votes += votes;
+        }
+        self.evaluate();
+        self.verdict
+    }
+
+    /// Record one unweighted reply (see [`offer`](Self::offer)).
+    pub fn offer_vote(&mut self, node: NodeId, positive: bool, payload: T) -> Option<Verdict> {
+        self.offer(node, 1, positive, payload)
+    }
+
+    /// Remove a recipient that will never answer (its node was declared
+    /// failed). Under [`SuccessRule::AllAvailable`] this can decide the
+    /// call; the transition is reported exactly like `offer`'s.
+    pub fn retract(&mut self, node: NodeId) -> Option<Verdict> {
+        if self.verdict.is_some() {
+            return None;
+        }
+        let slot = self.outstanding.iter().position(|&r| r == node)?;
+        self.outstanding.swap_remove(slot);
+        self.evaluate();
+        self.verdict
+    }
+
+    /// The caller's deadline expired. Returns `true` if this decided
+    /// the call (it was still pending).
+    pub fn timed_out(&mut self) -> bool {
+        if self.verdict.is_some() {
+            return false;
+        }
+        self.verdict = Some(Verdict::TimedOut);
+        true
+    }
+
+    fn evaluate(&mut self) {
+        debug_assert!(self.verdict.is_none());
+        let decided = match self.rule {
+            SuccessRule::Majority { n } => {
+                let maj = usize::from(n) / 2 + 1;
+                if self.positives.len() >= maj {
+                    Some(Verdict::Won)
+                } else if self.negatives.len() > usize::from(n) - maj {
+                    Some(Verdict::Lost)
+                } else {
+                    None
+                }
+            }
+            SuccessRule::Weighted {
+                total_votes,
+                threshold,
+            } => {
+                if self.granted_votes >= threshold {
+                    Some(Verdict::Won)
+                } else if total_votes - self.rejected_votes.min(total_votes) < threshold {
+                    Some(Verdict::Lost)
+                } else {
+                    None
+                }
+            }
+            SuccessRule::AllAvailable => self.outstanding.is_empty().then_some(Verdict::Won),
+            SuccessRule::FirstK { k } => {
+                (self.positives.len() >= usize::from(k)).then_some(Verdict::Won)
+            }
+        };
+        self.verdict = decided;
+    }
+
+    /// The verdict, if the call is decided.
+    pub fn verdict(&self) -> Option<Verdict> {
+        self.verdict
+    }
+
+    /// True while undecided.
+    pub fn is_pending(&self) -> bool {
+        self.verdict.is_none()
+    }
+
+    /// Positive replies in arrival order: `(node, payload)`.
+    pub fn positives(&self) -> &[(NodeId, T)] {
+        &self.positives
+    }
+
+    /// Nodes that replied negatively, in arrival order.
+    pub fn negatives(&self) -> &[NodeId] {
+        &self.negatives
+    }
+
+    /// Nodes that have granted, in arrival order.
+    pub fn positive_nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.positives.iter().map(|&(node, _)| node)
+    }
+
+    /// Sum of granted vote weights.
+    pub fn granted_votes(&self) -> u32 {
+        self.granted_votes
+    }
+
+    /// When the call was opened.
+    pub fn started(&self) -> SimTime {
+        self.started
+    }
+
+    /// The rule the call decides under.
+    pub fn rule(&self) -> SuccessRule {
+        self.rule
+    }
+}
+
+impl<T: Ord + Copy> QuorumCall<T> {
+    /// The largest payload among positive replies ("use the most recent
+    /// copy"), if any reply was positive.
+    pub fn max_payload(&self) -> Option<T> {
+        self.positives.iter().map(|&(_, p)| p).max()
+    }
+}
+
+impl Wire for Verdict {
+    fn encode(&self, buf: &mut BytesMut) {
+        match self {
+            Verdict::Won => 0u8.encode(buf),
+            Verdict::Lost => 1u8.encode(buf),
+            Verdict::TimedOut => 2u8.encode(buf),
+        }
+    }
+    fn decode(buf: &mut Bytes) -> Result<Self, WireError> {
+        match u8::decode(buf)? {
+            0 => Ok(Verdict::Won),
+            1 => Ok(Verdict::Lost),
+            2 => Ok(Verdict::TimedOut),
+            tag => Err(WireError::InvalidTag {
+                type_name: "Verdict",
+                tag: u32::from(tag),
+            }),
+        }
+    }
+}
+
+impl Wire for SuccessRule {
+    fn encode(&self, buf: &mut BytesMut) {
+        match self {
+            SuccessRule::Majority { n } => {
+                0u8.encode(buf);
+                n.encode(buf);
+            }
+            SuccessRule::Weighted {
+                total_votes,
+                threshold,
+            } => {
+                1u8.encode(buf);
+                total_votes.encode(buf);
+                threshold.encode(buf);
+            }
+            SuccessRule::AllAvailable => 2u8.encode(buf),
+            SuccessRule::FirstK { k } => {
+                3u8.encode(buf);
+                k.encode(buf);
+            }
+        }
+    }
+    fn decode(buf: &mut Bytes) -> Result<Self, WireError> {
+        match u8::decode(buf)? {
+            0 => Ok(SuccessRule::Majority {
+                n: u16::decode(buf)?,
+            }),
+            1 => Ok(SuccessRule::Weighted {
+                total_votes: u32::decode(buf)?,
+                threshold: u32::decode(buf)?,
+            }),
+            2 => Ok(SuccessRule::AllAvailable),
+            3 => Ok(SuccessRule::FirstK {
+                k: u16::decode(buf)?,
+            }),
+            tag => Err(WireError::InvalidTag {
+                type_name: "SuccessRule",
+                tag: u32::from(tag),
+            }),
+        }
+    }
+}
+
+impl<T: Wire> Wire for QuorumCall<T> {
+    fn encode(&self, buf: &mut BytesMut) {
+        self.rule.encode(buf);
+        self.outstanding.encode(buf);
+        self.positives.encode(buf);
+        self.negatives.encode(buf);
+        self.granted_votes.encode(buf);
+        self.rejected_votes.encode(buf);
+        self.started.encode(buf);
+        self.verdict.encode(buf);
+    }
+    fn decode(buf: &mut Bytes) -> Result<Self, WireError> {
+        Ok(QuorumCall {
+            rule: SuccessRule::decode(buf)?,
+            outstanding: Vec::decode(buf)?,
+            positives: Vec::decode(buf)?,
+            negatives: Vec::decode(buf)?,
+            granted_votes: u32::decode(buf)?,
+            rejected_votes: u32::decode(buf)?,
+            started: SimTime::decode(buf)?,
+            verdict: Option::decode(buf)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn majority_wins_at_threshold_and_not_before() {
+        let mut call = QuorumCall::majority(5, SimTime::ZERO);
+        assert_eq!(call.offer_vote(0, true, 10u64), None);
+        assert_eq!(call.offer_vote(3, true, 12), None);
+        assert_eq!(call.offer_vote(1, true, 11), Some(Verdict::Won));
+        assert_eq!(call.max_payload(), Some(12));
+        assert_eq!(call.positive_nodes().collect::<Vec<_>>(), vec![0, 3, 1]);
+    }
+
+    #[test]
+    fn majority_loses_when_impossible() {
+        // n = 5, maj = 3: two refusals leave three possible grants
+        // (still winnable); the third refusal makes a majority
+        // impossible.
+        let mut call = QuorumCall::majority(5, SimTime::ZERO);
+        assert_eq!(call.offer_vote(0, false, 0u64), None);
+        assert_eq!(call.offer_vote(1, false, 0), None);
+        assert_eq!(call.offer_vote(2, false, 0), Some(Verdict::Lost));
+        assert_eq!(call.negatives(), &[0, 1, 2]);
+    }
+
+    #[test]
+    fn duplicates_and_strangers_are_ignored() {
+        let mut call = QuorumCall::majority(3, SimTime::ZERO);
+        assert_eq!(call.offer_vote(0, true, 1u64), None);
+        // Duplicate from node 0 (even flipping its answer) is inert.
+        assert_eq!(call.offer_vote(0, false, 9), None);
+        assert_eq!(call.negatives(), &[] as &[NodeId]);
+        // Node 7 is not a recipient.
+        assert_eq!(call.offer_vote(7, true, 9), None);
+        assert_eq!(call.offer_vote(2, true, 2), Some(Verdict::Won));
+        // Decided: further replies change nothing.
+        assert_eq!(call.offer_vote(1, true, 3), None);
+        assert_eq!(call.positives().len(), 2);
+    }
+
+    #[test]
+    fn weighted_counts_votes_not_nodes() {
+        let rule = SuccessRule::Weighted {
+            total_votes: 7,
+            threshold: 4,
+        };
+        let mut call = QuorumCall::new(rule, 0..5, SimTime::ZERO);
+        assert_eq!(call.offer(0, 3, true, 5u64), None);
+        assert_eq!(call.offer(1, 1, true, 2), Some(Verdict::Won));
+        assert_eq!(call.granted_votes(), 4);
+    }
+
+    #[test]
+    fn weighted_loses_when_threshold_unreachable() {
+        let rule = SuccessRule::Weighted {
+            total_votes: 5,
+            threshold: 3,
+        };
+        let mut call = QuorumCall::new(rule, 0..5, SimTime::ZERO);
+        assert_eq!(call.offer(0, 1, false, 0u64), None);
+        assert_eq!(call.offer(1, 1, false, 0), None);
+        // 5 - 3 = 2 < 3: lost.
+        assert_eq!(call.offer(2, 1, false, 0), Some(Verdict::Lost));
+    }
+
+    #[test]
+    fn all_available_waits_for_everyone() {
+        let mut call = QuorumCall::new(SuccessRule::AllAvailable, [1u16, 2, 3], SimTime::ZERO);
+        assert_eq!(call.offer_vote(1, true, ()), None);
+        assert_eq!(call.offer_vote(3, true, ()), None);
+        assert_eq!(call.offer_vote(2, true, ()), Some(Verdict::Won));
+    }
+
+    #[test]
+    fn all_available_with_no_recipients_wins_immediately() {
+        let call = QuorumCall::<()>::new(SuccessRule::AllAvailable, [], SimTime::ZERO);
+        assert_eq!(call.verdict(), Some(Verdict::Won));
+    }
+
+    #[test]
+    fn retract_can_complete_all_available() {
+        let mut call = QuorumCall::new(SuccessRule::AllAvailable, [1u16, 2], SimTime::ZERO);
+        assert_eq!(call.offer_vote(1, true, ()), None);
+        assert_eq!(call.retract(2), Some(Verdict::Won));
+        assert_eq!(call.retract(2), None);
+    }
+
+    #[test]
+    fn first_k_ignores_recipient_count() {
+        let mut call = QuorumCall::new(SuccessRule::FirstK { k: 2 }, 0..5, SimTime::ZERO);
+        assert_eq!(call.offer_vote(4, true, (1u64, 2u64)), None);
+        assert_eq!(call.offer_vote(2, true, (3, 1)), Some(Verdict::Won));
+    }
+
+    #[test]
+    fn timeout_only_decides_pending_calls() {
+        let mut call = QuorumCall::majority(3, SimTime::from_millis(5));
+        assert!(call.timed_out());
+        assert_eq!(call.verdict(), Some(Verdict::TimedOut));
+        assert!(!call.timed_out());
+        assert_eq!(call.offer_vote(0, true, 1u64), None);
+        assert_eq!(call.started(), SimTime::from_millis(5));
+    }
+
+    #[test]
+    fn wire_roundtrip_mid_flight_and_decided() {
+        let mut call = QuorumCall::majority(5, SimTime::from_millis(3));
+        call.offer_vote(1, true, 7u64);
+        call.offer_vote(4, false, 0);
+        for case in [call.clone(), {
+            let mut c = call;
+            c.offer_vote(0, true, 9);
+            c.offer_vote(2, true, 5);
+            c
+        }] {
+            let bytes = marp_wire::to_bytes(&case);
+            let back: QuorumCall<u64> = marp_wire::from_bytes(&bytes).unwrap();
+            assert_eq!(back, case);
+        }
+    }
+}

@@ -111,6 +111,12 @@ impl LockingList {
     }
 
     /// Drop expired entries; returns the agents purged.
+    ///
+    /// Leases are half-open intervals `[enqueued, expires_at)`: an entry
+    /// is live while `now < expires_at` and purged at the expiry instant
+    /// itself (`expires_at <= now`). The baselines' `Promise` lease uses
+    /// the same convention (`expires > now` to bind), so at exactly
+    /// `t = expires` both structures agree the holder is gone.
     pub fn purge_expired(&mut self, now: SimTime) -> Vec<AgentId> {
         let mut purged = Vec::new();
         self.entries.retain(|e| {
@@ -305,6 +311,21 @@ mod tests {
         let purged = ll.purge_expired(SimTime::from_millis(100));
         assert_eq!(purged, vec![agent(1, 0)]);
         assert_eq!(ll.top(), Some(agent(2, 0)));
+    }
+
+    #[test]
+    fn lease_boundary_is_half_open() {
+        let mut ll = LockingList::new();
+        ll.request(agent(1, 0), SimTime::from_millis(1), Duration::from_millis(10), 9);
+        // One instant before expiry the entry survives...
+        assert!(ll.purge_expired(SimTime::from_nanos(11_000_000 - 1)).is_empty());
+        assert_eq!(ll.top(), Some(agent(1, 0)));
+        // ...and at exactly t = enqueued + lease it is purged.
+        assert_eq!(
+            ll.purge_expired(SimTime::from_millis(11)),
+            vec![agent(1, 0)]
+        );
+        assert_eq!(ll.top(), None);
     }
 
     #[test]

@@ -35,7 +35,7 @@ proptest! {
             let version = pending[pick];
             store.offer(record(version), SimTime::from_millis(version));
             // Duplicates allowed: only remove sometimes.
-            if version % 3 != 0 {
+            if !version.is_multiple_of(3) {
                 pending.remove(pick);
             }
         }

@@ -6,20 +6,31 @@
 //! seed therefore produce identical event sequences, while components stay
 //! statistically independent of each other.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, RngCore, SeedableRng};
-
 /// A fast, seedable RNG for simulation components.
+///
+/// xoshiro256++, seeded by expanding the 64-bit seed through
+/// [`splitmix64`] (the construction its authors recommend). Implemented
+/// here directly so the simulator has no external RNG dependency.
 #[derive(Debug, Clone)]
 pub struct SimRng {
-    inner: SmallRng,
+    state: [u64; 4],
 }
+
+/// Fixed salt folded into every seed before state expansion, so small
+/// integer seeds (0, 1, 2, …) land in well-separated splitmix streams.
+const SEED_SALT: u64 = 0xDA942042E4DD58B5;
 
 impl SimRng {
     /// Construct directly from a 64-bit seed.
     pub fn from_seed(seed: u64) -> Self {
+        let mut sm = seed ^ SEED_SALT;
+        let mut word = || {
+            let w = splitmix64(sm);
+            sm = sm.wrapping_add(0x9E3779B97F4A7C15);
+            w
+        };
         SimRng {
-            inner: SmallRng::seed_from_u64(seed),
+            state: [word(), word(), word(), word()],
         }
     }
 
@@ -37,21 +48,34 @@ impl SimRng {
         ))
     }
 
-    /// Uniform `f64` in `[0, 1)`.
+    /// Uniform `f64` in `[0, 1)`, with the full 53 bits of precision.
     pub fn f64(&mut self) -> f64 {
-        self.inner.gen::<f64>()
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// Uniform integer in `[0, bound)`. Panics if `bound == 0`.
+    ///
+    /// Uses rejection sampling so every residue is exactly equally
+    /// likely (no modulo bias).
     pub fn below(&mut self, bound: u64) -> u64 {
         assert!(bound > 0, "below(0) is meaningless");
-        self.inner.gen_range(0..bound)
+        let zone = u64::MAX - (u64::MAX % bound);
+        loop {
+            let draw = self.next_u64();
+            if draw < zone {
+                return draw % bound;
+            }
+        }
     }
 
     /// Uniform integer in the inclusive range `[lo, hi]`.
     pub fn range_inclusive(&mut self, lo: u64, hi: u64) -> u64 {
         assert!(lo <= hi, "empty range");
-        self.inner.gen_range(lo..=hi)
+        let span = hi - lo;
+        if span == u64::MAX {
+            return self.next_u64();
+        }
+        lo + self.below(span + 1)
     }
 
     /// Bernoulli trial with probability `p` (clamped to `[0, 1]`).
@@ -81,7 +105,19 @@ impl SimRng {
 
     /// Raw 64 random bits (used to spawn further seeds).
     pub fn next_u64(&mut self) -> u64 {
-        RngCore::next_u64(&mut self.inner)
+        let s = &mut self.state;
+        let result = s[0]
+            .wrapping_add(s[3])
+            .rotate_left(23)
+            .wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
     }
 }
 
