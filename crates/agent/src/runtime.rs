@@ -17,6 +17,12 @@ use marp_sim::{Context, NodeId, TimerId, TraceEvent};
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::time::Duration;
 
+/// Tag for migration-retry timers. The runtime attributes these by
+/// [`TimerId`] (see `migrate_timers`), so the tag value itself is
+/// never demultiplexed; it exists so fired timers are identifiable in
+/// traces.
+const TAG_MIGRATE_RETRY: u64 = 0;
+
 /// Migration policy knobs.
 #[derive(Debug, Clone, Copy)]
 pub struct AgentConfig {
@@ -112,13 +118,7 @@ impl<B: AgentBehavior> AgentRuntime<B> {
     /// `on_arrive`.
     pub fn spawn(&mut self, behavior: B, host: &mut B::Host, ctx: &mut dyn Context) {
         let id = behavior.id();
-        self.resident.insert(
-            id,
-            Resident {
-                behavior,
-                hops: 0,
-            },
-        );
+        self.resident.insert(id, Resident { behavior, hops: 0 });
         self.dispatch_callback(id, host, ctx, |b, h, env| b.on_arrive(h, env));
     }
 
@@ -136,11 +136,7 @@ impl<B: AgentBehavior> AgentRuntime<B> {
                 self.handle_migrate(from, agent, hop, state, host, ctx)
             }
             AgentEnvelope::MigrateAck { agent, hop } => {
-                if self
-                    .outbound
-                    .get(&agent)
-                    .is_some_and(|out| out.hop == hop)
-                {
+                if self.outbound.get(&agent).is_some_and(|out| out.hop == hop) {
                     let out = self.outbound.remove(&agent).expect("checked");
                     self.migrate_timers.remove(&out.timer);
                     ctx.cancel_timer(out.timer);
@@ -259,7 +255,7 @@ impl<B: AgentBehavior> AgentRuntime<B> {
                 state: out.state.clone(),
             });
             ctx.send(out.dest, msg);
-            let timer = ctx.set_timer(self.cfg.retry().next_delay(out.attempts), 0);
+            let timer = ctx.set_timer(self.cfg.retry().next_delay(out.attempts), TAG_MIGRATE_RETRY);
             out.timer = timer;
             self.migrate_timers.insert(timer, agent);
             return;
@@ -343,7 +339,7 @@ impl<B: AgentBehavior> AgentRuntime<B> {
             state: state.clone(),
         });
         ctx.send(dest, msg);
-        let timer = ctx.set_timer(self.cfg.retry().next_delay(1), 0);
+        let timer = ctx.set_timer(self.cfg.retry().next_delay(1), TAG_MIGRATE_RETRY);
         self.migrate_timers.insert(timer, id);
         self.outbound.insert(
             id,

@@ -13,9 +13,7 @@ use crate::common::{LwwStore, LwwTs};
 use bytes::{Bytes, BytesMut};
 use marp_quorum::{QuorumCall, SuccessRule, TimerMux, Verdict};
 use marp_replica::{ClientReply, ClientRequest, Operation};
-use marp_sim::{
-    impl_as_any, Context, NodeId, Process, TimerId, TraceEvent,
-};
+use marp_sim::{impl_as_any, Context, NodeId, Process, TimerId, TraceEvent};
 use marp_wire::{Wire, WireError};
 use std::collections::HashMap;
 use std::time::Duration;
@@ -242,11 +240,7 @@ impl AcNode {
                         }
                         // With no other available replica the call is
                         // won at construction: done immediately.
-                        let call = QuorumCall::new(
-                            SuccessRule::AllAvailable,
-                            waiting,
-                            ctx.now(),
-                        );
+                        let call = QuorumCall::new(SuccessRule::AllAvailable, waiting, ctx.now());
                         let won = call.verdict() == Some(Verdict::Won);
                         self.pending.insert(
                             request.id,
@@ -276,6 +270,7 @@ impl AcNode {
                     version: ts.counter,
                     agent: request,
                     key,
+                    request,
                 });
                 ctx.send(from, marp_wire::to_bytes(&AcMsg::WriteAck { request }));
             }
@@ -334,9 +329,7 @@ impl Process for AcNode {
             let stalled: Vec<u64> = self
                 .pending
                 .iter_mut()
-                .filter_map(|(&req, p)| {
-                    (p.call.retract(node) == Some(Verdict::Won)).then_some(req)
-                })
+                .filter_map(|(&req, p)| (p.call.retract(node) == Some(Verdict::Won)).then_some(req))
                 .collect();
             for request in stalled {
                 self.complete(request, ctx);
@@ -471,12 +464,22 @@ mod tests {
                 request: 1,
                 key: 2,
                 value: 3,
-                ts: LwwTs { counter: 4, node: 5 },
+                ts: LwwTs {
+                    counter: 4,
+                    node: 5,
+                },
             },
             AcMsg::WriteAck { request: 1 },
             AcMsg::StatePull,
             AcMsg::StatePush {
-                dump: vec![(1, 2, LwwTs { counter: 3, node: 4 })],
+                dump: vec![(
+                    1,
+                    2,
+                    LwwTs {
+                        counter: 3,
+                        node: 4,
+                    },
+                )],
             },
         ];
         for msg in msgs {

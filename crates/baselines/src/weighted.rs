@@ -10,9 +10,7 @@ use crate::common::{Ballot, Promise};
 use bytes::{Bytes, BytesMut};
 use marp_quorum::{QuorumCall, RetryPolicy, SuccessRule, TimerMux, Verdict};
 use marp_replica::{ClientReply, ClientRequest, Operation, WriteRequest};
-use marp_sim::{
-    impl_as_any, Context, NodeId, Process, TimerId, TraceEvent,
-};
+use marp_sim::{impl_as_any, Context, NodeId, Process, TimerId, TraceEvent};
 use marp_wire::{Wire, WireError};
 use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::time::Duration;
@@ -89,8 +87,10 @@ impl WvConfig {
             self.read_quorum + self.write_quorum > self.total_votes(),
             "r + w must exceed the total votes"
         );
-        assert!(self.write_quorum * 2 > self.total_votes(),
-            "w must exceed half the votes so write quorums intersect");
+        assert!(
+            self.write_quorum * 2 > self.total_votes(),
+            "w must exceed half the votes so write quorums intersect"
+        );
     }
 }
 
@@ -363,7 +363,12 @@ impl WvNode {
             return;
         };
         self.timers.disarm(TIMER_ROUND, round.ballot.seq);
-        self.broadcast(&WvMsg::WRelease { ballot: round.ballot }, ctx);
+        self.broadcast(
+            &WvMsg::WRelease {
+                ballot: round.ballot,
+            },
+            ctx,
+        );
         self.queue.push_front(round.request);
         self.attempts += 1;
         let tag = self.timers.arm(TIMER_RETRY, 0);
@@ -482,8 +487,7 @@ impl WvNode {
                 // vote returns a verdict.
                 let won = self.round.as_mut().is_some_and(|round| {
                     round.ballot == ballot
-                        && round.call.offer(from, votes, true, version)
-                            == Some(Verdict::Won)
+                        && round.call.offer(from, votes, true, version) == Some(Verdict::Won)
                 });
                 if won {
                     self.finish_round(ctx);
@@ -492,8 +496,7 @@ impl WvNode {
             WvMsg::WReject { ballot, votes } => {
                 let lost = self.round.as_mut().is_some_and(|round| {
                     round.ballot == ballot
-                        && round.call.offer(from, votes, false, 0)
-                            == Some(Verdict::Lost)
+                        && round.call.offer(from, votes, false, 0) == Some(Verdict::Lost)
                 });
                 if lost {
                     self.abort_round(ctx);
@@ -513,6 +516,9 @@ impl WvNode {
                         version,
                         agent: (u64::from(ballot.coordinator) << 32) | ballot.seq,
                         key,
+                        // WApply does not carry the client request id; the
+                        // ballot identity stands in (relaxed audits only).
+                        request: (u64::from(ballot.coordinator) << 32) | ballot.seq,
                     });
                 }
                 self.promise.release(ballot);
@@ -634,7 +640,10 @@ mod tests {
         let client = sim.add_process(Box::new(ClientProcess::new(
             0,
             Box::new(ScriptedSource::new([
-                (Duration::from_millis(1), Operation::Write { key: 3, value: 33 }),
+                (
+                    Duration::from_millis(1),
+                    Operation::Write { key: 3, value: 33 },
+                ),
                 (Duration::from_millis(100), Operation::Read { key: 3 }),
             ])),
             wrap_client_request,
@@ -646,12 +655,7 @@ mod tests {
         assert_eq!(proc.stats.read_versions, vec![1]);
         // The write landed on at least a write quorum of replicas.
         let holders = (0..5u16)
-            .filter(|&s| {
-                sim.process::<WvNode>(s)
-                    .unwrap()
-                    .store
-                    .contains_key(&3)
-            })
+            .filter(|&s| sim.process::<WvNode>(s).unwrap().store.contains_key(&3))
             .count();
         assert!(holders >= 3, "holders = {holders}");
     }
@@ -736,7 +740,10 @@ mod tests {
         let client = sim.add_process(Box::new(ClientProcess::new(
             0,
             Box::new(ScriptedSource::new([
-                (Duration::from_millis(1), Operation::Write { key: 6, value: 66 }),
+                (
+                    Duration::from_millis(1),
+                    Operation::Write { key: 6, value: 66 },
+                ),
                 (Duration::from_millis(100), Operation::Read { key: 6 }),
             ])),
             wrap_client_request,

@@ -2,7 +2,7 @@
 //! the handlers for the UPDATE / COMMIT / RELEASE / LL-query messages
 //! (the paper's Algorithm 2).
 
-use crate::config::MarpConfig;
+use crate::config::{ChaosMode, MarpConfig};
 use crate::gossip::GossipBoard;
 use crate::lt::LockingTable;
 use crate::msg::{AgentReply, UpdateMsg};
@@ -37,6 +37,7 @@ pub struct MarpServerState {
     gossip_enabled: bool,
     reserve_lease: Duration,
     reserved: Option<(AgentId, SimTime)>,
+    chaos: ChaosMode,
 }
 
 impl MarpServerState {
@@ -49,6 +50,7 @@ impl MarpServerState {
             gossip_enabled: cfg.gossip,
             reserve_lease: cfg.reserve_lease,
             reserved: None,
+            chaos: cfg.chaos,
         }
     }
 
@@ -75,6 +77,10 @@ impl MarpServerState {
             self.core
                 .ll
                 .request(agent, now, self.core.lock_lease(), here);
+            if self.chaos.lifo_insert() {
+                // Seeded bug (checker self-test): jump the FIFO queue.
+                self.core.ll.chaos_promote_to_front(agent);
+            }
         }
         VisitInfo {
             snapshot: self.core.ll.snapshot(now),
@@ -124,7 +130,11 @@ impl MarpServerState {
         // 3 = an agent ranked above the claimant is missing from its
         // certificate, 4 = not top and no certificate offered.
         let mut refusal: u64 = 0;
-        let positive = if self.reservation_blocks(msg.agent, now) {
+        let positive = if self.chaos.blind_acks() {
+            // Seeded bug (checker self-test): ack without validating or
+            // reserving.
+            true
+        } else if self.reservation_blocks(msg.agent, now) {
             refusal = 1;
             false
         } else if self.core.ll.top() == Some(msg.agent) {
@@ -135,9 +145,9 @@ impl MarpServerState {
                     // Entries of agents our UL says already finished are
                     // stale (e.g. a commit applied via anti-entropy
                     // before this purge) and do not block a claim.
-                    let ok = self.core.ll.entries()[..rank].iter().all(|e| {
-                        cert.contains(&e.agent) || self.core.ul.contains(e.agent)
-                    });
+                    let ok = self.core.ll.entries()[..rank]
+                        .iter()
+                        .all(|e| cert.contains(&e.agent) || self.core.ul.contains(e.agent));
                     if !ok {
                         refusal = 3;
                     }
@@ -159,7 +169,7 @@ impl MarpServerState {
                 b: (u64::from(self.core.me()) << 8) | refusal,
             });
         }
-        if positive {
+        if positive && !self.chaos.blind_acks() {
             self.reserved = Some((msg.agent, now + self.reserve_lease));
         }
         ctx.trace(TraceEvent::UpdateAcked {
@@ -249,8 +259,7 @@ impl MarpServerState {
         self.core.purge_expired_locks(ctx);
         let horizon = ctx.now().checked_since(SimTime::ZERO).unwrap_or_default();
         if horizon > self.core.lock_lease() {
-            let cutoff = SimTime::ZERO
-                + (horizon - self.core.lock_lease());
+            let cutoff = SimTime::ZERO + (horizon - self.core.lock_lease());
             self.core.ul.prune_before(cutoff);
         }
         if let Some((_, expires)) = self.reserved {
@@ -410,7 +419,9 @@ mod tests {
             now: SimTime::from_millis(3),
             traced: vec![],
         };
-        assert!(positive(&state.handle_update(&update_msg(a, None), &mut ctx)));
+        assert!(positive(
+            &state.handle_update(&update_msg(a, None), &mut ctx)
+        ));
         // Even a valid certificate claim is blocked while reserved.
         let ack = state.handle_update(&update_msg(b, Some(vec![a])), &mut ctx);
         assert!(!positive(&ack));
@@ -430,7 +441,9 @@ mod tests {
             now: SimTime::from_millis(3),
             traced: vec![],
         };
-        assert!(positive(&state.handle_update(&update_msg(a, None), &mut ctx)));
+        assert!(positive(
+            &state.handle_update(&update_msg(a, None), &mut ctx)
+        ));
         // Well past the 5 s reservation lease.
         ctx.now = SimTime::from_secs(10);
         let ack = state.handle_update(&update_msg(b, Some(vec![a])), &mut ctx);
@@ -516,10 +529,7 @@ mod tests {
         // state by inserting the UL record directly.
         state.visit(stale, SimTime::from_millis(1), 1);
         state.visit(claimant, SimTime::from_millis(2), 2);
-        state
-            .core
-            .ul
-            .record(stale, SimTime::from_millis(3));
+        state.core.ul.record(stale, SimTime::from_millis(3));
         let mut ctx = TestCtx {
             now: SimTime::from_millis(4),
             traced: vec![],
@@ -551,9 +561,13 @@ mod tests {
             request: 5,
             committed_at: ctx.now,
         };
-        state
-            .core
-            .handle_sync(3, marp_replica::SyncMsg::Push { records: vec![record] }, &mut ctx);
+        state.core.handle_sync(
+            3,
+            marp_replica::SyncMsg::Push {
+                records: vec![record],
+            },
+            &mut ctx,
+        );
         assert_eq!(state.core.store.applied_version(), 1);
         assert!(
             !state.core.ll.contains(winner),

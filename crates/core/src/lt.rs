@@ -190,8 +190,7 @@ pub fn decide(
 
     // Stuck-configuration resolution requires full coverage: a snapshot
     // or an unavailability declaration for every server.
-    let covered = (0..n as NodeId)
-        .all(|s| lt.snapshot(s).is_some() || unavailable.contains(&s));
+    let covered = (0..n as NodeId).all(|s| lt.snapshot(s).is_some() || unavailable.contains(&s));
     if !covered {
         return Priority::NotYet;
     }
@@ -215,19 +214,19 @@ pub fn decide(
     if best + claimable >= maj || my_tops + claimable >= maj {
         return Priority::NotYet;
     }
-    if counts.is_empty() {
-        return Priority::NotYet;
-    }
 
     // Nobody can reach a majority until a commit happens — but nobody
     // has committed and nobody will: resolve deterministically by
-    // (most tops, then smallest agent id).
-    let winner = counts
+    // (most tops, then smallest agent id). An empty tally means there is
+    // nothing to resolve yet.
+    let Some(winner) = counts
         .iter()
         .map(|(&agent, &tops)| (std::cmp::Reverse(tops), agent))
         .min()
         .map(|(_, agent)| agent)
-        .expect("counts non-empty");
+    else {
+        return Priority::NotYet;
+    };
     if winner == me {
         // A stuck-rule win is only claimable where the winner is
         // enqueued: servers validate a tie certificate against their
@@ -476,7 +475,10 @@ mod tests {
         let finished = UpdatedList::new();
         assert_eq!(
             decide(&lt, me, 1, &finished, &[]),
-            Priority::Win { via_tie: false, certificate: vec![] }
+            Priority::Win {
+                via_tie: false,
+                certificate: vec![]
+            }
         );
     }
 

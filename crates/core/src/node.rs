@@ -11,9 +11,7 @@ use bytes::Bytes;
 use marp_agent::{AgentEnvelope, AgentId, AgentRuntime};
 use marp_net::RoutingTable;
 use marp_replica::{RequestBatcher, ServerCore, WriteRequest};
-use marp_sim::{
-    impl_as_any, Context, NodeId, Process, SimTime, TimerId, TraceEvent,
-};
+use marp_sim::{impl_as_any, Context, NodeId, Process, SimTime, TimerId, TraceEvent};
 use std::collections::BTreeMap;
 
 const TAG_BATCH_TICK: u64 = 100;
@@ -111,13 +109,7 @@ impl MarpNode {
         self.runtime.spawn(agent, &mut self.state, ctx);
     }
 
-    fn send_to_agent(
-        &self,
-        at: NodeId,
-        agent: AgentId,
-        reply: &AgentReply,
-        ctx: &mut dyn Context,
-    ) {
+    fn send_to_agent(&self, at: NodeId, agent: AgentId, reply: &AgentReply, ctx: &mut dyn Context) {
         let envelope = AgentEnvelope::ToAgent {
             agent,
             payload: marp_wire::to_bytes(reply),
@@ -141,8 +133,7 @@ impl MarpNode {
                     marp_replica::ClientAction::FreshRead(read) => {
                         let id = AgentId::new(self.me(), ctx.now(), self.read_seq);
                         self.read_seq += 1;
-                        let agent =
-                            ReadAgent::new(id, &self.cfg, read.id, read.client, read.key);
+                        let agent = ReadAgent::new(id, &self.cfg, read.id, read.client, read.key);
                         self.read_runtime.spawn(agent, &mut self.state, ctx);
                     }
                 }
@@ -160,9 +151,7 @@ impl MarpNode {
                 self.send_to_agent(update.reply_to, update.agent, &ack, ctx);
             }
             NodeMsg::Commit(commit) => {
-                let notify = self
-                    .state
-                    .handle_commit(commit.agent, commit.records, ctx);
+                let notify = self.state.handle_commit(commit.agent, commit.records, ctx);
                 // Push the LL change to the remaining queued agents so
                 // parked agents learn promptly that the winner is gone.
                 if !notify.is_empty() {
@@ -224,7 +213,9 @@ impl MarpNode {
             .collect();
         let mut to_redispatch = Vec::new();
         for id in expired {
-            let batch = self.outstanding.remove(&id).expect("present");
+            let Some(batch) = self.outstanding.remove(&id) else {
+                continue;
+            };
             let remaining: Vec<WriteRequest> = batch
                 .requests
                 .into_iter()

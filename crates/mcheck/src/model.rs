@@ -1,0 +1,230 @@
+//! Model configurations: small, fully-specified protocol deployments
+//! the explorer can enumerate.
+//!
+//! A [`ModelSpec`] builds the same process graph the experiment harness
+//! uses (`marp-lab`), but sized for exhaustive exploration: a handful
+//! of replicas, one single-write client per "agent", a fixed-delay
+//! transport (no jitter — nondeterminism is the *scheduler's* job
+//! here), and protocol time constants shrunk so that timer-driven
+//! recovery paths sit within the explorer's per-path timer budget.
+
+use bytes::Bytes;
+use marp_baselines::{
+    wrap_mcv_client_request, wrap_pc_client_request, McvConfig, McvNode, PcConfig, PcNode,
+};
+use marp_core::{
+    build_cluster, wrap_client_request as wrap_marp_client_request, ChaosMode, MarpConfig,
+};
+use marp_metrics::InvariantMonitor;
+use marp_net::Topology;
+use marp_replica::{request_id, ClientReply, ClientRequest, ClientWrapFn, Operation};
+use marp_sim::{impl_as_any, Context, FixedDelay, NodeId, Process, Simulation, TraceLevel};
+use std::time::Duration;
+
+/// Which protocol family a model runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Family {
+    /// The paper's mobile-agent protocol (strict audit, Theorem 3).
+    Marp,
+    /// Majority-consensus voting baseline (strict audit, no visits).
+    Mcv,
+    /// Primary-copy baseline (strict audit, no visits).
+    PrimaryCopy,
+}
+
+impl Family {
+    /// Parse a CLI name.
+    pub fn parse(name: &str) -> Option<Family> {
+        match name {
+            "marp" => Some(Family::Marp),
+            "mcv" => Some(Family::Mcv),
+            "pc" | "primary" | "primary-copy" => Some(Family::PrimaryCopy),
+            _ => None,
+        }
+    }
+
+    /// The CLI / schedule-file name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Family::Marp => "marp",
+            Family::Mcv => "mcv",
+            Family::PrimaryCopy => "pc",
+        }
+    }
+}
+
+/// A fully-specified model: protocol, cluster size, concurrent writers,
+/// and (for checker self-tests) a seeded protocol mutation.
+#[derive(Debug, Clone, Copy)]
+pub struct ModelSpec {
+    /// Protocol family.
+    pub family: Family,
+    /// Number of replica servers (nodes `0..replicas`).
+    pub replicas: usize,
+    /// Number of concurrent single-write clients (nodes
+    /// `replicas..replicas+agents`), each homed at `client % replicas`.
+    pub agents: usize,
+    /// Seeded mutation (MARP only; `None` for faithful checking).
+    pub chaos: ChaosMode,
+}
+
+impl ModelSpec {
+    /// A faithful model of `family` with the given sizes.
+    pub fn new(family: Family, replicas: usize, agents: usize) -> Self {
+        assert!(replicas >= 1, "need at least one replica");
+        assert!(agents >= 1, "need at least one writer");
+        ModelSpec {
+            family,
+            replicas,
+            agents,
+            chaos: ChaosMode::None,
+        }
+    }
+
+    /// The MARP configuration this model runs (time constants shrunk so
+    /// recovery paths fit the explorer's timer budget; batching off so
+    /// every write dispatches an agent immediately).
+    pub fn marp_config(&self) -> MarpConfig {
+        let mut cfg = MarpConfig::new(self.replicas);
+        cfg.batch.max_batch = 1;
+        cfg.ack_timeout = Duration::from_millis(50);
+        cfg.park_repoll = Duration::from_millis(30);
+        cfg.maintenance_interval = Duration::from_millis(100);
+        cfg.reserve_lease = Duration::from_millis(200);
+        cfg.server.lock_lease = Duration::from_millis(300);
+        cfg.redispatch_timeout = Duration::from_millis(400);
+        cfg.chaos = self.chaos;
+        cfg
+    }
+
+    /// Build the simulation: replicas then one-shot writer clients, on
+    /// a 1 ms fixed-delay transport.
+    pub fn build(&self) -> Simulation {
+        let delay = Duration::from_millis(1);
+        let mut sim = Simulation::new(Box::new(FixedDelay(delay)), TraceLevel::Protocol);
+        let n = self.replicas;
+        let wrap: ClientWrapFn = match self.family {
+            Family::Marp => {
+                let topo = Topology::uniform_lan(n + self.agents, delay);
+                build_cluster(&mut sim, &self.marp_config(), &topo);
+                wrap_marp_client_request
+            }
+            Family::Mcv => {
+                let cfg = McvConfig::new(n);
+                for me in 0..n as NodeId {
+                    sim.add_process(Box::new(McvNode::new(me, cfg)));
+                }
+                wrap_mcv_client_request
+            }
+            Family::PrimaryCopy => {
+                for me in 0..n as NodeId {
+                    sim.add_process(Box::new(PcNode::new(me, PcConfig::new(n))));
+                }
+                wrap_pc_client_request
+            }
+        };
+        for k in 0..self.agents {
+            let server = (k % n) as NodeId;
+            sim.add_process(Box::new(OneShotWriter::new(
+                server,
+                1,
+                100 + k as u64,
+                wrap,
+            )));
+        }
+        sim
+    }
+
+    /// The invariant monitor matching this family's guarantees (same
+    /// selection as the experiment harness's post-run audit).
+    pub fn monitor(&self) -> InvariantMonitor {
+        match self.family {
+            // MARP grants are subject to the Theorem 3 visit bounds.
+            Family::Marp => InvariantMonitor::strict(self.replicas),
+            // Message-passing baselines keep the dense version order but
+            // report no visits.
+            Family::Mcv | Family::PrimaryCopy => InvariantMonitor::strict(0),
+        }
+    }
+}
+
+/// A client that issues exactly one write in `on_start` and records the
+/// completion. No timers: its whole behaviour is delivery-driven, which
+/// keeps client nondeterminism inside the explorer's schedule.
+pub struct OneShotWriter {
+    server: NodeId,
+    key: u64,
+    value: u64,
+    wrap: ClientWrapFn,
+    /// Set when the server confirms the write.
+    pub done: bool,
+}
+
+impl OneShotWriter {
+    /// A writer of `key = value` attached to `server`.
+    pub fn new(server: NodeId, key: u64, value: u64, wrap: ClientWrapFn) -> Self {
+        OneShotWriter {
+            server,
+            key,
+            value,
+            wrap,
+            done: false,
+        }
+    }
+}
+
+impl Process for OneShotWriter {
+    fn on_start(&mut self, ctx: &mut dyn Context) {
+        let id = request_id(ctx.me(), 0);
+        let msg = (self.wrap)(ClientRequest {
+            id,
+            op: Operation::Write {
+                key: self.key,
+                value: self.value,
+            },
+        });
+        ctx.send(self.server, msg);
+    }
+
+    fn on_message(&mut self, _from: NodeId, msg: Bytes, _ctx: &mut dyn Context) {
+        if let Ok(ClientReply::WriteDone { .. }) = marp_wire::from_bytes::<ClientReply>(&msg) {
+            self.done = true;
+        }
+    }
+
+    impl_as_any!();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn marp_model_runs_clean_under_the_default_scheduler() {
+        let spec = ModelSpec::new(Family::Marp, 3, 2);
+        let mut sim = spec.build();
+        sim.run_until(marp_sim::SimTime::from_secs(30));
+        let mut monitor = spec.monitor();
+        monitor.observe_all(sim.trace().records());
+        assert!(monitor.ok(), "violations: {:?}", monitor.violations());
+        assert_eq!(monitor.completed_requests(), 2);
+        assert!(monitor.quiescent_violations().is_empty());
+        for k in 0..2u16 {
+            let w: &OneShotWriter = sim.process(3 + k).unwrap();
+            assert!(w.done);
+        }
+    }
+
+    #[test]
+    fn baseline_models_run_clean_under_the_default_scheduler() {
+        for family in [Family::Mcv, Family::PrimaryCopy] {
+            let spec = ModelSpec::new(family, 3, 2);
+            let mut sim = spec.build();
+            sim.run_until(marp_sim::SimTime::from_secs(30));
+            let mut monitor = spec.monitor();
+            monitor.observe_all(sim.trace().records());
+            assert!(monitor.ok(), "{family:?}: {:?}", monitor.violations());
+            assert_eq!(monitor.completed_requests(), 2, "{family:?}");
+        }
+    }
+}

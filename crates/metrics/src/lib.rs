@@ -7,16 +7,22 @@
 //! * [`audit`] — the post-run consistency auditor that machine-checks
 //!   order preservation, single-committer-per-version, and the
 //!   Theorem 3 visit bounds on every run.
+//! * [`InvariantMonitor`] — the incremental form of the auditor: feed
+//!   it trace records as they appear and query violations at any
+//!   point, which is what lets the model checker (`marp-mcheck`)
+//!   assert the invariants at every intermediate state.
 //! * [`Table`] — aligned text / CSV rendering for experiment output.
 
 #![warn(missing_docs)]
 
 mod audit;
+mod monitor;
 mod paper;
 mod report;
 mod stats;
 
 pub use audit::{audit, audit_relaxed, AuditReport, Violation};
+pub use monitor::InvariantMonitor;
 pub use paper::PaperMetrics;
 pub use report::{fmt_ms, fmt_pct, Table};
 pub use stats::{LogHistogram, Samples, Welford};

@@ -1,0 +1,301 @@
+//! Incremental invariant monitoring.
+//!
+//! [`InvariantMonitor`] is the streaming core of the post-run auditor
+//! ([`crate::audit`]): it consumes trace records one at a time and
+//! flags a violation the moment the offending record is observed. The
+//! post-run [`crate::audit`] functions feed it a whole trace; the
+//! `marp-mcheck` model checker feeds it the trace *suffix* produced by
+//! each scheduling step, so an interleaving that breaks an invariant is
+//! caught at the first bad intermediate state, not at quiescence.
+//!
+//! Rules (matching the paper's claims, see `DESIGN.md`):
+//!
+//! * **order-preservation** — every replica applies the same
+//!   `(agent, key)` for each committed version (Theorems 1–2: one
+//!   highest-priority agent per version, all replicas agree).
+//! * **in-order-application** — each replica's applied versions are
+//!   dense and increasing.
+//! * **theorem-3-visits** — every lock grant took between ⌈(N+1)/2⌉
+//!   and N server visits.
+//! * **lost-update** (quiescent-only) — a request that reported
+//!   completion must have its commit applied by at least one replica.
+//!   Only meaningful once no messages are in flight, so it is exposed
+//!   as [`InvariantMonitor::quiescent_violations`] rather than checked
+//!   on every record.
+
+use crate::audit::{AuditReport, Violation};
+use marp_sim::{AgentKey, NodeId, TraceEvent, TraceRecord};
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+/// Streaming invariant checker over protocol trace records.
+#[derive(Debug, Clone)]
+pub struct InvariantMonitor {
+    n_servers: usize,
+    check_order: bool,
+    /// version -> (agent, key) from the first replica to apply it.
+    version_owner: BTreeMap<u64, (AgentKey, u64)>,
+    /// Per-node last applied version.
+    last_applied: HashMap<NodeId, u64>,
+    /// request -> completion count.
+    completions: HashMap<u64, u64>,
+    /// Requests some replica has applied a commit for.
+    committed_requests: HashSet<u64>,
+    violations: Vec<Violation>,
+    lock_grants: u64,
+    tie_grants: u64,
+    duplicate_completions: u64,
+}
+
+impl InvariantMonitor {
+    /// Full checking for protocols with a dense global version order
+    /// (MARP, MCV, primary copy). `n_servers` drives the Theorem 3
+    /// visit bounds; pass 0 to skip visit checking (message-passing
+    /// protocols report 0 visits).
+    pub fn strict(n_servers: usize) -> Self {
+        Self::new(n_servers, true)
+    }
+
+    /// Checking for protocols *without* a dense version order (the
+    /// Available Copy and weighted-voting baselines use
+    /// last-writer-wins timestamps and per-key versions): version-order
+    /// rules are skipped, counters still accumulate.
+    pub fn relaxed() -> Self {
+        Self::new(0, false)
+    }
+
+    fn new(n_servers: usize, check_order: bool) -> Self {
+        InvariantMonitor {
+            n_servers,
+            check_order,
+            version_owner: BTreeMap::new(),
+            last_applied: HashMap::new(),
+            completions: HashMap::new(),
+            committed_requests: HashSet::new(),
+            violations: Vec::new(),
+            lock_grants: 0,
+            tie_grants: 0,
+            duplicate_completions: 0,
+        }
+    }
+
+    /// Consume one trace record, appending any violation it triggers.
+    pub fn observe(&mut self, record: &TraceRecord) {
+        match &record.event {
+            TraceEvent::CommitApplied {
+                node,
+                version,
+                agent,
+                key,
+                request,
+            } => {
+                self.committed_requests.insert(*request);
+                if !self.check_order {
+                    self.version_owner.entry(*version).or_insert((*agent, *key));
+                    return;
+                }
+                match self.version_owner.get(version) {
+                    Some(&(owner, owner_key)) => {
+                        if owner != *agent || owner_key != *key {
+                            self.violations.push(Violation {
+                                rule: "order-preservation",
+                                detail: format!(
+                                    "version {version} applied as agent={agent:#x} key={key} \
+                                     at node {node}, but first seen as agent={owner:#x} key={owner_key}"
+                                ),
+                            });
+                        }
+                    }
+                    None => {
+                        self.version_owner.insert(*version, (*agent, *key));
+                    }
+                }
+                let last = self.last_applied.entry(*node).or_insert(0);
+                if *version != *last + 1 {
+                    self.violations.push(Violation {
+                        rule: "in-order-application",
+                        detail: format!("node {node} applied version {version} after {last}"),
+                    });
+                }
+                *last = (*last).max(*version);
+            }
+            TraceEvent::LockGranted {
+                visits, via_tie, ..
+            } => {
+                self.lock_grants += 1;
+                if *via_tie {
+                    self.tie_grants += 1;
+                }
+                if self.n_servers > 0 {
+                    let min = (self.n_servers as u32).div_ceil(2);
+                    let max = self.n_servers as u32;
+                    if !(min..=max).contains(visits) {
+                        self.violations.push(Violation {
+                            rule: "theorem-3-visits",
+                            detail: format!(
+                                "lock granted after {visits} visits, outside [{min}, {max}]"
+                            ),
+                        });
+                    }
+                }
+            }
+            TraceEvent::UpdateCompleted { request, .. } => {
+                let count = self.completions.entry(*request).or_insert(0);
+                *count += 1;
+                if *count == 2 {
+                    self.duplicate_completions += 1;
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// Consume a slice of records (a whole trace, or the suffix a
+    /// scheduling step produced).
+    pub fn observe_all(&mut self, records: &[TraceRecord]) {
+        for record in records {
+            self.observe(record);
+        }
+    }
+
+    /// Violations found so far.
+    pub fn violations(&self) -> &[Violation] {
+        &self.violations
+    }
+
+    /// True when no invariant has been violated so far.
+    pub fn ok(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Distinct requests that have reported completion.
+    pub fn completed_requests(&self) -> usize {
+        self.completions.len()
+    }
+
+    /// Distinct versions committed system-wide so far.
+    pub fn committed_versions(&self) -> u64 {
+        self.version_owner.len() as u64
+    }
+
+    /// The quiescent-only checks, returned without being recorded:
+    /// completed requests whose commit no replica ever applied (a lost
+    /// update — the committer believed it won but its write vanished).
+    /// Only sound when no messages are in flight; callers decide when
+    /// that holds (mcheck checks it at terminal states).
+    pub fn quiescent_violations(&self) -> Vec<Violation> {
+        if !self.check_order {
+            return Vec::new();
+        }
+        let mut lost: Vec<&u64> = self
+            .completions
+            .keys()
+            .filter(|request| !self.committed_requests.contains(request))
+            .collect();
+        lost.sort();
+        lost.into_iter()
+            .map(|request| Violation {
+                rule: "lost-update",
+                detail: format!(
+                    "request {request:#x} reported completion but no replica applied its commit"
+                ),
+            })
+            .collect()
+    }
+
+    /// Snapshot the accumulated counters and violations as an
+    /// [`AuditReport`] (what the post-run [`crate::audit`] returns).
+    pub fn report(&self) -> AuditReport {
+        AuditReport {
+            violations: self.violations.clone(),
+            committed_versions: self.committed_versions(),
+            lock_grants: self.lock_grants,
+            tie_grants: self.tie_grants,
+            duplicate_completions: self.duplicate_completions,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use marp_sim::SimTime;
+
+    fn rec(event: TraceEvent) -> TraceRecord {
+        TraceRecord {
+            at: SimTime::ZERO,
+            node: 0,
+            event,
+        }
+    }
+
+    fn commit(node: NodeId, version: u64, agent: AgentKey, request: u64) -> TraceRecord {
+        rec(TraceEvent::CommitApplied {
+            node,
+            version,
+            agent,
+            key: 1,
+            request,
+        })
+    }
+
+    fn completed(request: u64) -> TraceRecord {
+        rec(TraceEvent::UpdateCompleted {
+            request,
+            home: 0,
+            arrived: SimTime::ZERO,
+            dispatched: SimTime::ZERO,
+            locked: SimTime::ZERO,
+            visits: 3,
+        })
+    }
+
+    #[test]
+    fn violation_fires_on_the_offending_record() {
+        let mut mon = InvariantMonitor::strict(3);
+        mon.observe(&commit(0, 1, 7, 0xa));
+        assert!(mon.ok());
+        // A second agent claiming version 1 is flagged immediately.
+        mon.observe(&commit(1, 1, 9, 0xb));
+        assert!(!mon.ok());
+        assert_eq!(mon.violations()[0].rule, "order-preservation");
+    }
+
+    #[test]
+    fn lost_update_detected_at_quiescence_only() {
+        let mut mon = InvariantMonitor::strict(3);
+        mon.observe(&completed(0xa));
+        // Nothing is flagged while the commit may still be in flight...
+        assert!(mon.ok());
+        // ...but at quiescence the missing commit is a violation.
+        let lost = mon.quiescent_violations();
+        assert_eq!(lost.len(), 1);
+        assert_eq!(lost[0].rule, "lost-update");
+        // Once any replica applies it, the request is accounted for.
+        mon.observe(&commit(0, 1, 7, 0xa));
+        assert!(mon.quiescent_violations().is_empty());
+    }
+
+    #[test]
+    fn relaxed_mode_skips_order_and_lost_update_rules() {
+        let mut mon = InvariantMonitor::relaxed();
+        mon.observe(&commit(0, 5, 7, 0xa));
+        mon.observe(&commit(1, 5, 9, 0xb));
+        mon.observe(&completed(0xc));
+        assert!(mon.ok());
+        assert!(mon.quiescent_violations().is_empty());
+        assert_eq!(mon.committed_versions(), 1);
+    }
+
+    #[test]
+    fn report_snapshot_matches_counters() {
+        let mut mon = InvariantMonitor::strict(0);
+        mon.observe(&commit(0, 1, 7, 0xa));
+        mon.observe(&completed(0xa));
+        mon.observe(&completed(0xa));
+        let report = mon.report();
+        assert!(report.ok());
+        assert_eq!(report.committed_versions, 1);
+        assert_eq!(report.duplicate_completions, 1);
+        assert_eq!(mon.completed_requests(), 1);
+    }
+}

@@ -85,7 +85,7 @@ fn mean_ms(latencies: &[Duration]) -> Option<f64> {
     Some(total / latencies.len() as f64)
 }
 
-const ARRIVAL_TAG: u64 = 1;
+const TAG_ARRIVAL: u64 = 1;
 
 /// A client node driving one replica server.
 pub struct ClientProcess {
@@ -121,7 +121,7 @@ impl ClientProcess {
     fn arm_next(&mut self, ctx: &mut dyn Context) {
         if let Some((gap, op)) = self.source.next_request() {
             self.next_op = Some(op);
-            ctx.set_timer(gap, ARRIVAL_TAG);
+            ctx.set_timer(gap, TAG_ARRIVAL);
         }
     }
 }
@@ -132,7 +132,7 @@ impl Process for ClientProcess {
     }
 
     fn on_timer(&mut self, _timer: TimerId, tag: u64, ctx: &mut dyn Context) {
-        debug_assert_eq!(tag, ARRIVAL_TAG);
+        debug_assert_eq!(tag, TAG_ARRIVAL);
         if let Some(op) = self.next_op.take() {
             let id = request_id(ctx.me(), self.seq);
             self.seq += 1;
@@ -217,13 +217,12 @@ mod tests {
         let server = sim.add_process(Box::new(FakeServer { seen: Vec::new() }));
         let script = ScriptedSource::new([
             (Duration::from_millis(1), Operation::Read { key: 4 }),
-            (Duration::from_millis(5), Operation::Write { key: 4, value: 9 }),
+            (
+                Duration::from_millis(5),
+                Operation::Write { key: 4, value: 9 },
+            ),
         ]);
-        let client = sim.add_process(Box::new(ClientProcess::new(
-            server,
-            Box::new(script),
-            wrap,
-        )));
+        let client = sim.add_process(Box::new(ClientProcess::new(server, Box::new(script), wrap)));
         sim.run_to_quiescence();
 
         let server_proc: &FakeServer = sim.process(server).unwrap();
@@ -235,7 +234,10 @@ mod tests {
         assert_eq!(client_proc.stats.read_latencies.len(), 1);
         assert_eq!(client_proc.stats.write_latencies.len(), 1);
         // Round trip over a 2 ms fixed-delay transport = 4 ms.
-        assert_eq!(client_proc.stats.read_latencies[0], Duration::from_millis(4));
+        assert_eq!(
+            client_proc.stats.read_latencies[0],
+            Duration::from_millis(4)
+        );
         assert_eq!(client_proc.stats.read_versions, vec![3]);
         assert_eq!(client_proc.outstanding(), 0);
         assert_eq!(client_proc.stats.mean_read_ms(), Some(4.0));

@@ -74,6 +74,18 @@ impl LockingList {
         });
     }
 
+    /// Move an agent's entry to the *front* of the queue, violating the
+    /// FIFO discipline [`LockingList::request`] maintains. This exists
+    /// solely for model-checker self-tests (`ChaosMode::LlLifoInsert`),
+    /// which seed a queue-jumping bug and demand the checker catch its
+    /// consequences. Never call it from protocol code.
+    pub fn chaos_promote_to_front(&mut self, agent: AgentId) {
+        if let Some(pos) = self.entries.iter().position(|e| e.agent == agent) {
+            let entry = self.entries.remove(pos);
+            self.entries.insert(0, entry);
+        }
+    }
+
     /// Refresh the lease of an existing entry without creating one (used
     /// by parked agents' re-polls, which must not enqueue at servers the
     /// agent never visited). Returns true if an entry was refreshed.
@@ -306,7 +318,12 @@ mod tests {
     #[test]
     fn expired_entries_are_purged() {
         let mut ll = LockingList::new();
-        ll.request(agent(1, 0), SimTime::from_millis(1), Duration::from_millis(10), 9);
+        ll.request(
+            agent(1, 0),
+            SimTime::from_millis(1),
+            Duration::from_millis(10),
+            9,
+        );
         ll.request(agent(2, 0), SimTime::from_millis(2), LEASE, 9);
         let purged = ll.purge_expired(SimTime::from_millis(100));
         assert_eq!(purged, vec![agent(1, 0)]);
@@ -316,9 +333,16 @@ mod tests {
     #[test]
     fn lease_boundary_is_half_open() {
         let mut ll = LockingList::new();
-        ll.request(agent(1, 0), SimTime::from_millis(1), Duration::from_millis(10), 9);
+        ll.request(
+            agent(1, 0),
+            SimTime::from_millis(1),
+            Duration::from_millis(10),
+            9,
+        );
         // One instant before expiry the entry survives...
-        assert!(ll.purge_expired(SimTime::from_nanos(11_000_000 - 1)).is_empty());
+        assert!(ll
+            .purge_expired(SimTime::from_nanos(11_000_000 - 1))
+            .is_empty());
         assert_eq!(ll.top(), Some(agent(1, 0)));
         // ...and at exactly t = enqueued + lease it is purged.
         assert_eq!(

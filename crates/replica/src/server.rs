@@ -186,6 +186,7 @@ impl ServerCore {
                     version: rec.version,
                     agent: rec.agent,
                     key: rec.key,
+                    request: rec.request,
                 });
                 if let Some(client) = self.pending_clients.remove(&rec.request) {
                     let reply = ClientReply::WriteDone {
@@ -471,9 +472,12 @@ mod tests {
         );
         ctx.now = SimTime::from_millis(100);
         assert_eq!(core.purge_expired_locks(&mut ctx), 1);
-        assert!(ctx
-            .traced
-            .iter()
-            .any(|e| matches!(e, TraceEvent::Custom { kind: "lock-lease-expired", .. })));
+        assert!(ctx.traced.iter().any(|e| matches!(
+            e,
+            TraceEvent::Custom {
+                kind: "lock-lease-expired",
+                ..
+            }
+        )));
     }
 }

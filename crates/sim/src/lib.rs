@@ -52,8 +52,10 @@ mod rng;
 mod time;
 mod trace;
 
-pub use engine::{Control, RunStats, Simulation, EXTERNAL};
+pub use engine::{Control, PendingEvent, PendingKind, RunStats, Simulation, EXTERNAL};
 pub use process::{Context, Delivery, FixedDelay, NodeId, Process, TimerId, Transport};
 pub use rng::{splitmix64, SimRng};
 pub use time::{duration_nanos, scale_duration, SimTime};
-pub use trace::{agent_key, agent_key_parts, AgentKey, TraceEvent, TraceLevel, TraceLog, TraceRecord};
+pub use trace::{
+    agent_key, agent_key_parts, AgentKey, TraceEvent, TraceLevel, TraceLog, TraceRecord,
+};

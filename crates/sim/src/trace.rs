@@ -171,6 +171,8 @@ pub enum TraceEvent {
         agent: AgentKey,
         /// Updated key.
         key: u64,
+        /// Client request the committed write answered.
+        request: u64,
     },
     /// An agent finished all requests and disposed itself.
     AgentDisposed {
@@ -360,13 +362,15 @@ mod tests {
     fn filter_and_count() {
         let mut log = TraceLog::new(TraceLevel::Full);
         for node in 0..4 {
-            log.push(SimTime::from_millis(node as u64), node, TraceEvent::NodeDown(node));
+            log.push(
+                SimTime::from_millis(node as u64),
+                node,
+                TraceEvent::NodeDown(node),
+            );
         }
         log.push(SimTime::from_millis(9), 0, TraceEvent::NodeUp(2));
         assert_eq!(log.count(|e| matches!(e, TraceEvent::NodeDown(_))), 4);
-        let ups: Vec<_> = log
-            .filter(|e| matches!(e, TraceEvent::NodeUp(_)))
-            .collect();
+        let ups: Vec<_> = log.filter(|e| matches!(e, TraceEvent::NodeUp(_))).collect();
         assert_eq!(ups.len(), 1);
         assert_eq!(ups[0].at, SimTime::from_millis(9));
     }
