@@ -13,7 +13,7 @@ use crate::envelope::AgentEnvelope;
 use crate::id::AgentId;
 use bytes::Bytes;
 use marp_quorum::RetryPolicy;
-use marp_sim::{Context, NodeId, TimerId, TraceEvent};
+use marp_sim::{span_id, Context, NodeId, SpanKind, TimerId, TraceEvent};
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::time::Duration;
 
@@ -228,6 +228,17 @@ impl<B: AgentBehavior> AgentRuntime<B> {
             to: ctx.me(),
             hops: hop,
         });
+        // Close the migration span the sender opened: both ends derive
+        // the id from (agent, hop, destination), and we are the
+        // destination.
+        ctx.trace(TraceEvent::SpanEnd {
+            id: span_id(
+                SpanKind::Migrate,
+                agent.key(),
+                (u64::from(hop) << 32) | u64::from(ctx.me()),
+            ),
+            kind: SpanKind::Migrate,
+        });
         self.resident.insert(
             agent,
             Resident {
@@ -323,6 +334,10 @@ impl<B: AgentBehavior> AgentRuntime<B> {
                 agent: id.key(),
                 born: resident.behavior.id().born,
             });
+            ctx.trace(TraceEvent::SpanEnd {
+                id: span_id(SpanKind::Dispatch, id.key(), 0),
+                kind: SpanKind::Dispatch,
+            });
         }
     }
 
@@ -339,6 +354,19 @@ impl<B: AgentBehavior> AgentRuntime<B> {
             state: state.clone(),
         });
         ctx.send(dest, msg);
+        // Open the migration span; the receiving runtime closes it on
+        // arrival with the same (agent, hop, destination)-derived id.
+        ctx.trace(TraceEvent::SpanStart {
+            id: span_id(
+                SpanKind::Migrate,
+                id.key(),
+                (u64::from(hop) << 32) | u64::from(dest),
+            ),
+            parent: span_id(SpanKind::Dispatch, id.key(), 0),
+            kind: SpanKind::Migrate,
+            a: id.key(),
+            b: (u64::from(hop) << 32) | u64::from(dest),
+        });
         let timer = ctx.set_timer(self.cfg.retry().next_delay(1), TAG_MIGRATE_RETRY);
         self.migrate_timers.insert(timer, id);
         self.outbound.insert(

@@ -13,7 +13,7 @@ use crate::common::{LwwStore, LwwTs};
 use bytes::{Bytes, BytesMut};
 use marp_quorum::{QuorumCall, SuccessRule, TimerMux, Verdict};
 use marp_replica::{ClientReply, ClientRequest, Operation};
-use marp_sim::{impl_as_any, Context, NodeId, Process, TimerId, TraceEvent};
+use marp_sim::{impl_as_any, span_id, Context, NodeId, Process, SpanKind, TimerId, TraceEvent};
 use marp_wire::{Wire, WireError};
 use std::collections::HashMap;
 use std::time::Duration;
@@ -179,6 +179,14 @@ impl AcNode {
         if let Some(done) = self.pending.remove(&request) {
             self.timers.disarm(TIMER_ACK, request);
             let arrived = done.call.started();
+            ctx.trace(TraceEvent::SpanEnd {
+                id: done.call.span(),
+                kind: SpanKind::UpdateQuorum,
+            });
+            ctx.trace(TraceEvent::SpanEnd {
+                id: span_id(SpanKind::Request, request, u64::from(self.me)),
+                kind: SpanKind::Request,
+            });
             ctx.trace(TraceEvent::UpdateCompleted {
                 request,
                 home: self.me,
@@ -223,6 +231,14 @@ impl AcNode {
                         ctx.send(from, marp_wire::to_bytes(&reply));
                     }
                     Operation::Write { key, value } => {
+                        let req_span = span_id(SpanKind::Request, request.id, u64::from(self.me));
+                        ctx.trace(TraceEvent::SpanStart {
+                            id: req_span,
+                            parent: 0,
+                            kind: SpanKind::Request,
+                            a: request.id,
+                            b: u64::from(self.me),
+                        });
                         let ts = self.store.stamp(self.me);
                         self.store.apply(key, value, ts);
                         // Write to every *available* replica.
@@ -238,9 +254,25 @@ impl AcNode {
                         for &server in &waiting {
                             ctx.send(server, payload.clone());
                         }
+                        // The propagation round runs under its own span;
+                        // the request span links to it.
+                        let round_span =
+                            span_id(SpanKind::UpdateQuorum, request.id, u64::from(self.me));
+                        ctx.trace(TraceEvent::SpanStart {
+                            id: round_span,
+                            parent: 0,
+                            kind: SpanKind::UpdateQuorum,
+                            a: request.id,
+                            b: u64::from(self.me),
+                        });
+                        ctx.trace(TraceEvent::SpanLink {
+                            from: req_span,
+                            to: round_span,
+                        });
                         // With no other available replica the call is
                         // won at construction: done immediately.
-                        let call = QuorumCall::new(SuccessRule::AllAvailable, waiting, ctx.now());
+                        let call = QuorumCall::new(SuccessRule::AllAvailable, waiting, ctx.now())
+                            .with_span(round_span);
                         let won = call.verdict() == Some(Verdict::Won);
                         self.pending.insert(
                             request.id,

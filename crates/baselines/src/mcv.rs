@@ -11,12 +11,8 @@
 use crate::common::{Ballot, Promise};
 use bytes::{Bytes, BytesMut};
 use marp_quorum::{QuorumCall, RetryPolicy, TimerMux, Verdict};
-use marp_replica::{
-    ClientRequest, CommitRecord, ServerConfig, ServerCore, SyncMsg, WriteRequest,
-};
-use marp_sim::{
-    impl_as_any, Context, NodeId, Process, TimerId, TraceEvent,
-};
+use marp_replica::{ClientRequest, CommitRecord, ServerConfig, ServerCore, SyncMsg, WriteRequest};
+use marp_sim::{impl_as_any, span_id, Context, NodeId, Process, SpanKind, TimerId, TraceEvent};
 use marp_wire::{Wire, WireError};
 use std::collections::VecDeque;
 use std::time::Duration;
@@ -246,10 +242,26 @@ impl McvNode {
             seq: self.ballot_seq,
             coordinator: self.me(),
         };
+        // The round runs under an UpdateQuorum span keyed by the same
+        // surrogate agent key the commit records carry; the request's
+        // span links to it (a retried write links to each new round).
+        let surrogate = u64::from(self.me()) << 32 | ballot.seq;
+        let span = span_id(SpanKind::UpdateQuorum, surrogate, ballot.seq);
+        ctx.trace(TraceEvent::SpanStart {
+            id: span,
+            parent: 0,
+            kind: SpanKind::UpdateQuorum,
+            a: surrogate,
+            b: ballot.seq,
+        });
+        ctx.trace(TraceEvent::SpanLink {
+            from: span_id(SpanKind::Request, request.id, u64::from(self.me())),
+            to: span,
+        });
         self.round = Some(Round {
             ballot,
             request,
-            call: QuorumCall::majority(self.cfg.n_servers as u16, ctx.now()),
+            call: QuorumCall::majority(self.cfg.n_servers as u16, ctx.now()).with_span(span),
         });
         self.broadcast(&McvMsg::VoteReq { ballot }, ctx);
         let tag = self.timers.arm(TIMER_ROUND, ballot.seq);
@@ -261,6 +273,10 @@ impl McvNode {
             return;
         };
         self.timers.disarm(TIMER_ROUND, round.ballot.seq);
+        ctx.trace(TraceEvent::SpanEnd {
+            id: round.call.span(),
+            kind: SpanKind::UpdateQuorum,
+        });
         self.broadcast(
             &McvMsg::Release {
                 ballot: round.ballot,
@@ -274,7 +290,14 @@ impl McvNode {
         ctx.set_timer(self.retry.next_delay(self.attempts), tag);
     }
 
-    fn on_vote(&mut self, from: NodeId, ballot: Ballot, granted: bool, version: u64, ctx: &mut dyn Context) {
+    fn on_vote(
+        &mut self,
+        from: NodeId,
+        ballot: Ballot,
+        granted: bool,
+        version: u64,
+        ctx: &mut dyn Context,
+    ) {
         let Some(round) = &mut self.round else {
             return;
         };
@@ -296,6 +319,19 @@ impl McvNode {
                     request: round.request.id,
                     committed_at: ctx.now(),
                 };
+                ctx.trace(TraceEvent::SpanEnd {
+                    id: round.call.span(),
+                    kind: SpanKind::UpdateQuorum,
+                });
+                // Closed by ServerCore when the commit reaches the
+                // pending client at this (home) replica.
+                ctx.trace(TraceEvent::SpanStart {
+                    id: span_id(SpanKind::Commit, record.agent, record.request),
+                    parent: round.call.span(),
+                    kind: SpanKind::Commit,
+                    a: record.agent,
+                    b: record.request,
+                });
                 self.broadcast(
                     &McvMsg::Apply {
                         ballot: round.ballot,
@@ -336,9 +372,9 @@ impl McvNode {
                 }
             }
             McvMsg::VoteReq { ballot } => {
-                let granted =
-                    self.promise
-                        .try_grant(ballot, ctx.now(), self.cfg.promise_lease);
+                let granted = self
+                    .promise
+                    .try_grant(ballot, ctx.now(), self.cfg.promise_lease);
                 let reply = McvMsg::Vote {
                     ballot,
                     granted,

@@ -10,12 +10,8 @@
 
 use bytes::{Bytes, BytesMut};
 use marp_quorum::{QuorumCall, TimerMux, Verdict};
-use marp_replica::{
-    ClientRequest, CommitRecord, ServerConfig, ServerCore, SyncMsg, WriteRequest,
-};
-use marp_sim::{
-    impl_as_any, Context, NodeId, Process, TimerId, TraceEvent,
-};
+use marp_replica::{ClientRequest, CommitRecord, ServerConfig, ServerCore, SyncMsg, WriteRequest};
+use marp_sim::{impl_as_any, span_id, Context, NodeId, Process, SpanKind, TimerId, TraceEvent};
 use marp_wire::{Wire, WireError};
 use std::collections::HashMap;
 use std::time::Duration;
@@ -161,7 +157,9 @@ impl PcNode {
         self.me() == self.cfg.primary
     }
 
-    fn sequence_write(&mut self, request: WriteRequest, ctx: &mut dyn Context) {
+    /// `origin` is the server that accepted the client request (it holds
+    /// the pending-client entry and so anchors the request's span).
+    fn sequence_write(&mut self, request: WriteRequest, origin: NodeId, ctx: &mut dyn Context) {
         debug_assert!(self.is_primary());
         self.next_version += 1;
         let record = CommitRecord {
@@ -172,10 +170,32 @@ impl PcNode {
             request: request.id,
             committed_at: ctx.now(),
         };
-        let mut call = QuorumCall::majority(self.cfg.n_servers as u16, ctx.now());
+        let span = span_id(SpanKind::UpdateQuorum, record.agent, self.next_version);
+        ctx.trace(TraceEvent::SpanStart {
+            id: span,
+            parent: 0,
+            kind: SpanKind::UpdateQuorum,
+            a: record.agent,
+            b: self.next_version,
+        });
+        ctx.trace(TraceEvent::SpanLink {
+            from: span_id(SpanKind::Request, request.id, u64::from(origin)),
+            to: span,
+        });
+        // Closed by ServerCore when the commit reaches the pending
+        // client at the accepting server (possibly this node).
+        ctx.trace(TraceEvent::SpanStart {
+            id: span_id(SpanKind::Commit, record.agent, record.request),
+            parent: span,
+            kind: SpanKind::Commit,
+            a: record.agent,
+            b: record.request,
+        });
+        let mut call = QuorumCall::majority(self.cfg.n_servers as u16, ctx.now()).with_span(span);
         // The primary's own copy counts (decides outright when n = 1).
         let verdict = call.offer_vote(self.me(), true, ());
-        self.in_flight.insert(record.version, InFlight { request, call });
+        self.in_flight
+            .insert(record.version, InFlight { request, call });
         let msg = PcMsg::Replicate {
             record: record.clone(),
         };
@@ -195,6 +215,10 @@ impl PcNode {
         let Some(flight) = self.in_flight.remove(&version) else {
             return;
         };
+        ctx.trace(TraceEvent::SpanEnd {
+            id: flight.call.span(),
+            kind: SpanKind::UpdateQuorum,
+        });
         ctx.trace(TraceEvent::UpdateCompleted {
             request: flight.request.id,
             home: flight.request.client, // home unknown at primary; use origin marker
@@ -212,7 +236,8 @@ impl PcNode {
                     marp_replica::ClientAction::Done => {}
                     marp_replica::ClientAction::Write(write) => {
                         if self.is_primary() {
-                            self.sequence_write(write, ctx);
+                            let origin = self.me();
+                            self.sequence_write(write, origin, ctx);
                         } else {
                             let forward = PcMsg::Forward { request: write };
                             ctx.send(self.cfg.primary, marp_wire::to_bytes(&forward));
@@ -227,7 +252,7 @@ impl PcNode {
             }
             PcMsg::Forward { request } => {
                 if self.is_primary() {
-                    self.sequence_write(request, ctx);
+                    self.sequence_write(request, from, ctx);
                 }
             }
             PcMsg::Replicate { record } => {
@@ -322,7 +347,10 @@ mod tests {
                 server,
                 Box::new(ScriptedSource::new([(
                     Duration::from_millis(1),
-                    Operation::Write { key, value: key * 10 },
+                    Operation::Write {
+                        key,
+                        value: key * 10,
+                    },
                 )])),
                 wrap_client_request,
             )));
@@ -383,7 +411,11 @@ mod tests {
         )));
         sim.run_until(SimTime::from_secs(3));
         let proc = sim.process::<ClientProcess>(client).unwrap();
-        assert_eq!(proc.stats.write_latencies.len(), 0, "no commit without primary");
+        assert_eq!(
+            proc.stats.write_latencies.len(),
+            0,
+            "no commit without primary"
+        );
     }
 
     #[test]

@@ -10,7 +10,7 @@ use crate::common::{Ballot, Promise};
 use bytes::{Bytes, BytesMut};
 use marp_quorum::{QuorumCall, RetryPolicy, SuccessRule, TimerMux, Verdict};
 use marp_replica::{ClientReply, ClientRequest, Operation, WriteRequest};
-use marp_sim::{impl_as_any, Context, NodeId, Process, TimerId, TraceEvent};
+use marp_sim::{impl_as_any, span_id, Context, NodeId, Process, SpanKind, TimerId, TraceEvent};
 use marp_wire::{Wire, WireError};
 use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::time::Duration;
@@ -341,6 +341,22 @@ impl WvNode {
             seq: self.ballot_seq,
             coordinator: self.me,
         };
+        // The vote round runs under an UpdateQuorum span; the write's
+        // request span links to it (once per round, so retries show up
+        // as separate rounds hanging off the same request).
+        let surrogate = (u64::from(self.me) << 32) | ballot.seq;
+        let span = span_id(SpanKind::UpdateQuorum, surrogate, ballot.seq);
+        ctx.trace(TraceEvent::SpanStart {
+            id: span,
+            parent: 0,
+            kind: SpanKind::UpdateQuorum,
+            a: surrogate,
+            b: ballot.seq,
+        });
+        ctx.trace(TraceEvent::SpanLink {
+            from: span_id(SpanKind::Request, request.id, u64::from(self.me)),
+            to: span,
+        });
         self.round = Some(WriteRound {
             ballot,
             request,
@@ -351,7 +367,8 @@ impl WvNode {
                 },
                 0..self.n() as NodeId,
                 ctx.now(),
-            ),
+            )
+            .with_span(span),
         });
         self.broadcast(&WvMsg::WReq { ballot }, ctx);
         let tag = self.timers.arm(TIMER_ROUND, ballot.seq);
@@ -363,6 +380,10 @@ impl WvNode {
             return;
         };
         self.timers.disarm(TIMER_ROUND, round.ballot.seq);
+        ctx.trace(TraceEvent::SpanEnd {
+            id: round.call.span(),
+            kind: SpanKind::UpdateQuorum,
+        });
         self.broadcast(
             &WvMsg::WRelease {
                 ballot: round.ballot,
@@ -392,6 +413,14 @@ impl WvNode {
         for server in round.call.positive_nodes() {
             ctx.send(server, bytes.clone());
         }
+        ctx.trace(TraceEvent::SpanEnd {
+            id: round.call.span(),
+            kind: SpanKind::UpdateQuorum,
+        });
+        ctx.trace(TraceEvent::SpanEnd {
+            id: span_id(SpanKind::Request, round.request.id, u64::from(self.me)),
+            kind: SpanKind::Request,
+        });
         ctx.trace(TraceEvent::UpdateCompleted {
             request: round.request.id,
             home: self.me,
@@ -443,6 +472,13 @@ impl WvNode {
                         self.broadcast(&WvMsg::RReq { rid, key }, ctx);
                     }
                     Operation::Write { key, value } => {
+                        ctx.trace(TraceEvent::SpanStart {
+                            id: span_id(SpanKind::Request, request.id, u64::from(self.me)),
+                            parent: 0,
+                            kind: SpanKind::Request,
+                            a: request.id,
+                            b: u64::from(self.me),
+                        });
                         self.queue.push_back(WriteRequest {
                             id: request.id,
                             client: from,

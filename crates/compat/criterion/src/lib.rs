@@ -13,8 +13,40 @@
 //! Running a bench binary with `--test` (as `cargo test` does for
 //! `harness = false` benches) executes each benchmark exactly once to
 //! smoke-test it, without timing loops.
+//!
+//! Set `CRITERION_JSON=<path>` to also write the measured results as a
+//! JSON array (`[{"id", "median_ns", "min_ns", "max_ns"}, ...]`) when
+//! the bench binary exits — the workspace's `BENCH_baseline.json`
+//! snapshots come from this.
 
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
+
+/// Results collected for the `CRITERION_JSON` snapshot.
+static RESULTS: Mutex<Vec<(String, u128, u128, u128)>> = Mutex::new(Vec::new());
+
+/// Write the collected results to `$CRITERION_JSON` if it is set.
+/// Called by the `criterion_main!`-generated `main` after all groups.
+pub fn write_json_snapshot() {
+    let Some(path) = std::env::var_os("CRITERION_JSON") else {
+        return;
+    };
+    let results = RESULTS.lock().expect("results mutex");
+    let mut out = String::from("[\n");
+    for (i, (id, median, min, max)) in results.iter().enumerate() {
+        if i > 0 {
+            out.push_str(",\n");
+        }
+        out.push_str(&format!(
+            "  {{\"id\": \"{}\", \"median_ns\": {median}, \"min_ns\": {min}, \"max_ns\": {max}}}",
+            id.replace('\\', "\\\\").replace('"', "\\\"")
+        ));
+    }
+    out.push_str("\n]\n");
+    if let Err(err) = std::fs::write(&path, out) {
+        eprintln!("criterion: cannot write {}: {err}", path.to_string_lossy());
+    }
+}
 
 /// Opaque hint preventing the optimizer from deleting a value.
 pub fn black_box<T>(value: T) -> T {
@@ -112,9 +144,20 @@ impl Default for Criterion {
 
 impl Criterion {
     /// Run one standalone benchmark.
-    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<String>, f: F) -> &mut Self {
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<String>,
+        f: F,
+    ) -> &mut Self {
         let id = id.into();
-        run_one(&id, self.sample_size, self.smoke, self.filter.as_deref(), None, f);
+        run_one(
+            &id,
+            self.sample_size,
+            self.smoke,
+            self.filter.as_deref(),
+            None,
+            f,
+        );
         self
     }
 
@@ -151,7 +194,11 @@ impl BenchmarkGroup<'_> {
     }
 
     /// Run one benchmark within the group.
-    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<String>, f: F) -> &mut Self {
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<String>,
+        f: F,
+    ) -> &mut Self {
         let id = format!("{}/{}", self.name, id.into());
         run_one(
             &id,
@@ -203,6 +250,12 @@ fn run_one<F: FnMut(&mut Bencher)>(
     let median = samples[samples.len() / 2];
     let min = samples[0];
     let max = samples[samples.len() - 1];
+    RESULTS.lock().expect("results mutex").push((
+        id.to_string(),
+        median.as_nanos(),
+        min.as_nanos(),
+        max.as_nanos(),
+    ));
     let rate = throughput
         .map(|t| {
             let secs = median.as_secs_f64().max(1e-12);
@@ -234,6 +287,7 @@ macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
             $($group();)+
+            $crate::write_json_snapshot();
         }
     };
 }

@@ -21,7 +21,7 @@ use bytes::{Bytes, BytesMut};
 use marp_agent::{Action, AgentBehavior, AgentEnv, AgentId, Itinerary};
 use marp_quorum::{QuorumCall, RetryPolicy, TimerMux, Verdict};
 use marp_replica::{CommitRecord, UpdatedList, WriteRequest};
-use marp_sim::{NodeId, TraceEvent};
+use marp_sim::{span_id, NodeId, SpanKind, TraceEvent};
 use marp_wire::{Wire, WireError};
 use std::time::Duration;
 
@@ -235,9 +235,7 @@ impl UpdateAgent {
                 if self.lt.presence_count(self.id) < self.maj()
                     && self.itinerary.begin_next_round() > 0
                 {
-                    if let Some(next) =
-                        self.itinerary.next_destination(|to| host.route_cost(to))
-                    {
+                    if let Some(next) = self.itinerary.next_destination(|to| host.route_cost(to)) {
                         self.phase = Phase::Travelling;
                         return Action::Migrate(next);
                     }
@@ -278,6 +276,26 @@ impl UpdateAgent {
 
     fn start_update(&mut self, env: &mut AgentEnv<'_>, via_tie: bool, certificate: Vec<AgentId>) {
         self.attempt += 1;
+        env.trace(TraceEvent::SpanEnd {
+            id: span_id(
+                SpanKind::LockAcquire,
+                self.id.key(),
+                u64::from(self.attempt),
+            ),
+            kind: SpanKind::LockAcquire,
+        });
+        let update_span = span_id(
+            SpanKind::UpdateQuorum,
+            self.id.key(),
+            u64::from(self.attempt),
+        );
+        env.trace(TraceEvent::SpanStart {
+            id: update_span,
+            parent: span_id(SpanKind::Dispatch, self.id.key(), 0),
+            kind: SpanKind::UpdateQuorum,
+            a: self.id.key(),
+            b: u64::from(self.attempt),
+        });
         env.trace(TraceEvent::LockGranted {
             agent: self.id.key(),
             node: env.here(),
@@ -299,7 +317,7 @@ impl UpdateAgent {
         self.phase = Phase::Updating {
             via_tie,
             certificate,
-            call: QuorumCall::majority(self.n, env.now()),
+            call: QuorumCall::majority(self.n, env.now()).with_span(update_span),
         };
         self.timers.disarm_kind(TIMER_ACK);
         let tag = self.timers.arm(TIMER_ACK, u64::from(self.attempt));
@@ -333,6 +351,26 @@ impl UpdateAgent {
             records,
         });
         self.broadcast(env, &msg);
+        let update_span = span_id(
+            SpanKind::UpdateQuorum,
+            self.id.key(),
+            u64::from(self.attempt),
+        );
+        env.trace(TraceEvent::SpanEnd {
+            id: update_span,
+            kind: SpanKind::UpdateQuorum,
+        });
+        // Commit spans close at each request's home server when the
+        // commit record reaches its pending client (ServerCore).
+        for req in &self.rl {
+            env.trace(TraceEvent::SpanStart {
+                id: span_id(SpanKind::Commit, self.id.key(), req.id),
+                parent: update_span,
+                kind: SpanKind::Commit,
+                a: self.id.key(),
+                b: req.id,
+            });
+        }
         for req in &self.rl {
             env.trace(TraceEvent::UpdateCompleted {
                 request: req.id,
@@ -349,6 +387,27 @@ impl UpdateAgent {
     fn abort_claim(&mut self, env: &mut AgentEnv<'_>) {
         env.trace(TraceEvent::WinAborted {
             agent: self.id.key(),
+        });
+        env.trace(TraceEvent::SpanEnd {
+            id: span_id(
+                SpanKind::UpdateQuorum,
+                self.id.key(),
+                u64::from(self.attempt),
+            ),
+            kind: SpanKind::UpdateQuorum,
+        });
+        // The next lock-acquisition round starts immediately (the agent
+        // goes back to competing from parked).
+        env.trace(TraceEvent::SpanStart {
+            id: span_id(
+                SpanKind::LockAcquire,
+                self.id.key(),
+                u64::from(self.attempt) + 1,
+            ),
+            parent: span_id(SpanKind::Dispatch, self.id.key(), 0),
+            kind: SpanKind::LockAcquire,
+            a: self.id.key(),
+            b: u64::from(self.attempt) + 1,
         });
         self.timers.disarm_kind(TIMER_ACK);
         let msg = NodeMsg::Release { agent: self.id };
@@ -384,6 +443,17 @@ impl AgentBehavior for UpdateAgent {
 
     fn on_arrive(&mut self, host: &mut MarpServerState, env: &mut AgentEnv<'_>) -> Action {
         let here = env.here();
+        if self.visited.is_empty() && self.attempt == 0 {
+            // First arrival (at home): the first lock-acquisition round
+            // begins. Later rounds are opened by `abort_claim`.
+            env.trace(TraceEvent::SpanStart {
+                id: span_id(SpanKind::LockAcquire, self.id.key(), 1),
+                parent: span_id(SpanKind::Dispatch, self.id.key(), 0),
+                kind: SpanKind::LockAcquire,
+                a: self.id.key(),
+                b: 1,
+            });
+        }
         if !self.visited.contains(&here) {
             self.visited.push(here);
         }

@@ -11,7 +11,9 @@ use bytes::Bytes;
 use marp_agent::{AgentEnvelope, AgentId, AgentRuntime};
 use marp_net::RoutingTable;
 use marp_replica::{RequestBatcher, ServerCore, WriteRequest};
-use marp_sim::{impl_as_any, Context, NodeId, Process, SimTime, TimerId, TraceEvent};
+use marp_sim::{
+    impl_as_any, span_id, Context, NodeId, Process, SimTime, SpanKind, TimerId, TraceEvent,
+};
 use std::collections::BTreeMap;
 
 const TAG_BATCH_TICK: u64 = 100;
@@ -98,6 +100,22 @@ impl MarpNode {
             home: self.me(),
             batch: batch.len(),
         });
+        // Dispatch span: the agent's whole life (closed at disposal by
+        // the runtime). Each carried request's span links into it.
+        let dispatch_span = span_id(SpanKind::Dispatch, id.key(), 0);
+        ctx.trace(TraceEvent::SpanStart {
+            id: dispatch_span,
+            parent: 0,
+            kind: SpanKind::Dispatch,
+            a: id.key(),
+            b: 0,
+        });
+        for req in &batch {
+            ctx.trace(TraceEvent::SpanLink {
+                from: span_id(SpanKind::Request, req.id, u64::from(self.me())),
+                to: dispatch_span,
+            });
+        }
         self.outstanding.insert(
             id,
             OutstandingBatch {

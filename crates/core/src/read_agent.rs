@@ -17,7 +17,7 @@ use bytes::{Bytes, BytesMut};
 use marp_agent::{Action, AgentBehavior, AgentEnv, AgentId, Itinerary};
 use marp_quorum::{QuorumCall, SuccessRule, Verdict};
 use marp_replica::ClientReply;
-use marp_sim::{NodeId, TraceEvent};
+use marp_sim::{span_id, NodeId, SpanKind, TraceEvent};
 use marp_wire::{Wire, WireError};
 
 /// What one visit observes: (applied version, key version, value if
@@ -100,6 +100,10 @@ impl ReadAgent {
         crate::lt::majority(usize::from(self.n))
     }
 
+    fn read_span(&self) -> marp_sim::SpanId {
+        span_id(SpanKind::Read, self.request, u64::from(self.id.home))
+    }
+
     fn finish(&self, env: &mut AgentEnv<'_>) -> Action {
         // The freshest observation wins: highest key version, with the
         // highest applied version as tiebreak for absent keys.
@@ -122,6 +126,10 @@ impl ReadAgent {
             version: key_version.max(applied),
         };
         env.send_raw(self.client, marp_wire::to_bytes(&reply));
+        env.trace(TraceEvent::SpanEnd {
+            id: self.read_span(),
+            kind: SpanKind::Read,
+        });
         Action::Dispose
     }
 
@@ -130,6 +138,10 @@ impl ReadAgent {
         // downgrade the guarantee.
         let reply = ClientReply::Rejected { id: self.request };
         env.send_raw(self.client, marp_wire::to_bytes(&reply));
+        env.trace(TraceEvent::SpanEnd {
+            id: self.read_span(),
+            kind: SpanKind::Read,
+        });
         Action::Dispose
     }
 
@@ -153,6 +165,16 @@ impl AgentBehavior for ReadAgent {
     }
 
     fn on_arrive(&mut self, host: &mut MarpServerState, env: &mut AgentEnv<'_>) -> Action {
+        if self.visited == 0 {
+            // First arrival (at home): the strong read begins here.
+            env.trace(TraceEvent::SpanStart {
+                id: self.read_span(),
+                parent: 0,
+                kind: SpanKind::Read,
+                a: self.request,
+                b: u64::from(self.id.home),
+            });
+        }
         self.visited += 1;
         let store = &host.core.store;
         let stored = store.get(self.key);
@@ -189,13 +211,7 @@ mod tests {
     #[test]
     fn wire_roundtrip() {
         let cfg = MarpConfig::new(5);
-        let mut agent = ReadAgent::new(
-            AgentId::new(1, SimTime::from_millis(3), 7),
-            &cfg,
-            42,
-            9,
-            5,
-        );
+        let mut agent = ReadAgent::new(AgentId::new(1, SimTime::from_millis(3), 7), &cfg, 42, 9, 5);
         agent.call.offer_vote(1, true, (3, 2, Some(20)));
         agent.visited = 1;
         let bytes = marp_wire::to_bytes(&agent);

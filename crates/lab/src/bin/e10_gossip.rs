@@ -2,15 +2,20 @@
 //! on vs off, across contention levels.
 
 use marp_agent::ItineraryPolicy;
-use marp_lab::{
-    assert_all_clean, pool_metrics, run_seeds, ProtocolKind, Scenario, PAPER_SEEDS,
-};
+use marp_lab::{assert_all_clean, pool_metrics, run_seeds, ProtocolKind, Scenario, PAPER_SEEDS};
 use marp_metrics::{fmt_ms, Table};
 
 fn main() {
+    let obs = marp_lab::ObsOptions::from_env();
     let mut table = Table::new(
         "E10 — gossip boards on/off (N = 5)",
-        &["mean arrival (ms)", "gossip", "ALT (ms)", "aborted claims", "mean visits"],
+        &[
+            "mean arrival (ms)",
+            "gossip",
+            "ALT (ms)",
+            "aborted claims",
+            "mean visits",
+        ],
     );
     for &mean in &[5.0, 15.0, 45.0] {
         for gossip in [true, false] {
@@ -39,4 +44,12 @@ fn main() {
         }
     }
     println!("{}", table.render());
+    marp_lab::write_obs_outputs(
+        &Scenario::paper(5, 15.0, marp_lab::PAPER_SEEDS[0]).with_protocol(ProtocolKind::Marp {
+            gossip: true,
+            itinerary: ItineraryPolicy::CostSorted,
+            batch_max: 1,
+        }),
+        &obs,
+    );
 }

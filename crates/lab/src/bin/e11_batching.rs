@@ -3,12 +3,12 @@
 
 use marp_agent::ItineraryPolicy;
 use marp_lab::{
-    assert_all_clean, pool_metrics, run_seeds, total_messages, ProtocolKind, Scenario,
-    PAPER_SEEDS,
+    assert_all_clean, pool_metrics, run_seeds, total_messages, ProtocolKind, Scenario, PAPER_SEEDS,
 };
 use marp_metrics::{fmt_ms, Table};
 
 fn main() {
+    let obs = marp_lab::ObsOptions::from_env();
     let mut table = Table::new(
         "E11 — batch size (N = 5, mean arrival 5 ms)",
         &["batch", "agents", "ATT (ms)", "msgs/update"],
@@ -32,4 +32,12 @@ fn main() {
         ]);
     }
     println!("{}", table.render());
+    let mut representative =
+        Scenario::paper(5, 5.0, marp_lab::PAPER_SEEDS[0]).with_protocol(ProtocolKind::Marp {
+            gossip: true,
+            itinerary: ItineraryPolicy::CostSorted,
+            batch_max: 4,
+        });
+    representative.requests_per_client = 48;
+    marp_lab::write_obs_outputs(&representative, &obs);
 }

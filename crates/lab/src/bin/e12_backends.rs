@@ -40,6 +40,7 @@ fn make_processes() -> Vec<Box<dyn Process>> {
 }
 
 fn main() {
+    let obs = marp_lab::ObsOptions::from_env();
     // Discrete-event run.
     let transport = SimTransport::new(topology(), LinkModel::ideal(), SimRng::from_seed(5));
     let mut sim = Simulation::new(Box::new(transport), TraceLevel::Protocol);
@@ -61,6 +62,16 @@ fn main() {
     let des_trace = sim.into_trace();
     let des = PaperMetrics::from_trace(&des_trace);
     audit(&des_trace, N).assert_ok();
+    // This binary drives the sim directly (no Scenario), so dump its own
+    // DES trace rather than re-running a representative one.
+    match obs.write(&des_trace) {
+        Ok(lines) => {
+            for line in lines {
+                eprintln!("{line}");
+            }
+        }
+        Err(err) => eprintln!("observability output failed: {err}"),
+    }
 
     // Threaded run (same processes, real concurrency, 4x speed).
     let transport = SimTransport::new(topology(), LinkModel::ideal(), SimRng::from_seed(5));

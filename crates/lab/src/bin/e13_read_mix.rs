@@ -6,17 +6,27 @@ use marp_lab::{assert_all_clean, run_seeds, ProtocolKind, Scenario, PAPER_SEEDS}
 use marp_metrics::{fmt_ms, Samples, Table};
 
 fn main() {
+    let obs = marp_lab::ObsOptions::from_env();
     let mut table = Table::new(
         "E13 — read/write mixes (N = 5, mean arrival 20 ms)",
-        &["write fraction", "protocol", "read p50 (ms)", "read mean (ms)", "write mean (ms)"],
+        &[
+            "write fraction",
+            "protocol",
+            "read p50 (ms)",
+            "read mean (ms)",
+            "write mean (ms)",
+        ],
     );
     for &write_fraction in &[0.01, 0.05, 0.2, 0.5] {
         for (fresh, protocol) in [
             (false, ProtocolKind::marp()),
             (true, ProtocolKind::marp()),
-            (false, ProtocolKind::WeightedVoting {
-                read_one_write_all: false,
-            }),
+            (
+                false,
+                ProtocolKind::WeightedVoting {
+                    read_one_write_all: false,
+                },
+            ),
         ] {
             let mut base = Scenario::paper(5, 20.0, 0).with_protocol(protocol.clone());
             base.write_fraction = write_fraction;
@@ -46,4 +56,10 @@ fn main() {
         }
     }
     println!("{}", table.render());
+    let mut representative = Scenario::paper(5, 20.0, marp_lab::PAPER_SEEDS[0]);
+    representative.write_fraction = 0.2;
+    representative.fresh_reads = true;
+    representative.requests_per_client = 60;
+    representative.keys = marp_workload::KeyDist::Uniform { keys: 16 };
+    marp_lab::write_obs_outputs(&representative, &obs);
 }

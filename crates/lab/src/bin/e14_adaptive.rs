@@ -9,8 +9,7 @@
 
 use marp_agent::ItineraryPolicy;
 use marp_lab::{
-    assert_all_clean, pool_metrics, run_seeds, total_messages, ProtocolKind, Scenario,
-    PAPER_SEEDS,
+    assert_all_clean, pool_metrics, run_seeds, total_messages, ProtocolKind, Scenario, PAPER_SEEDS,
 };
 use marp_metrics::{fmt_ms, Table};
 
@@ -27,9 +26,16 @@ fn scenario(batch_max: usize, adaptive: bool) -> Scenario {
 }
 
 fn main() {
+    let obs = marp_lab::ObsOptions::from_env();
     let mut table = Table::new(
         "E14 — bursty arrivals (N = 5, MMPP around 12 ms mean)",
-        &["batching", "ATT (ms)", "p95 ATT (ms)", "agents", "msgs/update"],
+        &[
+            "batching",
+            "ATT (ms)",
+            "p95 ATT (ms)",
+            "agents",
+            "msgs/update",
+        ],
     );
     for (label, batch_max, adaptive) in [
         ("fixed 1", 1usize, false),
@@ -50,4 +56,5 @@ fn main() {
         ]);
     }
     println!("{}", table.render());
+    marp_lab::write_obs_outputs(&scenario(1, true), &obs);
 }

@@ -9,9 +9,16 @@ use marp_lab::{
 use marp_metrics::{fmt_ms, Table};
 
 fn main() {
+    let obs = marp_lab::ObsOptions::from_env();
     let mut table = Table::new(
         "E5 — update latency and messages vs WAN latency (N = 6, 2 clusters)",
-        &["inter-cluster (ms)", "protocol", "ATT (ms)", "msgs/update", "bytes/update"],
+        &[
+            "inter-cluster (ms)",
+            "protocol",
+            "ATT (ms)",
+            "msgs/update",
+            "bytes/update",
+        ],
     );
     for &inter in &[10.0, 25.0, 50.0, 100.0, 200.0] {
         for protocol in [
@@ -45,4 +52,13 @@ fn main() {
         }
     }
     println!("{}", table.render());
+    let mut representative = Scenario::paper(6, 2000.0, marp_lab::PAPER_SEEDS[0]);
+    representative.topology = TopologyKind::Wan {
+        clusters: 2,
+        intra_ms: 2.0,
+        inter_ms: 50.0,
+    };
+    representative.link = marp_lab::LinkKind::Wan;
+    representative.requests_per_client = 12;
+    marp_lab::write_obs_outputs(&representative, &obs);
 }

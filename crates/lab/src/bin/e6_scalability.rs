@@ -4,9 +4,16 @@ use marp_lab::{assert_all_clean, pool_metrics, run_seeds, Scenario, PAPER_SEEDS}
 use marp_metrics::{fmt_ms, Table};
 
 fn main() {
+    let obs = marp_lab::ObsOptions::from_env();
     let mut table = Table::new(
         "E6 — MARP vs replica count (mean arrival 60 ms per server)",
-        &["servers", "ALT (ms)", "ATT (ms)", "msgs/update", "migrations/agent"],
+        &[
+            "servers",
+            "ALT (ms)",
+            "ATT (ms)",
+            "msgs/update",
+            "migrations/agent",
+        ],
     );
     for n in [3usize, 5, 7, 9, 11] {
         // Note the aggregate write rate still grows linearly with n (one
@@ -27,4 +34,7 @@ fn main() {
         ]);
     }
     println!("{}", table.render());
+    let mut representative = Scenario::paper(7, 60.0, marp_lab::PAPER_SEEDS[0]);
+    representative.requests_per_client = 15;
+    marp_lab::write_obs_outputs(&representative, &obs);
 }

@@ -21,15 +21,27 @@ fn faulted(protocol: ProtocolKind, crash_node: u16) -> Scenario {
             // One long crash with recovery...
             .crash(crash_node, SimTime::from_secs(1), Duration::from_secs(20))
             // ...and a short transient outage elsewhere.
-            .transient((crash_node + 1) % 5, SimTime::from_secs(2), Duration::from_millis(400)),
+            .transient(
+                (crash_node + 1) % 5,
+                SimTime::from_secs(2),
+                Duration::from_millis(400),
+            ),
     );
     base
 }
 
 fn main() {
+    let obs = marp_lab::ObsOptions::from_env();
     let mut table = Table::new(
         "E7 — crash (20 s) + transient outage (0.4 s), N = 5",
-        &["protocol", "crashed node", "completed", "arrived", "ATT (ms)", "audit"],
+        &[
+            "protocol",
+            "crashed node",
+            "completed",
+            "arrived",
+            "ATT (ms)",
+            "audit",
+        ],
     );
     for (protocol, crash_node) in [
         (ProtocolKind::marp(), 4u16),
@@ -56,4 +68,5 @@ fn main() {
     }
     println!("{}", table.render());
     println!("(requests accepted by a crashed-and-lost node are re-dispatched by its recovery;\n the horizon bounds how many stragglers finish in time)");
+    marp_lab::write_obs_outputs(&faulted(ProtocolKind::marp(), 4), &obs);
 }

@@ -5,9 +5,16 @@ use marp_lab::{assert_all_clean, pool_metrics, run_seeds, Scenario, PAPER_SEEDS}
 use marp_metrics::Table;
 
 fn main() {
+    let obs = marp_lab::ObsOptions::from_env();
     let mut table = Table::new(
         "E8 — winning-agent visit distribution (mean arrival 5 ms, heavy contention)",
-        &["servers", "bound [min,max]", "observed min", "observed max", "mean visits"],
+        &[
+            "servers",
+            "bound [min,max]",
+            "observed min",
+            "observed max",
+            "mean visits",
+        ],
     );
     for n in [3usize, 5, 7] {
         let mut base = Scenario::paper(n, 5.0, 0);
@@ -34,4 +41,7 @@ fn main() {
     }
     println!("{}", table.render());
     println!("(the audit asserts every grant is inside the bound)");
+    let mut representative = Scenario::paper(5, 5.0, marp_lab::PAPER_SEEDS[0]);
+    representative.requests_per_client = 30;
+    marp_lab::write_obs_outputs(&representative, &obs);
 }

@@ -30,6 +30,7 @@ fn scenario(policy: ItineraryPolicy, mean_ms: f64) -> Scenario {
 }
 
 fn main() {
+    let obs = marp_lab::ObsOptions::from_env();
     let policies: [(&str, ItineraryPolicy); 3] = [
         ("cost-sorted (paper)", ItineraryPolicy::CostSorted),
         ("fixed ring", ItineraryPolicy::FixedOrder),
@@ -58,4 +59,5 @@ fn main() {
          paper's rationale); under contention a fixed global visiting order\n\
          wins because agents stop blocking each other in opposite orders."
     );
+    marp_lab::write_obs_outputs(&scenario(ItineraryPolicy::CostSorted, 100.0), &obs);
 }

@@ -1,10 +1,11 @@
 //! Figure 2 — ALT: average time for a mobile agent to obtain the lock,
 //! vs mean request inter-arrival time, for 3–5 replica servers.
 
-use marp_lab::{paper_point, PAPER_SWEEP_MS};
+use marp_lab::{paper_point, Scenario, PAPER_SWEEP_MS};
 use marp_metrics::{fmt_ms, Table};
 
 fn main() {
+    let obs = marp_lab::ObsOptions::from_env();
     let ns = [3usize, 4, 5];
     let mut table = Table::new(
         "Figure 2 — ALT (ms) vs mean inter-arrival time",
@@ -19,5 +20,9 @@ fn main() {
         table.row(row);
     }
     println!("{}", table.render());
-    println!("(each point pools {} seeds; audits clean)", marp_lab::PAPER_SEEDS.len());
+    println!(
+        "(each point pools {} seeds; audits clean)",
+        marp_lab::PAPER_SEEDS.len()
+    );
+    marp_lab::write_obs_outputs(&Scenario::paper(5, 25.0, marp_lab::PAPER_SEEDS[0]), &obs);
 }

@@ -1,10 +1,11 @@
 //! Figure 4 — PRK: percentage of requests whose lock was obtained after
 //! visiting K = 3, 4, 5 servers, for a 5-server system.
 
-use marp_lab::{paper_point, PAPER_SWEEP_MS};
+use marp_lab::{paper_point, Scenario, PAPER_SWEEP_MS};
 use marp_metrics::{fmt_pct, Table};
 
 fn main() {
+    let obs = marp_lab::ObsOptions::from_env();
     let n = 5usize;
     let mut table = Table::new(
         "Figure 4 — PRK (%) for N = 5 servers",
@@ -21,4 +22,5 @@ fn main() {
     }
     println!("{}", table.render());
     println!("(minimum possible K is (N+1)/2 = 3 — Theorem 3)");
+    marp_lab::write_obs_outputs(&Scenario::paper(n, 25.0, marp_lab::PAPER_SEEDS[0]), &obs);
 }

@@ -13,7 +13,11 @@ fn check(name: &str, scenario: Scenario, expected: u64) -> bool {
         name,
         outcome.metrics.completed,
         outcome.stats.messages_sent,
-        if outcome.audit.ok() { "clean" } else { "VIOLATED" },
+        if outcome.audit.ok() {
+            "clean"
+        } else {
+            "VIOLATED"
+        },
         if ok { "ok" } else { "FAIL" },
     );
     ok
@@ -26,6 +30,7 @@ fn small(protocol: ProtocolKind) -> Scenario {
 }
 
 fn main() {
+    let obs = marp_lab::ObsOptions::from_env();
     let mut all_ok = true;
     for (name, scenario) in [
         ("MARP", small(ProtocolKind::marp())),
@@ -68,7 +73,11 @@ fn main() {
         "MARP fresh reads",
         outcome.metrics.completed,
         outcome.stats.messages_sent,
-        if outcome.audit.ok() { "clean" } else { "VIOLATED" },
+        if outcome.audit.ok() {
+            "clean"
+        } else {
+            "VIOLATED"
+        },
         if ok { "ok" } else { "FAIL" },
     );
     all_ok &= ok;
@@ -77,4 +86,5 @@ fn main() {
         std::process::exit(1);
     }
     println!("\nall smoke scenarios clean");
+    marp_lab::write_obs_outputs(&small(ProtocolKind::marp()), &obs);
 }

@@ -29,8 +29,31 @@
 mod scenario;
 mod sweep;
 
-pub use scenario::{run_scenario, LinkKind, ProtocolKind, RunOutcome, Scenario, TopologyKind};
+pub use marp_obs::ObsOptions;
+pub use scenario::{
+    run_scenario, run_scenario_traced, LinkKind, ProtocolKind, RunOutcome, Scenario, TopologyKind,
+};
 pub use sweep::{run_seeds, run_sweep};
+
+/// Honor `--trace-out` / `--metrics-out` for an experiment binary: when
+/// either flag is present, re-run the given representative scenario with
+/// tracing and write the requested files. Experiment binaries call this
+/// once at the end of `main` with their canonical configuration; without
+/// the flags it is a no-op.
+pub fn write_obs_outputs(scenario: &Scenario, opts: &ObsOptions) {
+    if !opts.any() {
+        return;
+    }
+    let (_, trace) = run_scenario_traced(scenario);
+    match opts.write(&trace) {
+        Ok(lines) => {
+            for line in lines {
+                eprintln!("{line}");
+            }
+        }
+        Err(err) => eprintln!("observability output failed: {err}"),
+    }
+}
 
 /// The mean inter-arrival sweep used by the paper's figures (ms).
 pub const PAPER_SWEEP_MS: &[f64] = &[5.0, 10.0, 15.0, 25.0, 35.0, 45.0, 60.0, 80.0, 100.0];

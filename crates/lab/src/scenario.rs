@@ -194,8 +194,7 @@ impl Scenario {
     }
 
     fn auto_horizon(&self) -> Duration {
-        let workload_ms =
-            self.mean_interarrival_ms * self.requests_per_client as f64;
+        let workload_ms = self.mean_interarrival_ms * self.requests_per_client as f64;
         let ms = (workload_ms * 4.0 + 60_000.0).min(30_000_000.0);
         Duration::from_millis(ms as u64)
     }
@@ -206,10 +205,9 @@ impl Scenario {
         let n = self.n_servers;
         let total = n + self.n_clients();
         let servers: Topology = match &self.topology {
-            TopologyKind::Lan { latency_ms } => Topology::uniform_lan(
-                n,
-                Duration::from_micros((latency_ms * 1e3) as u64),
-            ),
+            TopologyKind::Lan { latency_ms } => {
+                Topology::uniform_lan(n, Duration::from_micros((latency_ms * 1e3) as u64))
+            }
             TopologyKind::Wan {
                 clusters,
                 intra_ms,
@@ -291,6 +289,12 @@ pub struct RunOutcome {
 
 /// Execute one scenario to completion.
 pub fn run_scenario(scenario: &Scenario) -> RunOutcome {
+    run_scenario_traced(scenario).0
+}
+
+/// Execute one scenario and also hand back the recorded trace, for the
+/// observability pipeline (`--trace-out`, `marp-trace`, span analysis).
+pub fn run_scenario_traced(scenario: &Scenario) -> (RunOutcome, marp_sim::TraceLog) {
     let n = scenario.n_servers;
     let topo = scenario.build_topology();
     let mut transport = SimTransport::new(
@@ -422,19 +426,18 @@ pub fn run_scenario(scenario: &Scenario) -> RunOutcome {
     let audit = match scenario.protocol {
         ProtocolKind::Marp { .. } => audit(&trace, n),
         ProtocolKind::Mcv | ProtocolKind::PrimaryCopy => audit(&trace, 0),
-        ProtocolKind::AvailableCopy | ProtocolKind::WeightedVoting { .. } => {
-            audit_relaxed(&trace)
-        }
+        ProtocolKind::AvailableCopy | ProtocolKind::WeightedVoting { .. } => audit_relaxed(&trace),
     };
 
-    RunOutcome {
+    let outcome = RunOutcome {
         metrics,
         audit,
         stats,
         client_read_ms,
         client_write_ms,
         issued,
-    }
+    };
+    (outcome, trace)
 }
 
 #[cfg(test)]

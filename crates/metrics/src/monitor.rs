@@ -298,4 +298,34 @@ mod tests {
         assert_eq!(report.duplicate_completions, 1);
         assert_eq!(mon.completed_requests(), 1);
     }
+
+    #[test]
+    fn span_events_are_skipped_without_violations() {
+        use marp_sim::{span_id, SpanKind};
+        let mut mon = InvariantMonitor::strict(3);
+        mon.observe(&rec(TraceEvent::SpanStart {
+            id: span_id(SpanKind::LockAcquire, 7, 1),
+            parent: span_id(SpanKind::Dispatch, 7, 0),
+            kind: SpanKind::LockAcquire,
+            a: 7,
+            b: 1,
+        }));
+        mon.observe(&rec(TraceEvent::SpanLink {
+            from: span_id(SpanKind::Request, 1, 0),
+            to: span_id(SpanKind::Dispatch, 7, 0),
+        }));
+        mon.observe(&rec(TraceEvent::SpanEnd {
+            id: span_id(SpanKind::LockAcquire, 7, 1),
+            kind: SpanKind::LockAcquire,
+        }));
+        // No counters move, no rules fire: spans are observability-only.
+        assert!(mon.ok());
+        assert_eq!(mon.lock_grants, 0);
+        assert!(mon.quiescent_violations().is_empty());
+        // Interleaving spans with real protocol events changes nothing.
+        mon.observe(&commit(0, 1, 7, 0xa));
+        mon.observe(&completed(0xa));
+        assert!(mon.ok());
+        assert!(mon.quiescent_violations().is_empty());
+    }
 }

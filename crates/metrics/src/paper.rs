@@ -166,6 +166,65 @@ mod tests {
     }
 
     #[test]
+    fn span_events_do_not_perturb_the_metrics() {
+        use marp_sim::{span_id, SpanKind};
+        let base = trace_with(vec![(
+            SimTime::from_millis(50),
+            TraceEvent::UpdateCompleted {
+                request: 1,
+                home: 0,
+                arrived: SimTime::from_millis(0),
+                dispatched: SimTime::from_millis(10),
+                locked: SimTime::from_millis(40),
+                visits: 3,
+            },
+        )]);
+        let with_spans = trace_with(vec![
+            (
+                SimTime::from_millis(0),
+                TraceEvent::SpanStart {
+                    id: span_id(SpanKind::Request, 1, 0),
+                    parent: 0,
+                    kind: SpanKind::Request,
+                    a: 1,
+                    b: 0,
+                },
+            ),
+            (
+                SimTime::from_millis(5),
+                TraceEvent::SpanLink {
+                    from: span_id(SpanKind::Request, 1, 0),
+                    to: span_id(SpanKind::Dispatch, 9, 0),
+                },
+            ),
+            (
+                SimTime::from_millis(50),
+                TraceEvent::UpdateCompleted {
+                    request: 1,
+                    home: 0,
+                    arrived: SimTime::from_millis(0),
+                    dispatched: SimTime::from_millis(10),
+                    locked: SimTime::from_millis(40),
+                    visits: 3,
+                },
+            ),
+            (
+                SimTime::from_millis(50),
+                TraceEvent::SpanEnd {
+                    id: span_id(SpanKind::Request, 1, 0),
+                    kind: SpanKind::Request,
+                },
+            ),
+        ]);
+        let plain = PaperMetrics::from_trace(&base);
+        let spanned = PaperMetrics::from_trace(&with_spans);
+        assert_eq!(plain.completed, spanned.completed);
+        assert_eq!(plain.mean_alt_ms(), spanned.mean_alt_ms());
+        assert_eq!(plain.mean_att_ms(), spanned.mean_att_ms());
+        assert_eq!(plain.visits, spanned.visits);
+    }
+
+    #[test]
     fn empty_trace_yields_empty_metrics() {
         let m = PaperMetrics::from_trace(&TraceLog::new(TraceLevel::Full));
         assert_eq!(m.completed, 0);

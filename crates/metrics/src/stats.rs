@@ -350,4 +350,74 @@ mod tests {
         assert_eq!(h.total(), 1);
         assert!(h.quantile(1.0).unwrap() >= 8.0);
     }
+
+    #[test]
+    fn log_histogram_empty_has_no_quantiles() {
+        let h = LogHistogram::for_latency_ms();
+        assert_eq!(h.total(), 0);
+        assert_eq!(h.quantile(0.0), None);
+        assert_eq!(h.quantile(0.5), None);
+        assert_eq!(h.quantile(1.0), None);
+    }
+
+    #[test]
+    fn log_histogram_single_sample_answers_every_quantile() {
+        let mut h = LogHistogram::for_latency_ms();
+        h.record(12.5);
+        // With one sample, every positive quantile lands in its bucket:
+        // the answer is the bucket lower bound, within one growth step
+        // of the recorded value.
+        for q in [0.01, 0.5, 0.99, 1.0] {
+            let v = h.quantile(q).unwrap();
+            assert!((12.5 / 1.05 / 1.05..=12.5).contains(&v), "q={q} gave {v}");
+        }
+        // q = 0 asks for rank 0 and degenerates to the histogram floor —
+        // defined (Some), just not tied to the sample.
+        assert!(h.quantile(0.0).unwrap() <= 12.5);
+    }
+
+    #[test]
+    fn log_histogram_merge_is_associative_across_shards() {
+        // Three sweep shards, merged in both groupings, must agree on
+        // totals and every quantile.
+        let shard = |seed: u64| {
+            let mut h = LogHistogram::for_latency_ms();
+            let mut x = seed;
+            for _ in 0..200 {
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                h.record(0.01 + (x % 100_000) as f64 / 100.0);
+            }
+            h
+        };
+        let (a, b, c) = (shard(1), shard(2), shard(3));
+
+        let mut left = a.clone(); // (a ⊕ b) ⊕ c
+        left.merge(&b);
+        left.merge(&c);
+        let mut right = b.clone(); // a ⊕ (b ⊕ c)
+        right.merge(&c);
+        let mut right_total = a.clone();
+        right_total.merge(&right);
+
+        assert_eq!(left.total(), 600);
+        assert_eq!(left.total(), right_total.total());
+        for q in [0.0, 0.25, 0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(left.quantile(q), right_total.quantile(q), "q={q}");
+        }
+        // Merging an empty histogram is the identity.
+        let mut with_empty = left.clone();
+        with_empty.merge(&LogHistogram::for_latency_ms());
+        assert_eq!(with_empty.quantile(0.5), left.quantile(0.5));
+        assert_eq!(with_empty.total(), left.total());
+    }
+
+    #[test]
+    #[should_panic]
+    fn log_histogram_merge_rejects_mismatched_configs() {
+        let mut a = LogHistogram::new(0.001, 1.05, 100);
+        let b = LogHistogram::new(0.01, 1.05, 100);
+        a.merge(&b);
+    }
 }

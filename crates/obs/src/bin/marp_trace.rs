@@ -1,0 +1,150 @@
+//! `marp-trace` — inspect and convert recorded simulation traces.
+//!
+//! The lab binaries and examples write binary traces with
+//! `--trace-out <path>`; this tool turns them into something viewable:
+//!
+//! ```text
+//! marp-trace export <trace.bin> [out.json]   Chrome/Perfetto trace_event JSON
+//! marp-trace journey <trace.bin>             per-agent plain-text timelines
+//! marp-trace metrics <trace.bin> [out.csv]   per-node metrics registry as CSV
+//! marp-trace critical-path <trace.bin>       commit-latency breakdown
+//! marp-trace validate <out.json> <trace.bin> check an export against its trace
+//! ```
+
+use marp_obs::{
+    load_trace, perfetto_export_string, CriticalPathReport, Journeys, Json, MetricsRegistry,
+    SpanSet,
+};
+use marp_sim::{span_id, SpanKind, TraceEvent, TraceLog};
+use std::process::ExitCode;
+use std::time::Duration;
+
+const USAGE: &str = "usage: marp-trace <command> <args>\n\
+  export <trace.bin> [out.json]   write Chrome trace_event JSON (stdout if no path)\n\
+  journey <trace.bin>             print per-agent journey timelines\n\
+  metrics <trace.bin> [out.csv]   write per-node metrics CSV (stdout if no path)\n\
+  critical-path <trace.bin>       print the commit-latency critical-path report\n\
+  validate <out.json> <trace.bin> verify the JSON parses and covers every committed write";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("export") => cmd_export(&args[1..]),
+        Some("journey") => cmd_journey(&args[1..]),
+        Some("metrics") => cmd_metrics(&args[1..]),
+        Some("critical-path") => cmd_critical(&args[1..]),
+        Some("validate") => cmd_validate(&args[1..]),
+        Some(other) => Err(format!("unknown command '{other}'\n{USAGE}")),
+        None => Err(String::from(USAGE)),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("marp-trace: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn load(path: &str) -> Result<TraceLog, String> {
+    load_trace(std::path::Path::new(path))
+        .map_err(|err| format!("cannot load trace '{path}': {err}"))
+}
+
+fn emit(text: String, out: Option<&String>) -> Result<(), String> {
+    match out {
+        Some(path) => std::fs::write(path, &text)
+            .map_err(|err| format!("cannot write '{path}': {err}"))
+            .map(|()| eprintln!("wrote {} bytes to {path}", text.len())),
+        None => {
+            println!("{text}");
+            Ok(())
+        }
+    }
+}
+
+fn cmd_export(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("export: missing <trace.bin>")?;
+    let trace = load(path)?;
+    emit(perfetto_export_string(&trace), args.get(1))
+}
+
+fn cmd_journey(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("journey: missing <trace.bin>")?;
+    let trace = load(path)?;
+    print!("{}", Journeys::from_trace(&trace).render());
+    Ok(())
+}
+
+fn cmd_metrics(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("metrics: missing <trace.bin>")?;
+    let trace = load(path)?;
+    let registry = MetricsRegistry::from_trace(&trace, Duration::from_millis(100));
+    emit(registry.to_csv(), args.get(1))
+}
+
+fn cmd_critical(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("critical-path: missing <trace.bin>")?;
+    let trace = load(path)?;
+    let report = CriticalPathReport::from_trace(&trace);
+    print!("{}", report.render());
+    if report.min_coverage() < 0.95 {
+        return Err(format!(
+            "coverage below 95%: {:.1}%",
+            report.min_coverage() * 100.0
+        ));
+    }
+    Ok(())
+}
+
+/// Check that an exported JSON document parses, and that the trace it
+/// came from has at least one span for every committed write.
+fn cmd_validate(args: &[String]) -> Result<(), String> {
+    let json_path = args.first().ok_or("validate: missing <out.json>")?;
+    let trace_path = args.get(1).ok_or("validate: missing <trace.bin>")?;
+
+    let text = std::fs::read_to_string(json_path)
+        .map_err(|err| format!("cannot read '{json_path}': {err}"))?;
+    let doc = Json::parse(&text).map_err(|err| format!("invalid JSON in '{json_path}': {err}"))?;
+    let events = doc
+        .get("traceEvents")
+        .and_then(Json::as_arr)
+        .ok_or("JSON has no traceEvents array")?;
+    let span_events = events
+        .iter()
+        .filter(|e| matches!(e.get("ph").and_then(Json::as_str), Some("X") | Some("i")))
+        .count();
+    if span_events == 0 {
+        return Err(String::from("export contains no span events"));
+    }
+
+    let trace = load(trace_path)?;
+    let set = SpanSet::from_trace(&trace);
+    let mut commits = 0u64;
+    let mut missing = Vec::new();
+    for rec in trace.records() {
+        if let TraceEvent::UpdateCompleted { request, home, .. } = rec.event {
+            commits += 1;
+            let id = span_id(SpanKind::Request, request, u64::from(home));
+            if set.get(id).is_none() {
+                missing.push(request);
+            }
+        }
+    }
+    if commits == 0 {
+        return Err(String::from("trace has no committed writes"));
+    }
+    if !missing.is_empty() {
+        return Err(format!(
+            "{} of {commits} committed write(s) have no request span: {missing:?}",
+            missing.len()
+        ));
+    }
+    println!(
+        "ok: {span_events} span event(s) in JSON, {commits} committed write(s) all covered, \
+         {} span(s) reconstructed ({} unmatched end(s))",
+        set.spans().len(),
+        set.unmatched_ends
+    );
+    Ok(())
+}

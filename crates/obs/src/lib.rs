@@ -1,0 +1,44 @@
+//! Observability for the MARP simulation workspace.
+//!
+//! The protocol crates emit causal [`marp_sim::TraceEvent::SpanStart`] /
+//! [`SpanEnd`](marp_sim::TraceEvent::SpanEnd) /
+//! [`SpanLink`](marp_sim::TraceEvent::SpanLink) records alongside the
+//! existing protocol events; this crate turns a recorded
+//! [`marp_sim::TraceLog`] into things a human can look at:
+//!
+//! * [`spans`] — reconstructs the span trees (request → dispatch →
+//!   migrate×k → lock-acquired → update-quorum → commit);
+//! * [`store`] — a versioned binary on-disk trace format
+//!   (`--trace-out` writes it, `marp-trace` reads it);
+//! * [`registry`] — per-node counters/histograms plus sampled gauges,
+//!   mergeable across sweep shards, exportable as CSV;
+//! * [`perfetto`] — Chrome `trace_event` JSON for `chrome://tracing` /
+//!   the Perfetto UI, one track per node and per agent;
+//! * [`journey`] — plain-text per-agent timelines;
+//! * [`critical`] — the commit-latency critical-path analyzer
+//!   (queueing / network / lock-wait / quorum-wait buckets);
+//! * [`flags`] — shared `--trace-out` / `--metrics-out` flag handling
+//!   for the lab binaries and examples.
+//!
+//! Unlike the protocol crates this one is *not* sans-io: it owns file
+//! I/O (trace stores, CSV dumps) on behalf of the binaries.
+
+#![warn(missing_docs)]
+
+pub mod critical;
+pub mod flags;
+pub mod journey;
+pub mod json;
+pub mod perfetto;
+pub mod registry;
+pub mod spans;
+pub mod store;
+
+pub use critical::{CriticalPathReport, PathBreakdown};
+pub use flags::ObsOptions;
+pub use journey::Journeys;
+pub use json::Json;
+pub use perfetto::{export as perfetto_export, export_string as perfetto_export_string};
+pub use registry::{GaugeSample, MetricsRegistry, NodeMetrics};
+pub use spans::{Span, SpanSet};
+pub use store::{decode_trace, encode_trace, load_trace, save_trace};

@@ -76,6 +76,10 @@ pub struct QuorumCall<T> {
     rejected_votes: u32,
     started: SimTime,
     verdict: Option<Verdict>,
+    /// Causal span the round runs under (`marp_sim::SpanId`; 0 = none).
+    /// Travels with the call so the span survives agent migration and
+    /// both ends of the round can be attributed to the same span.
+    span: u64,
 }
 
 impl<T> QuorumCall<T> {
@@ -99,9 +103,21 @@ impl<T> QuorumCall<T> {
             rejected_votes: 0,
             started,
             verdict: None,
+            span: 0,
         };
         call.evaluate();
         call
+    }
+
+    /// Attach the causal span this round runs under (builder style).
+    pub fn with_span(mut self, span: u64) -> Self {
+        self.span = span;
+        self
+    }
+
+    /// The causal span attached at creation, 0 if none.
+    pub fn span(&self) -> u64 {
+        self.span
     }
 
     /// A majority call over servers `0..n`.
@@ -115,7 +131,13 @@ impl<T> QuorumCall<T> {
     /// duplicate replies, replies from non-recipients, and replies
     /// after the call is decided all return `None` without changing
     /// anything.
-    pub fn offer(&mut self, node: NodeId, votes: u32, positive: bool, payload: T) -> Option<Verdict> {
+    pub fn offer(
+        &mut self,
+        node: NodeId,
+        votes: u32,
+        positive: bool,
+        payload: T,
+    ) -> Option<Verdict> {
         if self.verdict.is_some() {
             return None;
         }
@@ -316,6 +338,7 @@ impl<T: Wire> Wire for QuorumCall<T> {
         self.rejected_votes.encode(buf);
         self.started.encode(buf);
         self.verdict.encode(buf);
+        self.span.encode(buf);
     }
     fn decode(buf: &mut Bytes) -> Result<Self, WireError> {
         Ok(QuorumCall {
@@ -327,6 +350,7 @@ impl<T: Wire> Wire for QuorumCall<T> {
             rejected_votes: u32::decode(buf)?,
             started: SimTime::decode(buf)?,
             verdict: Option::decode(buf)?,
+            span: u64::decode(buf)?,
         })
     }
 }
@@ -437,8 +461,18 @@ mod tests {
     }
 
     #[test]
+    fn span_attaches_and_survives_wire_roundtrip() {
+        let call = QuorumCall::<u64>::majority(3, SimTime::ZERO).with_span(0xDEAD_BEEF);
+        assert_eq!(call.span(), 0xDEAD_BEEF);
+        let bytes = marp_wire::to_bytes(&call);
+        let back: QuorumCall<u64> = marp_wire::from_bytes(&bytes).unwrap();
+        assert_eq!(back.span(), 0xDEAD_BEEF);
+        assert_eq!(QuorumCall::<u64>::majority(3, SimTime::ZERO).span(), 0);
+    }
+
+    #[test]
     fn wire_roundtrip_mid_flight_and_decided() {
-        let mut call = QuorumCall::majority(5, SimTime::from_millis(3));
+        let mut call = QuorumCall::majority(5, SimTime::from_millis(3)).with_span(17);
         call.offer_vote(1, true, 7u64);
         call.offer_vote(4, false, 0);
         for case in [call.clone(), {

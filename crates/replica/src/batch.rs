@@ -69,9 +69,7 @@ impl RequestBatcher {
     /// `max_wait`.
     pub fn take_if_due(&mut self, now: SimTime) -> Option<Vec<WriteRequest>> {
         match self.oldest_at {
-            Some(oldest) if now.saturating_since(oldest) >= self.cfg.max_wait => {
-                Some(self.drain())
-            }
+            Some(oldest) if now.saturating_since(oldest) >= self.cfg.max_wait => Some(self.drain()),
             _ => None,
         }
     }
@@ -136,7 +134,10 @@ mod tests {
         assert!(batcher.push(request(1, t), t).is_none());
         assert!(batcher.push(request(2, t), t).is_none());
         let batch = batcher.push(request(3, t), t).expect("full");
-        assert_eq!(batch.iter().map(|r| r.id).collect::<Vec<_>>(), vec![1, 2, 3]);
+        assert_eq!(
+            batch.iter().map(|r| r.id).collect::<Vec<_>>(),
+            vec![1, 2, 3]
+        );
         assert!(batcher.is_empty());
     }
 
@@ -169,7 +170,10 @@ mod tests {
             max_wait: Duration::from_millis(20),
         });
         batcher.push(request(1, SimTime::from_millis(0)), SimTime::from_millis(0));
-        batcher.push(request(2, SimTime::from_millis(19)), SimTime::from_millis(19));
+        batcher.push(
+            request(2, SimTime::from_millis(19)),
+            SimTime::from_millis(19),
+        );
         let batch = batcher.take_if_due(SimTime::from_millis(20)).expect("due");
         assert_eq!(batch.len(), 2);
     }

@@ -9,7 +9,7 @@ use crate::locking::{LockingList, UpdatedList};
 use crate::msg::{ClientReply, ClientRequest, Operation, SyncMsg, WriteRequest};
 use crate::store::{CommitRecord, VersionedStore};
 use bytes::Bytes;
-use marp_sim::{Context, NodeId, TraceEvent};
+use marp_sim::{span_id, Context, NodeId, SpanKind, TraceEvent};
 use std::collections::HashMap;
 use std::time::Duration;
 
@@ -128,6 +128,16 @@ impl ServerCore {
                 ClientAction::Done
             }
             Operation::Write { key, value } => {
+                // The request span covers the write's whole life at this
+                // server: intake here, closed when `apply_commits`
+                // answers the client.
+                ctx.trace(TraceEvent::SpanStart {
+                    id: span_id(SpanKind::Request, request.id, u64::from(self.me)),
+                    parent: 0,
+                    kind: SpanKind::Request,
+                    a: request.id,
+                    b: u64::from(self.me),
+                });
                 self.pending_clients.insert(request.id, from);
                 ClientAction::Write(WriteRequest {
                     id: request.id,
@@ -189,6 +199,17 @@ impl ServerCore {
                     request: rec.request,
                 });
                 if let Some(client) = self.pending_clients.remove(&rec.request) {
+                    // Only the accepting server holds the pending-client
+                    // entry, so the commit and request spans each close
+                    // exactly once.
+                    ctx.trace(TraceEvent::SpanEnd {
+                        id: span_id(SpanKind::Commit, rec.agent, rec.request),
+                        kind: SpanKind::Commit,
+                    });
+                    ctx.trace(TraceEvent::SpanEnd {
+                        id: span_id(SpanKind::Request, rec.request, u64::from(self.me)),
+                        kind: SpanKind::Request,
+                    });
                     let reply = ClientReply::WriteDone {
                         id: rec.request,
                         version: rec.version,

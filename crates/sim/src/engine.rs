@@ -197,6 +197,10 @@ pub struct RunStats {
     pub bytes_sent: u64,
     /// Timer callbacks invoked.
     pub timers_fired: u64,
+    /// Causal spans opened by protocol code (`TraceEvent::SpanStart`).
+    pub spans_started: u64,
+    /// Causal spans closed (`TraceEvent::SpanEnd`).
+    pub spans_ended: u64,
     /// Virtual time when the run stopped.
     pub finished_at: SimTime,
 }
@@ -563,7 +567,14 @@ impl Simulation {
                 Effect::Cancel(id) => {
                     self.cancelled.insert(id.0);
                 }
-                Effect::Trace(event) => self.trace.push(self.now, node, event),
+                Effect::Trace(event) => {
+                    match event {
+                        TraceEvent::SpanStart { .. } => self.stats.spans_started += 1,
+                        TraceEvent::SpanEnd { .. } => self.stats.spans_ended += 1,
+                        _ => {}
+                    }
+                    self.trace.push(self.now, node, event);
+                }
             }
         }
     }

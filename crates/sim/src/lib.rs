@@ -57,5 +57,6 @@ pub use process::{Context, Delivery, FixedDelay, NodeId, Process, TimerId, Trans
 pub use rng::{splitmix64, SimRng};
 pub use time::{duration_nanos, scale_duration, SimTime};
 pub use trace::{
-    agent_key, agent_key_parts, AgentKey, TraceEvent, TraceLevel, TraceLog, TraceRecord,
+    agent_key, agent_key_parts, span_id, AgentKey, SpanId, SpanKind, TraceEvent, TraceLevel,
+    TraceLog, TraceRecord,
 };

@@ -7,6 +7,7 @@
 //! from it, and the consistency auditor replays it to verify the paper's
 //! theorems on every run.
 
+use crate::rng::splitmix64;
 use crate::time::SimTime;
 use crate::NodeId;
 
@@ -14,6 +15,105 @@ use crate::NodeId;
 /// the agent's home node in the high bits and its per-home sequence number
 /// in the low bits.
 pub type AgentKey = u64;
+
+/// Identifier of one causal span inside a trace. `0` means "no span"
+/// (the null parent).
+pub type SpanId = u64;
+
+/// What phase of a write's life a span covers. Each committed write forms
+/// the tree `request → dispatch → {migrate×k, lock-acquire} →
+/// update-quorum → commit`; consistent reads get their own `Read` span.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SpanKind {
+    /// Client request pending at its accepting replica (arrival → reply).
+    Request,
+    /// Lifetime of an update agent (or a baseline's coordination round
+    /// surrogate): dispatch → disposal.
+    Dispatch,
+    /// One agent migration hop: serialization at the sender → arrival at
+    /// the receiver.
+    Migrate,
+    /// One attempt to obtain the distributed lock: gathering starts →
+    /// the win is established.
+    LockAcquire,
+    /// The UPDATE/ACK validation round (baselines: the vote round).
+    UpdateQuorum,
+    /// COMMIT broadcast → the home replica applies and answers the client.
+    Commit,
+    /// A consistent read served by a read agent or read quorum.
+    Read,
+}
+
+marp_wire::wire_enum!(SpanKind {
+    Request,
+    Dispatch,
+    Migrate,
+    LockAcquire,
+    UpdateQuorum,
+    Commit,
+    Read,
+});
+
+impl SpanKind {
+    /// Stable short name used by exporters (Perfetto event names, CSV).
+    pub fn name(self) -> &'static str {
+        match self {
+            SpanKind::Request => "request",
+            SpanKind::Dispatch => "dispatch",
+            SpanKind::Migrate => "migrate",
+            SpanKind::LockAcquire => "lock-acquire",
+            SpanKind::UpdateQuorum => "update-quorum",
+            SpanKind::Commit => "commit",
+            SpanKind::Read => "read",
+        }
+    }
+
+    /// Stable numeric tag (wire format and span-id derivation).
+    pub fn tag(self) -> u8 {
+        match self {
+            SpanKind::Request => 0,
+            SpanKind::Dispatch => 1,
+            SpanKind::Migrate => 2,
+            SpanKind::LockAcquire => 3,
+            SpanKind::UpdateQuorum => 4,
+            SpanKind::Commit => 5,
+            SpanKind::Read => 6,
+        }
+    }
+
+    /// Inverse of [`SpanKind::tag`].
+    pub fn from_tag(tag: u8) -> Option<SpanKind> {
+        Some(match tag {
+            0 => SpanKind::Request,
+            1 => SpanKind::Dispatch,
+            2 => SpanKind::Migrate,
+            3 => SpanKind::LockAcquire,
+            4 => SpanKind::UpdateQuorum,
+            5 => SpanKind::Commit,
+            6 => SpanKind::Read,
+            _ => return None,
+        })
+    }
+}
+
+/// Derive the [`SpanId`] for a span from its kind and semantic identity
+/// `(a, b)` — e.g. `(agent_key, hop)` for a migration.
+///
+/// Both ends of a span are usually emitted by *different* processes (the
+/// migration sender and receiver, the winning host and the home replica),
+/// so span ids cannot come from a counter: each emitter independently
+/// derives the same id from the same semantic identity. Never returns 0
+/// (the null-parent sentinel).
+pub fn span_id(kind: SpanKind, a: u64, b: u64) -> SpanId {
+    let mixed = splitmix64(
+        splitmix64(0x5350414E_u64 ^ u64::from(kind.tag())) ^ splitmix64(a) ^ b.rotate_left(17),
+    );
+    if mixed == 0 {
+        1
+    } else {
+        mixed
+    }
+}
 
 /// Build an [`AgentKey`] from a home node and per-home sequence number.
 pub fn agent_key(home: NodeId, seq: u32) -> AgentKey {
@@ -200,6 +300,40 @@ pub enum TraceEvent {
         visits: u32,
     },
 
+    // ----- causal spans -----
+    /// A causal span opened. The `(a, b)` pair is the span's semantic
+    /// identity (what [`span_id`] hashed): `a` is an agent key or request
+    /// id, `b` a kind-specific discriminator — exporters use it to place
+    /// the span on the right track without reverse lookups.
+    SpanStart {
+        /// Span identity (see [`span_id`]).
+        id: SpanId,
+        /// Enclosing span, 0 for a root span.
+        parent: SpanId,
+        /// Phase of the write this span covers.
+        kind: SpanKind,
+        /// First identity value (agent key or request id).
+        a: u64,
+        /// Second identity value (kind-specific; 0 when unused).
+        b: u64,
+    },
+    /// A causal span closed. Possibly emitted by a different node than
+    /// the start (both derive the same id from the semantic identity).
+    SpanEnd {
+        /// Span identity.
+        id: SpanId,
+        /// Phase of the write this span covers.
+        kind: SpanKind,
+    },
+    /// A causal edge between spans that is not a parent/child nesting —
+    /// e.g. from each batched request span to the carrying dispatch span.
+    SpanLink {
+        /// Causing span.
+        from: SpanId,
+        /// Caused span.
+        to: SpanId,
+    },
+
     // ----- escape hatch -----
     /// Free-form protocol event for one-off instrumentation.
     Custom {
@@ -356,6 +490,60 @@ mod tests {
         log.push(SimTime::ZERO, 0, TraceEvent::NodeDown(1));
         assert!(log.records().is_empty());
         assert_eq!(log.dropped(), 1);
+    }
+
+    #[test]
+    fn span_ids_are_deterministic_and_distinct() {
+        let a = span_id(SpanKind::Migrate, agent_key(1, 0), 3);
+        let b = span_id(SpanKind::Migrate, agent_key(1, 0), 3);
+        assert_eq!(a, b, "both ends of a span must derive the same id");
+        assert_ne!(a, span_id(SpanKind::Migrate, agent_key(1, 0), 4));
+        assert_ne!(a, span_id(SpanKind::LockAcquire, agent_key(1, 0), 3));
+        assert_ne!(a, 0, "0 is the null-parent sentinel");
+    }
+
+    #[test]
+    fn span_kind_tags_roundtrip() {
+        for kind in [
+            SpanKind::Request,
+            SpanKind::Dispatch,
+            SpanKind::Migrate,
+            SpanKind::LockAcquire,
+            SpanKind::UpdateQuorum,
+            SpanKind::Commit,
+            SpanKind::Read,
+        ] {
+            assert_eq!(SpanKind::from_tag(kind.tag()), Some(kind));
+            assert!(!kind.name().is_empty());
+        }
+        assert_eq!(SpanKind::from_tag(250), None);
+    }
+
+    #[test]
+    fn protocol_level_keeps_span_events() {
+        let mut log = TraceLog::new(TraceLevel::Protocol);
+        let id = span_id(SpanKind::Request, 9, 0);
+        log.push(
+            SimTime::ZERO,
+            0,
+            TraceEvent::SpanStart {
+                id,
+                parent: 0,
+                kind: SpanKind::Request,
+                a: 9,
+                b: 0,
+            },
+        );
+        log.push(
+            SimTime::from_millis(1),
+            0,
+            TraceEvent::SpanEnd {
+                id,
+                kind: SpanKind::Request,
+            },
+        );
+        assert_eq!(log.records().len(), 2);
+        assert_eq!(log.dropped(), 0);
     }
 
     #[test]

@@ -367,6 +367,56 @@ macro_rules! wire_struct {
     };
 }
 
+/// Implement [`Wire`] for a field-less (unit-variant) enum by encoding the
+/// variant's declaration index as a single `u8` tag. Decoding rejects
+/// unknown tags with [`WireError::InvalidTag`].
+///
+/// ```
+/// use marp_wire::{wire_enum, Wire};
+///
+/// #[derive(Debug, Clone, Copy, PartialEq)]
+/// enum Phase { Travelling, Updating, Parked }
+/// wire_enum!(Phase { Travelling, Updating, Parked });
+///
+/// let bytes = marp_wire::to_bytes(&Phase::Updating);
+/// assert_eq!(bytes.as_ref(), &[1]);
+/// assert_eq!(marp_wire::from_bytes::<Phase>(&bytes).unwrap(), Phase::Updating);
+/// ```
+#[macro_export]
+macro_rules! wire_enum {
+    ($name:ident { $($variant:ident),* $(,)? }) => {
+        impl $crate::Wire for $name {
+            fn encode(&self, buf: &mut ::bytes::BytesMut) {
+                let mut tag: u8 = 0;
+                $(
+                    if matches!(self, $name::$variant) {
+                        $crate::Wire::encode(&tag, buf);
+                        return;
+                    }
+                    tag += 1;
+                )*
+                let _ = tag;
+                unreachable!("wire_enum! covers every variant");
+            }
+            fn decode(buf: &mut ::bytes::Bytes) -> ::core::result::Result<Self, $crate::WireError> {
+                let got: u8 = $crate::Wire::decode(buf)?;
+                let mut tag: u8 = 0;
+                $(
+                    if got == tag {
+                        return Ok($name::$variant);
+                    }
+                    tag += 1;
+                )*
+                let _ = tag;
+                Err($crate::WireError::InvalidTag {
+                    type_name: stringify!($name),
+                    tag: u32::from(got),
+                })
+            }
+        }
+    };
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -515,6 +565,35 @@ mod tests {
             name: "agent".into(),
             tags: vec![1, 2, 3],
         });
+    }
+
+    #[derive(Debug, Clone, Copy, PartialEq)]
+    enum Colour {
+        Red,
+        Green,
+        Blue,
+    }
+    wire_enum!(Colour { Red, Green, Blue });
+
+    #[test]
+    fn wire_enum_macro_roundtrips_and_tags_by_declaration_order() {
+        roundtrip(Colour::Red);
+        roundtrip(Colour::Green);
+        roundtrip(Colour::Blue);
+        assert_eq!(to_bytes(&Colour::Red).as_ref(), &[0]);
+        assert_eq!(to_bytes(&Colour::Blue).as_ref(), &[2]);
+    }
+
+    #[test]
+    fn wire_enum_rejects_unknown_tags() {
+        let raw = Bytes::from_static(&[3]);
+        assert!(matches!(
+            from_bytes::<Colour>(&raw),
+            Err(WireError::InvalidTag {
+                type_name: "Colour",
+                tag: 3
+            })
+        ));
     }
 
     #[test]

@@ -23,6 +23,14 @@
 //!   `TimerMux::tag(` nearby), so every fired timer is attributable
 //!   and stale fires are rejected by epoch.
 //!
+//! The observability crate (`crates/obs`) gets one extra rule:
+//!
+//! * **no-wildcard-match** — no standalone `_ =>` arms. Exporters must
+//!   match `TraceEvent` exhaustively (listing uninteresting variants
+//!   explicitly) so adding a variant is a compile error in every
+//!   exporter rather than silently dropped data. Fallbacks that carry
+//!   information use a named binding (`other =>`, `tag =>`).
+//!
 //! Doc comments, `//` comments, and `#[cfg(test)]` modules (tracked by
 //! brace depth) are skipped. Known-good exceptions live in
 //! `lint-allow.txt` at the workspace root: lines of
@@ -40,6 +48,9 @@ const SANS_IO_CRATES: &[&str] = &[
     "crates/agent",
     "crates/replica",
 ];
+
+/// Crates whose `src/` must not contain wildcard match arms.
+const EXHAUSTIVE_MATCH_CRATES: &[&str] = &["crates/obs"];
 
 #[derive(Debug)]
 struct Finding {
@@ -221,6 +232,44 @@ fn lint_file(path: &Path, text: &str, core_crate: bool, findings: &mut Vec<Findi
     }
 }
 
+/// Does `line` contain a standalone wildcard match arm (`_ =>`)? The
+/// underscore must be its own token: `(_, x) =>`, `Some(_) =>`, and
+/// identifiers ending in `_` are all fine; only a bare `_` pattern
+/// (optionally whitespace-separated from `=>`) trips the rule.
+fn has_wildcard_arm(line: &str) -> bool {
+    let bytes = line.as_bytes();
+    let is_ident = |b: u8| b == b'_' || b.is_ascii_alphanumeric();
+    for (i, &b) in bytes.iter().enumerate() {
+        if b != b'_' {
+            continue;
+        }
+        let before_ok = i == 0 || !is_ident(bytes[i - 1]);
+        let after = &line[i + 1..];
+        let after_ok = !after.starts_with(|c: char| c == '_' || c.is_ascii_alphanumeric());
+        if before_ok && after_ok && after.trim_start().starts_with("=>") {
+            return true;
+        }
+    }
+    false
+}
+
+/// The `no-wildcard-match` pass for [`EXHAUSTIVE_MATCH_CRATES`]. Unlike
+/// the sans-io pass this also scans `#[cfg(test)]` code: a wildcard in
+/// a test hides new variants from the assertions just as effectively.
+fn lint_exhaustive(path: &Path, text: &str, findings: &mut Vec<Finding>) {
+    for (i, raw) in text.lines().enumerate() {
+        let line = strip_comment(raw);
+        if has_wildcard_arm(line) {
+            findings.push(Finding {
+                file: path.to_path_buf(),
+                line: i + 1,
+                rule: "no-wildcard-match",
+                text: line.trim().to_string(),
+            });
+        }
+    }
+}
+
 fn workspace_root() -> PathBuf {
     // xtask runs via `cargo run -p xtask`, so the manifest dir is
     // <root>/crates/xtask.
@@ -248,6 +297,19 @@ fn cmd_lint() -> ExitCode {
             };
             files_scanned += 1;
             lint_file(&file, &text, core_crate, &mut findings);
+        }
+    }
+    for krate in EXHAUSTIVE_MATCH_CRATES {
+        let src = root.join(krate).join("src");
+        let mut files = Vec::new();
+        collect_rs_files(&src, &mut files);
+        for file in files {
+            let Ok(text) = std::fs::read_to_string(&file) else {
+                eprintln!("warning: cannot read {}", file.display());
+                continue;
+            };
+            files_scanned += 1;
+            lint_exhaustive(&file, &text, &mut findings);
         }
     }
     findings.retain(|f| !allowed(&allows, f));
@@ -331,6 +393,28 @@ mod tests {
         lint_file(Path::new("crates/core/src/x.rs"), bad, false, &mut findings);
         assert_eq!(findings.len(), 1);
         assert_eq!(findings[0].rule, "timer-tag-discipline");
+    }
+
+    #[test]
+    fn wildcard_arm_detection_is_token_aware() {
+        assert!(has_wildcard_arm("            _ => {}"));
+        assert!(has_wildcard_arm("_ =>"));
+        assert!(has_wildcard_arm("_=> foo(),"));
+        assert!(!has_wildcard_arm("(_, x) => foo(),"));
+        assert!(!has_wildcard_arm("Some(_) => foo(),"));
+        assert!(!has_wildcard_arm("other => foo(),"));
+        assert!(!has_wildcard_arm("tag => Err(..),"));
+        assert!(!has_wildcard_arm("let my_ = 1; f(x_ , y)"));
+        // Commented-out wildcards are stripped before the check.
+        let mut findings = Vec::new();
+        lint_exhaustive(
+            Path::new("crates/obs/src/x.rs"),
+            "// _ => {}\nmatch e {\n    _ => {}\n}\n",
+            &mut findings,
+        );
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].rule, "no-wildcard-match");
+        assert_eq!(findings[0].line, 3);
     }
 
     #[test]

@@ -7,6 +7,9 @@
 //! UPDATE/ACK/COMMIT round, and disposal — Algorithm 1, step by step.
 //!
 //! Run with: `cargo run --example agent_journey`
+//!
+//! Pass `--trace-out run.bin` / `--metrics-out run.csv` to record the
+//! run for `marp-trace` (export, journey, critical-path, ...).
 
 use marp_core::{build_cluster, wrap_client_request, MarpConfig};
 use marp_metrics::audit;
@@ -17,6 +20,7 @@ use std::collections::BTreeMap;
 use std::time::Duration;
 
 fn main() {
+    let obs = marp_obs::ObsOptions::from_env();
     let n = 5usize;
     let writers = 3usize;
     let topo = Topology::uniform_lan(n + writers, Duration::from_millis(2));
@@ -52,18 +56,33 @@ fn main() {
                 *agent,
                 format!("appended itself to the Locking List at server {node}"),
             ),
-            TraceEvent::AgentMigrated { agent, from, to, hops } => (
-                *agent,
-                format!("migrated {from} -> {to} (hop {hops})"),
-            ),
-            TraceEvent::LockGranted { agent, visits, via_tie, .. } => (
+            TraceEvent::AgentMigrated {
+                agent,
+                from,
+                to,
+                hops,
+            } => (*agent, format!("migrated {from} -> {to} (hop {hops})")),
+            TraceEvent::LockGranted {
+                agent,
+                visits,
+                via_tie,
+                ..
+            } => (
                 *agent,
                 format!(
                     "WON the lock after {visits} visits{}",
-                    if *via_tie { " via the tie rule" } else { " (majority of LL tops)" }
+                    if *via_tie {
+                        " via the tie rule"
+                    } else {
+                        " (majority of LL tops)"
+                    }
                 ),
             ),
-            TraceEvent::UpdateAcked { agent, node, positive } => (
+            TraceEvent::UpdateAcked {
+                agent,
+                node,
+                positive,
+            } => (
                 *agent,
                 format!(
                     "server {node} {} its UPDATE",
@@ -99,4 +118,13 @@ fn main() {
          Note how losers park after visiting every server and win later,\n\
          notified when the previous winner's COMMIT removed its lock entries."
     );
+
+    match obs.write(sim.trace()) {
+        Ok(lines) => {
+            for line in lines {
+                eprintln!("{line}");
+            }
+        }
+        Err(err) => eprintln!("observability output failed: {err}"),
+    }
 }

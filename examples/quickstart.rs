@@ -5,6 +5,9 @@
 //! protocol timeline an update agent produces.
 //!
 //! Run with: `cargo run --example quickstart`
+//!
+//! Pass `--trace-out run.bin` / `--metrics-out run.csv` to record the
+//! run for `marp-trace` (export, journey, critical-path, ...).
 
 use marp_core::{build_cluster, wrap_client_request, MarpConfig, MarpNode};
 use marp_metrics::{audit, PaperMetrics};
@@ -14,6 +17,7 @@ use marp_sim::{SimRng, SimTime, Simulation, TraceEvent, TraceLevel};
 use std::time::Duration;
 
 fn main() {
+    let obs = marp_obs::ObsOptions::from_env();
     let n = 5;
     // One extra node for the client.
     let topo = Topology::uniform_lan(n + 1, Duration::from_millis(2));
@@ -26,9 +30,18 @@ fn main() {
 
     // A client attached to server 0: three writes, then a read.
     let script = ScriptedSource::new([
-        (Duration::from_millis(5), Operation::Write { key: 1, value: 10 }),
-        (Duration::from_millis(5), Operation::Write { key: 2, value: 20 }),
-        (Duration::from_millis(5), Operation::Write { key: 1, value: 11 }),
+        (
+            Duration::from_millis(5),
+            Operation::Write { key: 1, value: 10 },
+        ),
+        (
+            Duration::from_millis(5),
+            Operation::Write { key: 2, value: 20 },
+        ),
+        (
+            Duration::from_millis(5),
+            Operation::Write { key: 1, value: 11 },
+        ),
         (Duration::from_millis(200), Operation::Read { key: 1 }),
     ]);
     let client = sim.add_process(Box::new(ClientProcess::new(
@@ -44,20 +57,41 @@ fn main() {
     for record in sim.trace().records() {
         match &record.event {
             TraceEvent::AgentDispatched { agent, home, batch } => {
-                println!("{:>10}  server {home} dispatched agent {agent:#x} carrying {batch} write(s)", record.at.to_string());
+                println!(
+                    "{:>10}  server {home} dispatched agent {agent:#x} carrying {batch} write(s)",
+                    record.at.to_string()
+                );
             }
-            TraceEvent::AgentMigrated { agent, from, to, hops } => {
-                println!("{:>10}  agent {agent:#x} migrated {from} -> {to} (hop {hops})", record.at.to_string());
+            TraceEvent::AgentMigrated {
+                agent,
+                from,
+                to,
+                hops,
+            } => {
+                println!(
+                    "{:>10}  agent {agent:#x} migrated {from} -> {to} (hop {hops})",
+                    record.at.to_string()
+                );
             }
-            TraceEvent::LockGranted { agent, visits, via_tie, .. } => {
+            TraceEvent::LockGranted {
+                agent,
+                visits,
+                via_tie,
+                ..
+            } => {
                 println!(
                     "{:>10}  agent {agent:#x} won the distributed lock after visiting {visits} servers{}",
                     record.at.to_string(),
                     if *via_tie { " (tie rule)" } else { "" }
                 );
             }
-            TraceEvent::CommitApplied { node, version, key, .. } => {
-                println!("{:>10}  server {node} applied version {version} (key {key})", record.at.to_string());
+            TraceEvent::CommitApplied {
+                node, version, key, ..
+            } => {
+                println!(
+                    "{:>10}  server {node} applied version {version} (key {key})",
+                    record.at.to_string()
+                );
             }
             _ => {}
         }
@@ -99,4 +133,13 @@ fn main() {
         metrics.mean_alt_ms().unwrap(),
         metrics.mean_att_ms().unwrap(),
     );
+
+    match obs.write(sim.trace()) {
+        Ok(lines) => {
+            for line in lines {
+                eprintln!("{line}");
+            }
+        }
+        Err(err) => eprintln!("observability output failed: {err}"),
+    }
 }
