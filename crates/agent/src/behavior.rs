@@ -14,7 +14,7 @@ use crate::id::AgentId;
 use bytes::Bytes;
 use marp_sim::{Context, NodeId, SimTime, TimerId, TraceEvent};
 use marp_wire::Wire;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::time::Duration;
 
 /// What the agent does next, decided by each behaviour handler.
@@ -69,6 +69,26 @@ pub trait AgentBehavior: Wire + Send + 'static {
         host: &mut Self::Host,
         env: &mut AgentEnv<'_>,
     ) -> Action;
+
+    /// The host's knowledge horizon — for each server, the highest
+    /// locking-list snapshot version the host has seen. Piggybacked on
+    /// every [`AgentEnvelope::MigrateAck`] this host sends, so peers can
+    /// delta-encode future agent state shipped to it. The default (no
+    /// horizon tracking) keeps non-MARP behaviours unaffected.
+    fn host_horizon(_host: &Self::Host) -> BTreeMap<NodeId, u64> {
+        BTreeMap::new()
+    }
+
+    /// A [`AgentEnvelope::MigrateAck`] from `peer` advertised its
+    /// knowledge horizon; record it in the local host so agents
+    /// migrating from here can shrink their carried state.
+    fn record_peer_horizon(_host: &mut Self::Host, _peer: NodeId, _horizon: BTreeMap<NodeId, u64>) {
+    }
+
+    /// About to serialize and ship this agent to `dest`: last chance to
+    /// shed state the destination already knows (delta-encoded Locking
+    /// Tables). Runs on the source host, *before* `Wire::encode`.
+    fn before_migrate(&mut self, _dest: NodeId, _host: &mut Self::Host) {}
 }
 
 /// Encodes an [`AgentEnvelope`] into the owner process's message space.

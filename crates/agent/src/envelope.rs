@@ -9,7 +9,9 @@
 
 use crate::id::AgentId;
 use bytes::{Bytes, BytesMut};
+use marp_sim::NodeId;
 use marp_wire::{Wire, WireError};
+use std::collections::BTreeMap;
 
 /// Messages exchanged by agent runtimes on different hosts. Host
 /// processes embed this in their own message enum and hand received
@@ -31,6 +33,11 @@ pub enum AgentEnvelope {
         agent: AgentId,
         /// Hop the ack refers to (for retry deduplication).
         hop: u32,
+        /// The acker's knowledge horizon: for each server, the highest
+        /// locking-list snapshot version it has seen. Future migrations
+        /// *to* this host can delta-encode their Locking Table against
+        /// it (empty when the host tracks no horizons).
+        horizon: BTreeMap<NodeId, u64>,
     },
     /// A message addressed to an agent resident at the destination host.
     ToAgent {
@@ -54,10 +61,15 @@ impl Wire for AgentEnvelope {
                 hop.encode(buf);
                 state.encode(buf);
             }
-            AgentEnvelope::MigrateAck { agent, hop } => {
+            AgentEnvelope::MigrateAck {
+                agent,
+                hop,
+                horizon,
+            } => {
                 TAG_MIGRATE_ACK.encode(buf);
                 agent.encode(buf);
                 hop.encode(buf);
+                horizon.encode(buf);
             }
             AgentEnvelope::ToAgent { agent, payload } => {
                 TAG_TO_AGENT.encode(buf);
@@ -77,6 +89,7 @@ impl Wire for AgentEnvelope {
             TAG_MIGRATE_ACK => Ok(AgentEnvelope::MigrateAck {
                 agent: AgentId::decode(buf)?,
                 hop: u32::decode(buf)?,
+                horizon: BTreeMap::decode(buf)?,
             }),
             TAG_TO_AGENT => Ok(AgentEnvelope::ToAgent {
                 agent: AgentId::decode(buf)?,
@@ -86,6 +99,22 @@ impl Wire for AgentEnvelope {
                 type_name: "AgentEnvelope",
                 tag: u32::from(tag),
             }),
+        }
+    }
+
+    fn encoded_len(&self) -> usize {
+        1 + match self {
+            AgentEnvelope::Migrate { agent, hop, state } => {
+                agent.encoded_len() + hop.encoded_len() + state.encoded_len()
+            }
+            AgentEnvelope::MigrateAck {
+                agent,
+                hop,
+                horizon,
+            } => agent.encoded_len() + hop.encoded_len() + horizon.encoded_len(),
+            AgentEnvelope::ToAgent { agent, payload } => {
+                agent.encoded_len() + payload.encoded_len()
+            }
         }
     }
 }
@@ -115,6 +144,7 @@ mod tests {
         let env = AgentEnvelope::MigrateAck {
             agent: sample_id(),
             hop: 3,
+            horizon: BTreeMap::from([(0, 4u64), (2, 9)]),
         };
         let bytes = marp_wire::to_bytes(&env);
         assert_eq!(marp_wire::from_bytes::<AgentEnvelope>(&bytes).unwrap(), env);

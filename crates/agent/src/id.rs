@@ -61,6 +61,9 @@ impl Wire for AgentId {
             seq: u32::decode(buf)?,
         })
     }
+    fn encoded_len(&self) -> usize {
+        self.born.encoded_len() + self.home.encoded_len() + self.seq.encoded_len()
+    }
 }
 
 #[cfg(test)]

@@ -51,6 +51,12 @@ impl Wire for ItineraryPolicy {
             }),
         }
     }
+    fn encoded_len(&self) -> usize {
+        1 + match self {
+            ItineraryPolicy::CostSorted | ItineraryPolicy::FixedOrder => 0,
+            ItineraryPolicy::Random { seed } => seed.encoded_len(),
+        }
+    }
 }
 
 /// The travelling USL plus the set of replicas the agent has declared
@@ -180,6 +186,12 @@ impl Wire for Itinerary {
             policy: ItineraryPolicy::decode(buf)?,
             decisions: u64::decode(buf)?,
         })
+    }
+    fn encoded_len(&self) -> usize {
+        self.unvisited.encoded_len()
+            + self.unavailable.encoded_len()
+            + self.policy.encoded_len()
+            + self.decisions.encoded_len()
     }
 }
 

@@ -135,7 +135,15 @@ impl<B: AgentBehavior> AgentRuntime<B> {
             AgentEnvelope::Migrate { agent, hop, state } => {
                 self.handle_migrate(from, agent, hop, state, host, ctx)
             }
-            AgentEnvelope::MigrateAck { agent, hop } => {
+            AgentEnvelope::MigrateAck {
+                agent,
+                hop,
+                horizon,
+            } => {
+                // The ack advertises the destination's knowledge horizon;
+                // remember it so the *next* agent migrating there from
+                // here can delta-encode its carried state.
+                B::record_peer_horizon(host, from, horizon);
                 if self.outbound.get(&agent).is_some_and(|out| out.hop == hop) {
                     let out = self.outbound.remove(&agent).expect("checked");
                     self.migrate_timers.remove(&out.timer);
@@ -203,7 +211,11 @@ impl<B: AgentBehavior> AgentRuntime<B> {
         ctx: &mut dyn Context,
     ) {
         // Always (re-)ack so a retry caused by a lost ack terminates.
-        let ack = (self.wrap)(AgentEnvelope::MigrateAck { agent, hop });
+        let ack = (self.wrap)(AgentEnvelope::MigrateAck {
+            agent,
+            hop,
+            horizon: B::host_horizon(host),
+        });
         ctx.send(from, ack);
         if !self.seen_migrations.insert((agent, hop)) {
             return; // duplicate delivery of a retried migration
@@ -260,6 +272,10 @@ impl<B: AgentBehavior> AgentRuntime<B> {
         });
         if out.attempts < self.cfg.max_attempts {
             out.attempts += 1;
+            ctx.trace(TraceEvent::AgentStateShipped {
+                agent: agent.key(),
+                bytes: out.state.len(),
+            });
             let msg = (self.wrap)(AgentEnvelope::Migrate {
                 agent,
                 hop: out.hop,
@@ -322,6 +338,11 @@ impl<B: AgentBehavior> AgentRuntime<B> {
                     debug_assert!(false, "agent asked to migrate to its current host");
                     return;
                 }
+                // Last chance to shed state the destination already knows
+                // (delta-encoded Locking Tables) before serialization.
+                if let Some(resident) = self.resident.get_mut(&id) {
+                    resident.behavior.before_migrate(dest, host);
+                }
                 self.begin_migration(id, dest, ctx);
             }
         }
@@ -348,6 +369,10 @@ impl<B: AgentBehavior> AgentRuntime<B> {
         self.drop_agent_timers(id, ctx);
         let hop = resident.hops + 1;
         let state = marp_wire::to_bytes(&resident.behavior);
+        ctx.trace(TraceEvent::AgentStateShipped {
+            agent: id.key(),
+            bytes: state.len(),
+        });
         let msg = (self.wrap)(AgentEnvelope::Migrate {
             agent: id,
             hop,

@@ -39,6 +39,12 @@ impl Wire for Hopper {
             skipped: Vec::decode(buf)?,
         })
     }
+    fn encoded_len(&self) -> usize {
+        self.id.encoded_len()
+            + self.route.encoded_len()
+            + self.stamped.encoded_len()
+            + self.skipped.encoded_len()
+    }
 }
 
 /// Host-side state the agent interacts with locally.
@@ -289,8 +295,13 @@ fn messages_reach_resident_agents() {
     );
     sim.run_to_quiescence();
     assert_eq!(
-        sim.trace()
-            .count(|e| matches!(e, TraceEvent::Custom { kind: "agent-msg-missed", .. })),
+        sim.trace().count(|e| matches!(
+            e,
+            TraceEvent::Custom {
+                kind: "agent-msg-missed",
+                ..
+            }
+        )),
         1
     );
 }
@@ -312,6 +323,9 @@ impl Wire for Sitter {
             id: AgentId::decode(buf)?,
             ticks: u32::decode(buf)?,
         })
+    }
+    fn encoded_len(&self) -> usize {
+        self.id.encoded_len() + self.ticks.encoded_len()
     }
 }
 

@@ -129,6 +129,20 @@ impl Wire for AcMsg {
             }),
         }
     }
+    fn encoded_len(&self) -> usize {
+        1 + match self {
+            AcMsg::Client(req) => req.encoded_len(),
+            AcMsg::Write {
+                request,
+                key,
+                value,
+                ts,
+            } => request.encoded_len() + key.encoded_len() + value.encoded_len() + ts.encoded_len(),
+            AcMsg::WriteAck { request } => request.encoded_len(),
+            AcMsg::StatePull => 0,
+            AcMsg::StatePush { dump } => dump.encoded_len(),
+        }
+    }
 }
 
 /// Encode a [`ClientRequest`] into the AC node message space.

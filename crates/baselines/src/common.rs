@@ -146,10 +146,7 @@ impl LwwStore {
 
     /// Full contents (for state transfer).
     pub fn dump(&self) -> Vec<(u64, u64, LwwTs)> {
-        self.data
-            .iter()
-            .map(|(&k, &(v, ts))| (k, v, ts))
-            .collect()
+        self.data.iter().map(|(&k, &(v, ts))| (k, v, ts)).collect()
     }
 
     /// Merge a dump from a peer (recovery).
@@ -182,10 +179,21 @@ mod tests {
 
     #[test]
     fn ballots_order_by_seq_then_node() {
-        let a = Ballot { seq: 1, coordinator: 2 };
-        let b = Ballot { seq: 2, coordinator: 1 };
+        let a = Ballot {
+            seq: 1,
+            coordinator: 2,
+        };
+        let b = Ballot {
+            seq: 2,
+            coordinator: 1,
+        };
         assert!(a < b);
-        assert!(Ballot { seq: 1, coordinator: 1 } < a);
+        assert!(
+            Ballot {
+                seq: 1,
+                coordinator: 1
+            } < a
+        );
         assert_eq!(a.next().seq, 2);
     }
 
@@ -234,8 +242,14 @@ mod tests {
     #[test]
     fn lww_applies_newest_only() {
         let mut store = LwwStore::new();
-        let t1 = LwwTs { counter: 1, node: 0 };
-        let t2 = LwwTs { counter: 2, node: 0 };
+        let t1 = LwwTs {
+            counter: 1,
+            node: 0,
+        };
+        let t2 = LwwTs {
+            counter: 2,
+            node: 0,
+        };
         assert!(store.apply(5, 50, t2));
         assert!(!store.apply(5, 49, t1));
         assert_eq!(store.get(5), Some((50, t2)));
@@ -244,8 +258,14 @@ mod tests {
     #[test]
     fn lww_ties_break_by_node() {
         let mut store = LwwStore::new();
-        let ta = LwwTs { counter: 1, node: 0 };
-        let tb = LwwTs { counter: 1, node: 1 };
+        let ta = LwwTs {
+            counter: 1,
+            node: 0,
+        };
+        let tb = LwwTs {
+            counter: 1,
+            node: 1,
+        };
         store.apply(1, 10, ta);
         assert!(store.apply(1, 11, tb)); // higher node wins the tie
         assert!(!store.apply(1, 10, ta));
@@ -255,7 +275,14 @@ mod tests {
     #[test]
     fn lww_clock_advances_past_observed() {
         let mut store = LwwStore::new();
-        store.apply(1, 10, LwwTs { counter: 100, node: 3 });
+        store.apply(
+            1,
+            10,
+            LwwTs {
+                counter: 100,
+                node: 3,
+            },
+        );
         let stamp = store.stamp(0);
         assert!(stamp.counter > 100);
     }
@@ -264,9 +291,30 @@ mod tests {
     fn lww_dump_absorb_converges() {
         let mut a = LwwStore::new();
         let mut b = LwwStore::new();
-        a.apply(1, 10, LwwTs { counter: 1, node: 0 });
-        b.apply(2, 20, LwwTs { counter: 2, node: 1 });
-        b.apply(1, 11, LwwTs { counter: 3, node: 1 });
+        a.apply(
+            1,
+            10,
+            LwwTs {
+                counter: 1,
+                node: 0,
+            },
+        );
+        b.apply(
+            2,
+            20,
+            LwwTs {
+                counter: 2,
+                node: 1,
+            },
+        );
+        b.apply(
+            1,
+            11,
+            LwwTs {
+                counter: 3,
+                node: 1,
+            },
+        );
         a.absorb(b.dump());
         b.absorb(a.dump());
         assert_eq!(a.dump(), b.dump());

@@ -156,6 +156,20 @@ impl Wire for McvMsg {
             }),
         }
     }
+    fn encoded_len(&self) -> usize {
+        1 + match self {
+            McvMsg::Client(req) => req.encoded_len(),
+            McvMsg::VoteReq { ballot } => ballot.encoded_len(),
+            McvMsg::Vote {
+                ballot,
+                granted,
+                store_version,
+            } => ballot.encoded_len() + granted.encoded_len() + store_version.encoded_len(),
+            McvMsg::Apply { ballot, records } => ballot.encoded_len() + records.encoded_len(),
+            McvMsg::Release { ballot } => ballot.encoded_len(),
+            McvMsg::Sync(sync) => sync.encoded_len(),
+        }
+    }
 }
 
 /// Encode a [`ClientRequest`] into the MCV node message space.

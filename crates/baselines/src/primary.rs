@@ -107,6 +107,15 @@ impl Wire for PcMsg {
             }),
         }
     }
+    fn encoded_len(&self) -> usize {
+        1 + match self {
+            PcMsg::Client(req) => req.encoded_len(),
+            PcMsg::Forward { request } => request.encoded_len(),
+            PcMsg::Replicate { record } => record.encoded_len(),
+            PcMsg::RepAck { version } => version.encoded_len(),
+            PcMsg::Sync(sync) => sync.encoded_len(),
+        }
+    }
 }
 
 /// Encode a [`ClientRequest`] into the primary-copy message space.

@@ -248,6 +248,33 @@ impl Wire for WvMsg {
             }),
         }
     }
+    fn encoded_len(&self) -> usize {
+        1 + match self {
+            WvMsg::Client(req) => req.encoded_len(),
+            WvMsg::WReq { ballot } | WvMsg::WRelease { ballot } => ballot.encoded_len(),
+            WvMsg::WGrant {
+                ballot,
+                votes,
+                version,
+            } => ballot.encoded_len() + votes.encoded_len() + version.encoded_len(),
+            WvMsg::WReject { ballot, votes } => ballot.encoded_len() + votes.encoded_len(),
+            WvMsg::WApply {
+                ballot,
+                key,
+                value,
+                version,
+            } => {
+                ballot.encoded_len()
+                    + key.encoded_len()
+                    + value.encoded_len()
+                    + version.encoded_len()
+            }
+            WvMsg::RReq { rid, key } => rid.encoded_len() + key.encoded_len(),
+            WvMsg::RResp { rid, votes, held } => {
+                rid.encoded_len() + votes.encoded_len() + held.encoded_len()
+            }
+        }
+    }
 }
 
 /// Encode a [`ClientRequest`] into the weighted-voting message space.

@@ -93,5 +93,10 @@ fn bench_varints(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_agent_state, bench_protocol_messages, bench_varints);
+criterion_group!(
+    benches,
+    bench_agent_state,
+    bench_protocol_messages,
+    bench_varints
+);
 criterion_main!(benches);

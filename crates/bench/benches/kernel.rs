@@ -81,10 +81,7 @@ fn bench_timer_churn(c: &mut Criterion) {
     group.throughput(Throughput::Elements(50_000));
     group.bench_function("50k-sequential", |b| {
         b.iter(|| {
-            let mut sim = Simulation::new(
-                Box::new(FixedDelay(Duration::ZERO)),
-                TraceLevel::Off,
-            );
+            let mut sim = Simulation::new(Box::new(FixedDelay(Duration::ZERO)), TraceLevel::Off);
             sim.add_process(Box::new(TimerChurn { remaining: 50_000 }));
             sim.run_to_quiescence().timers_fired
         })
@@ -138,5 +135,10 @@ fn bench_fanout(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_message_throughput, bench_timer_churn, bench_fanout);
+criterion_group!(
+    benches,
+    bench_message_throughput,
+    bench_timer_churn,
+    bench_fanout
+);
 criterion_main!(benches);

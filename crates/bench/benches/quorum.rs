@@ -32,7 +32,10 @@ fn bench_quorum_call(c: &mut Criterion) {
                 let mut call: QuorumCall<u64> =
                     QuorumCall::new(rule, 0..std::hint::black_box(n), SimTime::ZERO);
                 for node in 0..n {
-                    if call.offer(node, 2, node % 3 != 0, u64::from(node)).is_some() {
+                    if call
+                        .offer(node, 2, node % 3 != 0, u64::from(node))
+                        .is_some()
+                    {
                         break;
                     }
                 }
@@ -80,5 +83,10 @@ fn bench_retry_policy(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_quorum_call, bench_timer_mux, bench_retry_policy);
+criterion_group!(
+    benches,
+    bench_quorum_call,
+    bench_timer_mux,
+    bench_retry_policy
+);
 criterion_main!(benches);

@@ -53,6 +53,7 @@ fn build_table(servers: usize, queue_len: u32) -> LockingTable {
         lt.merge(
             server as NodeId,
             LlSnapshot {
+                version: server as u64,
                 taken_at: SimTime::from_millis(server as u64),
                 queue,
             },
@@ -75,15 +76,7 @@ fn bench_locking_table(c: &mut Criterion) {
             })
         });
         group.bench_function(format!("decide/{servers}x{queue}"), |b| {
-            b.iter(|| {
-                decide(
-                    std::hint::black_box(&lt),
-                    agent(0),
-                    servers,
-                    &finished,
-                    &[],
-                )
-            })
+            b.iter(|| decide(std::hint::black_box(&lt), agent(0), servers, &finished, &[]))
         });
     }
     group.finish();
@@ -123,5 +116,10 @@ fn bench_versioned_store(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_locking_list, bench_locking_table, bench_versioned_store);
+criterion_group!(
+    benches,
+    bench_locking_list,
+    bench_locking_table,
+    bench_versioned_store
+);
 criterion_main!(benches);

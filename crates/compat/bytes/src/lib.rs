@@ -35,10 +35,27 @@ macro_rules! fmt_bytes_debug {
     };
 }
 
+/// Backing storage for [`Bytes`]: either reference-counted heap bytes or
+/// a borrowed `'static` slice. Both clone in O(1). Heap storage keeps
+/// the originating `Vec` alive instead of re-packing it into `Arc<[u8]>`,
+/// so `BytesMut::freeze` transfers ownership without copying — encoding
+/// a message costs exactly one buffer allocation.
+#[derive(Clone)]
+enum Storage {
+    Shared(Arc<Vec<u8>>),
+    Static(&'static [u8]),
+}
+
+impl Default for Storage {
+    fn default() -> Self {
+        Storage::Static(&[])
+    }
+}
+
 /// A cheaply cloneable, immutable view into shared byte storage.
 #[derive(Clone, Default)]
 pub struct Bytes {
-    data: Arc<[u8]>,
+    data: Storage,
     start: usize,
     end: usize,
 }
@@ -49,9 +66,13 @@ impl Bytes {
         Bytes::default()
     }
 
-    /// Wrap a static slice. (The stand-in copies once; upstream borrows.)
+    /// Wrap a static slice without copying, matching upstream semantics.
     pub fn from_static(bytes: &'static [u8]) -> Self {
-        Bytes::copy_from_slice(bytes)
+        Bytes {
+            data: Storage::Static(bytes),
+            start: 0,
+            end: bytes.len(),
+        }
     }
 
     /// Copy a slice into a fresh buffer.
@@ -83,7 +104,7 @@ impl Bytes {
         };
         assert!(lo <= hi && hi <= self.len(), "slice out of bounds");
         Bytes {
-            data: Arc::clone(&self.data),
+            data: self.data.clone(),
             start: self.start + lo,
             end: self.start + hi,
         }
@@ -99,7 +120,10 @@ impl Bytes {
 
     /// Contents as a plain slice.
     pub fn as_slice(&self) -> &[u8] {
-        &self.data[self.start..self.end]
+        match &self.data {
+            Storage::Shared(data) => &data[self.start..self.end],
+            Storage::Static(data) => &data[self.start..self.end],
+        }
     }
 
     /// Copy the contents into a fresh `Vec<u8>`.
@@ -112,7 +136,7 @@ impl From<Vec<u8>> for Bytes {
     fn from(vec: Vec<u8>) -> Self {
         let end = vec.len();
         Bytes {
-            data: vec.into(),
+            data: Storage::Shared(Arc::new(vec)),
             start: 0,
             end,
         }
@@ -430,6 +454,28 @@ mod tests {
         let head = Buf::copy_to_bytes(&mut a, 2);
         assert_eq!(head.as_slice(), &[9, 8]);
         assert_eq!(a.as_slice(), &[7]);
+    }
+
+    #[test]
+    fn from_static_borrows_without_copying() {
+        static RAW: [u8; 4] = [1, 2, 3, 4];
+        let b = Bytes::from_static(&RAW);
+        assert_eq!(b.as_slice().as_ptr(), RAW.as_ptr());
+        // Views over the static storage stay zero-copy too.
+        let tail = b.slice(2..);
+        assert_eq!(tail.as_slice().as_ptr(), RAW[2..].as_ptr());
+        assert_eq!(tail.as_slice(), &[3, 4]);
+    }
+
+    #[test]
+    fn freeze_transfers_without_copying() {
+        let mut buf = BytesMut::with_capacity(4);
+        buf.put_slice(&[1, 2, 3, 4]);
+        let ptr = buf.as_ref().as_ptr();
+        let frozen = buf.freeze();
+        assert_eq!(frozen.as_slice().as_ptr(), ptr);
+        // O(1) clones keep pointing at the same storage.
+        assert_eq!(frozen.clone().as_slice().as_ptr(), ptr);
     }
 
     #[test]

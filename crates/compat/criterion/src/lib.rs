@@ -53,6 +53,21 @@ pub fn black_box<T>(value: T) -> T {
     std::hint::black_box(value)
 }
 
+/// Record a non-timing metric (a byte count, a ratio scaled to integer,
+/// …) into the JSON snapshot alongside the timing rows. The value is
+/// stored in the `median_ns` field (with `min_ns`/`max_ns` equal); the
+/// row's `id` should name the unit. This is an extension over upstream
+/// criterion, used by the e2e benches to snapshot bytes-per-commit so CI
+/// can gate on it.
+pub fn record_metric(id: impl Into<String>, value: u128) {
+    let id = id.into();
+    println!("{id}: {value} (metric)");
+    RESULTS
+        .lock()
+        .expect("results mutex")
+        .push((id, value, value, value));
+}
+
 /// How many logical items one iteration processes, for per-item
 /// throughput reporting.
 #[derive(Debug, Clone, Copy)]

@@ -46,9 +46,7 @@ impl<T> RwLock<T> {
 
     /// Acquire an exclusive write guard.
     pub fn write(&self) -> RwLockWriteGuard<'_, T> {
-        self.0
-            .write()
-            .unwrap_or_else(sync::PoisonError::into_inner)
+        self.0.write().unwrap_or_else(sync::PoisonError::into_inner)
     }
 }
 

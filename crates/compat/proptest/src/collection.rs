@@ -4,7 +4,10 @@ use crate::strategy::{SizeRange, Strategy, VecDequeStrategy, VecStrategy};
 use std::collections::{BTreeMap, BTreeSet};
 
 /// `Vec` of values from `element`, with length drawn from `size`.
-pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> impl Strategy<Value = Vec<S::Value>> {
+pub fn vec<S: Strategy>(
+    element: S,
+    size: impl Into<SizeRange>,
+) -> impl Strategy<Value = Vec<S::Value>> {
     VecStrategy {
         element,
         size: size.into(),
@@ -40,7 +43,10 @@ where
 
 /// `BTreeSet` of values from `element`. The requested size is an upper
 /// bound: duplicates collapse, as upstream.
-pub fn btree_set<S>(element: S, size: impl Into<SizeRange>) -> impl Strategy<Value = BTreeSet<S::Value>>
+pub fn btree_set<S>(
+    element: S,
+    size: impl Into<SizeRange>,
+) -> impl Strategy<Value = BTreeSet<S::Value>>
 where
     S: Strategy,
     S::Value: Ord,

@@ -23,10 +23,7 @@ pub trait Strategy {
         Self: Sized,
         F: Fn(Self::Value) -> O,
     {
-        Map {
-            source: self,
-            map,
-        }
+        Map { source: self, map }
     }
 
     /// Discard generated values failing `pred`, retrying with fresh
@@ -436,11 +433,15 @@ mod tests {
     fn determinism_by_seed() {
         let a: Vec<u64> = {
             let mut g = Gen::from_seed(7);
-            (0..16).map(|_| (0u64..1_000_000).generate(&mut g)).collect()
+            (0..16)
+                .map(|_| (0u64..1_000_000).generate(&mut g))
+                .collect()
         };
         let b: Vec<u64> = {
             let mut g = Gen::from_seed(7);
-            (0..16).map(|_| (0u64..1_000_000).generate(&mut g)).collect()
+            (0..16)
+                .map(|_| (0u64..1_000_000).generate(&mut g))
+                .collect()
         };
         assert_eq!(a, b);
     }

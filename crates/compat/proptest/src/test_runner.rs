@@ -35,10 +35,7 @@ impl Gen {
     /// Next raw 64-bit draw.
     pub fn next_u64(&mut self) -> u64 {
         let s = &mut self.state;
-        let result = s[0]
-            .wrapping_add(s[3])
-            .rotate_left(23)
-            .wrapping_add(s[0]);
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
         let t = s[1] << 17;
         s[2] ^= s[0];
         s[3] ^= s[1];
@@ -133,11 +130,12 @@ fn name_hash(name: &str) -> u64 {
 
 fn master_seed(test_name: &str) -> u64 {
     match std::env::var("PROPTEST_SEED") {
-        Ok(raw) => raw
-            .trim()
-            .parse::<u64>()
-            .unwrap_or_else(|_| panic!("PROPTEST_SEED must be a u64, got {raw:?}"))
-            ^ name_hash(test_name),
+        Ok(raw) => {
+            raw.trim()
+                .parse::<u64>()
+                .unwrap_or_else(|_| panic!("PROPTEST_SEED must be a u64, got {raw:?}"))
+                ^ name_hash(test_name)
+        }
         Err(_) => name_hash(test_name),
     }
 }

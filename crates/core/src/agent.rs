@@ -23,6 +23,7 @@ use marp_quorum::{QuorumCall, RetryPolicy, TimerMux, Verdict};
 use marp_replica::{CommitRecord, UpdatedList, WriteRequest};
 use marp_sim::{span_id, NodeId, SpanKind, TraceEvent};
 use marp_wire::{Wire, WireError};
+use std::collections::BTreeMap;
 use std::time::Duration;
 
 const TIMER_REPOLL: u8 = 1;
@@ -80,6 +81,16 @@ impl Wire for Phase {
             }),
         }
     }
+    fn encoded_len(&self) -> usize {
+        1 + match self {
+            Phase::Travelling | Phase::Parked => 0,
+            Phase::Updating {
+                via_tie,
+                certificate,
+                call,
+            } => via_tie.encoded_len() + certificate.encoded_len() + call.encoded_len(),
+        }
+    }
 }
 
 /// The travelling update agent.
@@ -88,6 +99,7 @@ pub struct UpdateAgent {
     id: AgentId,
     n: u16,
     gossip: bool,
+    lt_delta: bool,
     ack_timeout_ms: u32,
     park_repoll_ms: u32,
     /// Request List: the writes this agent carries (paper §3.2).
@@ -111,6 +123,7 @@ impl Wire for UpdateAgent {
         self.id.encode(buf);
         self.n.encode(buf);
         self.gossip.encode(buf);
+        self.lt_delta.encode(buf);
         self.ack_timeout_ms.encode(buf);
         self.park_repoll_ms.encode(buf);
         self.rl.encode(buf);
@@ -129,6 +142,7 @@ impl Wire for UpdateAgent {
             id: AgentId::decode(buf)?,
             n: u16::decode(buf)?,
             gossip: bool::decode(buf)?,
+            lt_delta: bool::decode(buf)?,
             ack_timeout_ms: u32::decode(buf)?,
             park_repoll_ms: u32::decode(buf)?,
             rl: Vec::decode(buf)?,
@@ -143,6 +157,24 @@ impl Wire for UpdateAgent {
             phase: Phase::decode(buf)?,
         })
     }
+    fn encoded_len(&self) -> usize {
+        self.id.encoded_len()
+            + self.n.encoded_len()
+            + self.gossip.encoded_len()
+            + self.lt_delta.encoded_len()
+            + self.ack_timeout_ms.encoded_len()
+            + self.park_repoll_ms.encoded_len()
+            + self.rl.encoded_len()
+            + self.itinerary.encoded_len()
+            + self.lt.encoded_len()
+            + self.ual.encoded_len()
+            + self.visited.encoded_len()
+            + self.attempt.encoded_len()
+            + self.repoll_epoch.encoded_len()
+            + self.repoll_round.encoded_len()
+            + self.timers.encoded_len()
+            + self.phase.encoded_len()
+    }
 }
 
 impl UpdateAgent {
@@ -153,6 +185,7 @@ impl UpdateAgent {
             id,
             n: cfg.n_servers as u16,
             gossip: cfg.gossip,
+            lt_delta: cfg.lt_delta,
             ack_timeout_ms: cfg.ack_timeout.as_millis() as u32,
             park_repoll_ms: cfg.park_repoll.as_millis() as u32,
             rl: requests,
@@ -576,6 +609,52 @@ impl AgentBehavior for UpdateAgent {
     ) -> Action {
         self.itinerary.mark_unavailable(dest);
         self.evaluate(host, env)
+    }
+
+    fn host_horizon(host: &MarpServerState) -> BTreeMap<NodeId, u64> {
+        host.horizon()
+    }
+
+    fn record_peer_horizon(
+        host: &mut MarpServerState,
+        peer: NodeId,
+        horizon: BTreeMap<NodeId, u64>,
+    ) {
+        host.record_peer_horizon(peer, horizon);
+    }
+
+    fn before_migrate(&mut self, dest: NodeId, host: &mut MarpServerState) {
+        if !self.lt_delta {
+            return;
+        }
+        // The destination re-supplies its own LL snapshot on arrival
+        // (`visit` → `merge`), and LL versions are monotonic, so the
+        // entry for `dest` never needs to travel.
+        self.lt.drop_server(dest);
+        // Anything below the destination's advertised knowledge horizon
+        // is re-merged from its gossip board on arrival — but only a
+        // board-backed horizon makes that recovery possible, so pruning
+        // against peers is gated on gossip. A stale horizon (peer
+        // crashed and lost its board) costs at most a re-gather round;
+        // safety rests on the UPDATE validation quorum, not the LT.
+        if self.gossip {
+            if let Some(h) = host.peer_horizon(dest) {
+                self.lt.prune_covered_by(h);
+            }
+        }
+        // The UAL is a cache of the servers' Updated Lists, which the
+        // COMMIT broadcast feeds directly — the destination re-supplies
+        // its own copy on arrival (`visit`). An entry no carried
+        // snapshot still names cannot influence any decision made from
+        // this table, so it is dead weight on the wire; shedding it is
+        // the agent-side analogue of the servers' lease-bounded UL
+        // pruning (`maintain`), with the same liveness-only exposure.
+        // The agent's own entry always travels: it is the zombie-clone
+        // self-check, and must survive hops through servers that have
+        // already pruned it.
+        let named = self.lt.known_agents(&UpdatedList::new());
+        self.ual
+            .retain(|agent| agent == self.id || named.binary_search(&agent).is_ok());
     }
 }
 

@@ -62,6 +62,12 @@ pub struct MarpConfig {
     /// Whether agents share locking information through server boards
     /// (§3.3; E10).
     pub gossip: bool,
+    /// Delta-encode the Locking Table an agent carries across a
+    /// migration: snapshots the destination already holds (per its
+    /// advertised knowledge horizon) are pruned before serialization
+    /// and re-merged from the destination's state on arrival. Purely a
+    /// wire-size optimisation — disable to measure full-table shipping.
+    pub lt_delta: bool,
     /// Adapt the batch-size trigger to the commit backlog (the §5
     /// "flexible and adaptive replication scheme" hint, E14): when many
     /// dispatched batches are still uncommitted the node coalesces more
@@ -104,6 +110,7 @@ impl MarpConfig {
             migration: AgentConfig::default(),
             itinerary: ItineraryPolicy::CostSorted,
             gossip: true,
+            lt_delta: true,
             adaptive_batching: false,
             ack_timeout: Duration::from_millis(250),
             park_repoll: Duration::from_millis(25),

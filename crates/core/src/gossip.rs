@@ -59,6 +59,7 @@ mod tests {
 
     fn snap(ms: u64, agents: &[AgentId]) -> LlSnapshot {
         LlSnapshot {
+            version: ms,
             taken_at: SimTime::from_millis(ms),
             queue: agents.to_vec(),
         }

@@ -10,6 +10,7 @@ use marp_agent::AgentId;
 use marp_net::RoutingTable;
 use marp_replica::{LlSnapshot, ServerCore, UpdatedList};
 use marp_sim::{Context, NodeId, SimTime, TraceEvent};
+use std::collections::BTreeMap;
 use std::time::Duration;
 
 /// What a visiting agent reads from the local server in one interaction
@@ -38,6 +39,10 @@ pub struct MarpServerState {
     reserve_lease: Duration,
     reserved: Option<(AgentId, SimTime)>,
     chaos: ChaosMode,
+    /// Last knowledge horizon advertised by each peer (piggybacked on
+    /// its migration acks). Agents migrating from here delta-encode
+    /// their Locking Tables against the destination's entry.
+    peer_horizons: BTreeMap<NodeId, BTreeMap<NodeId, u64>>,
 }
 
 impl MarpServerState {
@@ -51,7 +56,38 @@ impl MarpServerState {
             reserve_lease: cfg.reserve_lease,
             reserved: None,
             chaos: cfg.chaos,
+            peer_horizons: BTreeMap::new(),
         }
+    }
+
+    /// This server's knowledge horizon: the highest locking-list
+    /// snapshot version it holds per server — its own live LL plus
+    /// everything on the gossip board. Advertised in migration acks so
+    /// senders can delta-encode agent state shipped here.
+    pub fn horizon(&self) -> BTreeMap<NodeId, u64> {
+        let mut horizon = if self.gossip_enabled {
+            self.board.contents().horizon()
+        } else {
+            BTreeMap::new()
+        };
+        let me = self.core.me();
+        let own = self.core.ll.version();
+        horizon
+            .entry(me)
+            .and_modify(|v| *v = (*v).max(own))
+            .or_insert(own);
+        horizon
+    }
+
+    /// Record the knowledge horizon a peer advertised in a migration
+    /// ack.
+    pub fn record_peer_horizon(&mut self, peer: NodeId, horizon: BTreeMap<NodeId, u64>) {
+        self.peer_horizons.insert(peer, horizon);
+    }
+
+    /// The last horizon `peer` advertised, if any.
+    pub fn peer_horizon(&self, peer: NodeId) -> Option<&BTreeMap<NodeId, u64>> {
+        self.peer_horizons.get(&peer)
     }
 
     /// Whether gossip boards are enabled (E10 ablation).
@@ -274,6 +310,7 @@ impl MarpServerState {
         self.core.on_recover();
         self.board.clear();
         self.reserved = None;
+        self.peer_horizons.clear();
     }
 }
 
@@ -589,6 +626,7 @@ mod tests {
         lt.merge(
             1,
             LlSnapshot {
+                version: 1,
                 taken_at: SimTime::from_millis(1),
                 queue: vec![aid(1, 1)],
             },

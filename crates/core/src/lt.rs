@@ -118,6 +118,34 @@ impl LockingTable {
             .count()
     }
 
+    /// The table's knowledge horizon: for every known server, the
+    /// version of the snapshot held. Receivers advertise this so
+    /// senders can delta-encode (ship only snapshots strictly newer
+    /// than the receiver's horizon).
+    pub fn horizon(&self) -> BTreeMap<NodeId, u64> {
+        self.snapshots
+            .iter()
+            .map(|(&server, snap)| (server, snap.version))
+            .collect()
+    }
+
+    /// Drop every snapshot the `horizon` already covers (entry version
+    /// ≤ the horizon's version for that server). What remains is exactly
+    /// the delta a receiver with that horizon still needs; merging the
+    /// delta into the receiver's table yields the same result as merging
+    /// the full table (proved by property test).
+    pub fn prune_covered_by(&mut self, horizon: &BTreeMap<NodeId, u64>) {
+        self.snapshots
+            .retain(|server, snap| horizon.get(server).is_none_or(|&v| snap.version > v));
+    }
+
+    /// Remove one server's snapshot (used when migrating *to* that
+    /// server: its own LL is re-read on arrival, so carrying a snapshot
+    /// of it is always dead weight).
+    pub fn drop_server(&mut self, server: NodeId) {
+        self.snapshots.remove(&server);
+    }
+
     /// Every agent appearing anywhere in the table and not finished —
     /// used as the tie certificate (the set of rivals the claimed winner
     /// knows about).
@@ -142,6 +170,9 @@ impl Wire for LockingTable {
         Ok(LockingTable {
             snapshots: BTreeMap::decode(buf)?,
         })
+    }
+    fn encoded_len(&self) -> usize {
+        self.snapshots.encoded_len()
     }
 }
 
@@ -272,6 +303,7 @@ mod tests {
 
     fn snap(at_ms: u64, queue: &[AgentId]) -> LlSnapshot {
         LlSnapshot {
+            version: at_ms,
             taken_at: SimTime::from_millis(at_ms),
             queue: queue.to_vec(),
         }

@@ -151,6 +151,18 @@ impl Wire for NodeMsg {
             }),
         }
     }
+
+    fn encoded_len(&self) -> usize {
+        1 + match self {
+            NodeMsg::Client(req) => req.encoded_len(),
+            NodeMsg::Agent(env) | NodeMsg::RAgent(env) => env.encoded_len(),
+            NodeMsg::Update(msg) => msg.encoded_len(),
+            NodeMsg::Commit(msg) => msg.encoded_len(),
+            NodeMsg::Release { agent } => agent.encoded_len(),
+            NodeMsg::LlQuery { agent, reply_to } => agent.encoded_len() + reply_to.encoded_len(),
+            NodeMsg::Sync(msg) => msg.encoded_len(),
+        }
+    }
 }
 
 /// Payloads servers address to agents (inside `ToAgent` envelopes).
@@ -238,6 +250,32 @@ impl Wire for AgentReply {
             }),
         }
     }
+
+    fn encoded_len(&self) -> usize {
+        1 + match self {
+            AgentReply::UpdateAck {
+                node,
+                attempt,
+                positive,
+                store_version,
+                last_update,
+            } => {
+                node.encoded_len()
+                    + attempt.encoded_len()
+                    + positive.encoded_len()
+                    + store_version.encoded_len()
+                    + last_update.encoded_len()
+            }
+            AgentReply::LlInfo {
+                node,
+                snapshot,
+                board,
+                ul,
+            } => {
+                node.encoded_len() + snapshot.encoded_len() + board.encoded_len() + ul.encoded_len()
+            }
+        }
+    }
 }
 
 /// Encode an [`AgentEnvelope`] into the MARP node message space (the
@@ -285,6 +323,7 @@ mod tests {
         roundtrip(NodeMsg::Agent(AgentEnvelope::MigrateAck {
             agent: aid(1),
             hop: 2,
+            horizon: Default::default(),
         }));
         roundtrip(NodeMsg::Update(UpdateMsg {
             agent: aid(1),
@@ -319,6 +358,7 @@ mod tests {
         roundtrip(NodeMsg::RAgent(AgentEnvelope::MigrateAck {
             agent: aid(4),
             hop: 1,
+            horizon: Default::default(),
         }));
     }
 
@@ -338,6 +378,7 @@ mod tests {
         board.merge(
             0,
             LlSnapshot {
+                version: 1,
                 taken_at: SimTime::from_millis(1),
                 queue: vec![aid(4)],
             },
@@ -347,6 +388,7 @@ mod tests {
         let reply = AgentReply::LlInfo {
             node: 2,
             snapshot: LlSnapshot {
+                version: 2,
                 taken_at: SimTime::from_millis(2),
                 queue: vec![aid(1), aid(2)],
             },
@@ -382,6 +424,7 @@ mod tests {
         let wrapped = wrap_agent_envelope(AgentEnvelope::MigrateAck {
             agent: aid(1),
             hop: 0,
+            horizon: Default::default(),
         });
         assert!(matches!(
             marp_wire::from_bytes::<NodeMsg>(&wrapped).unwrap(),

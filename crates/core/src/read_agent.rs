@@ -65,6 +65,16 @@ impl Wire for ReadAgent {
             visited: u32::decode(buf)?,
         })
     }
+    fn encoded_len(&self) -> usize {
+        self.id.encoded_len()
+            + self.n.encoded_len()
+            + self.request.encoded_len()
+            + self.client.encoded_len()
+            + self.key.encoded_len()
+            + self.call.encoded_len()
+            + self.itinerary.encoded_len()
+            + self.visited.encoded_len()
+    }
 }
 
 impl ReadAgent {

@@ -15,15 +15,20 @@ fn arb_agent_id() -> impl Strategy<Value = AgentId> {
 }
 
 fn arb_write_request() -> impl Strategy<Value = WriteRequest> {
-    (any::<u64>(), any::<u16>(), any::<u64>(), any::<u64>(), 0u64..1_000_000).prop_map(
-        |(id, client, key, value, ms)| WriteRequest {
+    (
+        any::<u64>(),
+        any::<u16>(),
+        any::<u64>(),
+        any::<u64>(),
+        0u64..1_000_000,
+    )
+        .prop_map(|(id, client, key, value, ms)| WriteRequest {
             id,
             client,
             key,
             value,
             arrived: SimTime::from_millis(ms),
-        },
-    )
+        })
 }
 
 fn arb_commit_record() -> impl Strategy<Value = CommitRecord> {
@@ -57,9 +62,18 @@ fn arb_node_msg() -> impl Strategy<Value = NodeMsg> {
                 op: Operation::Write { key, value },
             }
         )),
-        (arb_agent_id(), any::<u32>()).prop_map(|(agent, hop)| NodeMsg::Agent(
-            AgentEnvelope::MigrateAck { agent, hop }
-        )),
+        (
+            arb_agent_id(),
+            any::<u32>(),
+            proptest::collection::btree_map(any::<u16>(), any::<u64>(), 0..4),
+        )
+            .prop_map(
+                |(agent, hop, horizon)| NodeMsg::Agent(AgentEnvelope::MigrateAck {
+                    agent,
+                    hop,
+                    horizon,
+                })
+            ),
         (
             arb_agent_id(),
             any::<u32>(),
@@ -76,13 +90,14 @@ fn arb_node_msg() -> impl Strategy<Value = NodeMsg> {
                     tie_certificate,
                 })
             }),
-        (arb_agent_id(), proptest::collection::vec(arb_commit_record(), 0..4))
+        (
+            arb_agent_id(),
+            proptest::collection::vec(arb_commit_record(), 0..4)
+        )
             .prop_map(|(agent, records)| NodeMsg::Commit(CommitMsg { agent, records })),
         arb_agent_id().prop_map(|agent| NodeMsg::Release { agent }),
-        (arb_agent_id(), any::<u16>()).prop_map(|(agent, reply_to)| NodeMsg::LlQuery {
-            agent,
-            reply_to
-        }),
+        (arb_agent_id(), any::<u16>())
+            .prop_map(|(agent, reply_to)| NodeMsg::LlQuery { agent, reply_to }),
         any::<u64>().prop_map(|v| NodeMsg::Sync(SyncMsg::Pull { from_version: v })),
     ]
 }

@@ -40,9 +40,7 @@ fn commit_log_of(sim: &Simulation, server: NodeId) -> Vec<(u64, u64, u64)> {
 /// order-preservation property), modulo a shorter prefix on servers that
 /// are still catching up.
 fn assert_consistent(sim: &Simulation, n: usize) {
-    let logs: Vec<Vec<(u64, u64, u64)>> = (0..n as NodeId)
-        .map(|s| commit_log_of(sim, s))
-        .collect();
+    let logs: Vec<Vec<(u64, u64, u64)>> = (0..n as NodeId).map(|s| commit_log_of(sim, s)).collect();
     let longest = logs.iter().map(|l| l.len()).max().unwrap_or(0);
     let reference = logs
         .iter()
@@ -65,7 +63,10 @@ fn single_write_reaches_all_replicas() {
     add_client(
         &mut sim,
         0,
-        vec![(Duration::from_millis(1), Operation::Write { key: 7, value: 70 })],
+        vec![(
+            Duration::from_millis(1),
+            Operation::Write { key: 7, value: 70 },
+        )],
     );
     sim.run_until(SimTime::from_secs(2));
 
@@ -96,7 +97,10 @@ fn client_gets_write_done_and_fresh_read() {
         &mut sim,
         1,
         vec![
-            (Duration::from_millis(1), Operation::Write { key: 3, value: 30 }),
+            (
+                Duration::from_millis(1),
+                Operation::Write { key: 3, value: 30 },
+            ),
             (Duration::from_millis(200), Operation::Read { key: 3 }),
         ],
     );
@@ -108,9 +112,7 @@ fn client_gets_write_done_and_fresh_read() {
     assert_eq!(client_proc.stats.read_versions, vec![1]);
     // Local read over one 2 ms hop each way: far cheaper than the write.
     assert!(client_proc.stats.mean_read_ms().unwrap() < 6.0);
-    assert!(
-        client_proc.stats.mean_write_ms().unwrap() > client_proc.stats.mean_read_ms().unwrap()
-    );
+    assert!(client_proc.stats.mean_write_ms().unwrap() > client_proc.stats.mean_read_ms().unwrap());
 }
 
 #[test]
@@ -225,11 +227,15 @@ fn crashed_replica_catches_up_after_recovery() {
     let cfg = MarpConfig::new(n);
     build_cluster(&mut sim, &cfg, &topo);
     // Server 4 is down from 5 ms to 3 s; writes flow meanwhile.
-    let plan = FaultPlan::new(n)
-        .crash(4, SimTime::from_millis(5), Duration::from_secs(3));
+    let plan = FaultPlan::new(n).crash(4, SimTime::from_millis(5), Duration::from_secs(3));
     plan.schedule_controls(&mut sim);
     let script: Vec<(Duration, Operation)> = (0..8)
-        .map(|i| (Duration::from_millis(40), Operation::Write { key: 9, value: i }))
+        .map(|i| {
+            (
+                Duration::from_millis(40),
+                Operation::Write { key: 9, value: i },
+            )
+        })
         .collect();
     add_client(&mut sim, 0, script);
     sim.run_until(SimTime::from_secs(30));
@@ -253,13 +259,19 @@ fn update_is_majority_acked_before_commit() {
     add_client(
         &mut sim,
         2,
-        vec![(Duration::from_millis(1), Operation::Write { key: 1, value: 1 })],
+        vec![(
+            Duration::from_millis(1),
+            Operation::Write { key: 1, value: 1 },
+        )],
     );
     sim.run_until(SimTime::from_secs(2));
     let positive_acks = sim
         .trace()
         .count(|e| matches!(e, TraceEvent::UpdateAcked { positive: true, .. }));
-    assert!(positive_acks >= 3, "majority of acks required, saw {positive_acks}");
+    assert!(
+        positive_acks >= 3,
+        "majority of acks required, saw {positive_acks}"
+    );
     assert_eq!(
         sim.trace()
             .count(|e| matches!(e, TraceEvent::CommitApplied { .. })),
@@ -277,14 +289,23 @@ fn deterministic_replay_bytes_identical() {
             &mut sim,
             0,
             vec![
-                (Duration::from_millis(1), Operation::Write { key: 1, value: 1 }),
-                (Duration::from_millis(3), Operation::Write { key: 2, value: 2 }),
+                (
+                    Duration::from_millis(1),
+                    Operation::Write { key: 1, value: 1 },
+                ),
+                (
+                    Duration::from_millis(3),
+                    Operation::Write { key: 2, value: 2 },
+                ),
             ],
         );
         add_client(
             &mut sim,
             1,
-            vec![(Duration::from_millis(2), Operation::Write { key: 3, value: 3 })],
+            vec![(
+                Duration::from_millis(2),
+                Operation::Write { key: 3, value: 3 },
+            )],
         );
         sim.run_until(SimTime::from_secs(5));
         sim.into_trace()
@@ -302,7 +323,10 @@ fn single_server_degenerates_gracefully() {
     add_client(
         &mut sim,
         0,
-        vec![(Duration::from_millis(1), Operation::Write { key: 5, value: 55 })],
+        vec![(
+            Duration::from_millis(1),
+            Operation::Write { key: 5, value: 55 },
+        )],
     );
     sim.run_until(SimTime::from_secs(2));
     assert_eq!(commit_log_of(&sim, 0), vec![(1, 5, 55)]);
@@ -317,7 +341,12 @@ fn gossip_off_still_converges() {
     build_cluster(&mut sim, &cfg, &topo);
     for server in 0..2u16 {
         let script: Vec<(Duration, Operation)> = (0..3)
-            .map(|i| (Duration::from_millis(5), Operation::Write { key: 4, value: i }))
+            .map(|i| {
+                (
+                    Duration::from_millis(5),
+                    Operation::Write { key: 4, value: i },
+                )
+            })
             .collect();
         add_client(&mut sim, server, script);
     }
@@ -335,7 +364,12 @@ fn batching_coalesces_requests_into_one_agent() {
     cfg.batch.max_wait = Duration::from_millis(30);
     build_cluster(&mut sim, &cfg, &topo);
     let script: Vec<(Duration, Operation)> = (0..4)
-        .map(|i| (Duration::from_millis(1), Operation::Write { key: i, value: i }))
+        .map(|i| {
+            (
+                Duration::from_millis(1),
+                Operation::Write { key: i, value: i },
+            )
+        })
         .collect();
     add_client(&mut sim, 0, script);
     sim.run_until(SimTime::from_secs(5));
@@ -363,7 +397,10 @@ fn fresh_read_consults_a_majority_and_sees_the_latest_value() {
         &mut sim,
         2,
         vec![
-            (Duration::from_millis(1), Operation::Write { key: 4, value: 44 }),
+            (
+                Duration::from_millis(1),
+                Operation::Write { key: 4, value: 44 },
+            ),
             (Duration::from_millis(150), Operation::ReadFresh { key: 4 }),
         ],
     );
@@ -418,7 +455,10 @@ fn plain_reads_can_be_stale_but_fresh_reads_are_not() {
     add_client(
         &mut sim,
         0,
-        vec![(Duration::from_millis(1), Operation::Write { key: 9, value: 90 })],
+        vec![(
+            Duration::from_millis(1),
+            Operation::Write { key: 9, value: 90 },
+        )],
     );
     let reader = add_client(
         &mut sim,
@@ -443,12 +483,18 @@ fn winner_crash_between_update_and_commit_does_not_wedge_rivals() {
     add_client(
         &mut sim,
         0,
-        vec![(Duration::from_millis(1), Operation::Write { key: 1, value: 11 })],
+        vec![(
+            Duration::from_millis(1),
+            Operation::Write { key: 1, value: 11 },
+        )],
     );
     add_client(
         &mut sim,
         1,
-        vec![(Duration::from_millis(30), Operation::Write { key: 2, value: 22 })],
+        vec![(
+            Duration::from_millis(30),
+            Operation::Write { key: 2, value: 22 },
+        )],
     );
     sim.schedule_control(
         SimTime::from_millis(12),

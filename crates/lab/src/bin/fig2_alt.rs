@@ -1,7 +1,7 @@
 //! Figure 2 — ALT: average time for a mobile agent to obtain the lock,
 //! vs mean request inter-arrival time, for 3–5 replica servers.
 
-use marp_lab::{paper_point, Scenario, PAPER_SWEEP_MS};
+use marp_lab::{paper_matrix, Scenario, PAPER_SWEEP_MS};
 use marp_metrics::{fmt_ms, Table};
 
 fn main() {
@@ -11,10 +11,11 @@ fn main() {
         "Figure 2 — ALT (ms) vs mean inter-arrival time",
         &["mean arrival (ms)", "3 servers", "4 servers", "5 servers"],
     );
-    for &mean in PAPER_SWEEP_MS {
+    // One batched sweep over the whole figure keeps every core busy.
+    let points = paper_matrix(&ns, PAPER_SWEEP_MS);
+    for (mean, row_metrics) in PAPER_SWEEP_MS.iter().zip(&points) {
         let mut row = vec![format!("{mean:.0}")];
-        for &n in &ns {
-            let metrics = paper_point(n, mean);
+        for metrics in row_metrics {
             row.push(fmt_ms(metrics.mean_alt_ms()));
         }
         table.row(row);

@@ -1,7 +1,7 @@
 //! Figure 4 — PRK: percentage of requests whose lock was obtained after
 //! visiting K = 3, 4, 5 servers, for a 5-server system.
 
-use marp_lab::{paper_point, Scenario, PAPER_SWEEP_MS};
+use marp_lab::{paper_matrix, Scenario, PAPER_SWEEP_MS};
 use marp_metrics::{fmt_pct, Table};
 
 fn main() {
@@ -11,8 +11,10 @@ fn main() {
         "Figure 4 — PRK (%) for N = 5 servers",
         &["mean arrival (ms)", "K=3", "K=4", "K=5"],
     );
-    for &mean in PAPER_SWEEP_MS {
-        let metrics = paper_point(n, mean);
+    // One batched sweep over the whole figure keeps every core busy.
+    let points = paper_matrix(&[n], PAPER_SWEEP_MS);
+    for (mean, row_metrics) in PAPER_SWEEP_MS.iter().zip(&points) {
+        let metrics = &row_metrics[0];
         table.row(vec![
             format!("{mean:.0}"),
             fmt_pct(metrics.prk(3)),

@@ -102,3 +102,36 @@ pub fn paper_point(n: usize, mean_ms: f64) -> marp_metrics::PaperMetrics {
     assert_all_clean(&outcomes);
     pool_metrics(&outcomes)
 }
+
+/// Every pooled sweep point of a figure in one batched sweep: the full
+/// `means × ns × PAPER_SEEDS` matrix is submitted to [`run_sweep`] as a
+/// single scenario list, so the fan-out saturates every core for the
+/// whole figure. Calling [`paper_point`] per bin instead parallelizes
+/// only the 3 seeds of the current bin and leaves the other cores idle
+/// at each bin boundary. Returns pooled metrics indexed
+/// `[mean_index][n_index]`, matching the input order.
+pub fn paper_matrix(ns: &[usize], means: &[f64]) -> Vec<Vec<marp_metrics::PaperMetrics>> {
+    let scenarios: Vec<Scenario> = means
+        .iter()
+        .flat_map(|&mean| {
+            ns.iter().flat_map(move |&n| {
+                PAPER_SEEDS
+                    .iter()
+                    .map(move |&seed| Scenario::paper(n, mean, seed))
+            })
+        })
+        .collect();
+    let outcomes = run_sweep(&scenarios, None);
+    assert_all_clean(&outcomes);
+    let per_point = PAPER_SEEDS.len();
+    (0..means.len())
+        .map(|mi| {
+            (0..ns.len())
+                .map(|ni| {
+                    let start = (mi * ns.len() + ni) * per_point;
+                    pool_metrics(&outcomes[start..start + per_point])
+                })
+                .collect()
+        })
+        .collect()
+}

@@ -141,6 +141,10 @@ pub struct Scenario {
     pub bursty: bool,
     /// MARP only: adapt the batch size to the commit backlog (E14).
     pub adaptive_batching: bool,
+    /// MARP only: delta-encode the Locking Table across migrations
+    /// (prune snapshots the destination already knows). Disable to
+    /// measure the full-table shipping cost — see `docs/PERFORMANCE.md`.
+    pub lt_delta: bool,
     /// Network shape.
     pub topology: TopologyKind,
     /// Link model.
@@ -169,6 +173,7 @@ impl Scenario {
             fresh_reads: false,
             bursty: false,
             adaptive_batching: false,
+            lt_delta: true,
             topology: TopologyKind::Lan { latency_ms: 1.0 },
             link: LinkKind::Lan1990s,
             faults: None,
@@ -324,6 +329,7 @@ pub fn run_scenario_traced(scenario: &Scenario) -> (RunOutcome, marp_sim::TraceL
             cfg.itinerary = *itinerary;
             cfg.batch.max_batch = *batch_max;
             cfg.adaptive_batching = scenario.adaptive_batching;
+            cfg.lt_delta = scenario.lt_delta;
             build_cluster(&mut sim, &cfg, &topo);
             wrap_marp_client_request
         }

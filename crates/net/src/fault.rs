@@ -218,12 +218,8 @@ mod tests {
 
     #[test]
     fn link_outage_pairs_down_up() {
-        let plan = FaultPlan::new(2).link_outage(
-            0,
-            1,
-            SimTime::from_millis(2),
-            Duration::from_millis(4),
-        );
+        let plan =
+            FaultPlan::new(2).link_outage(0, 1, SimTime::from_millis(2), Duration::from_millis(4));
         let sched = plan.net_schedule();
         assert_eq!(sched[0].1, NetAction::LinkDown(0, 1));
         assert_eq!(sched[1].1, NetAction::LinkUp(0, 1));
@@ -233,8 +229,6 @@ mod tests {
     #[test]
     fn empty_plan_reports_empty() {
         assert!(FaultPlan::new(4).is_empty());
-        assert!(!FaultPlan::new(4)
-            .crash_forever(0, SimTime::ZERO)
-            .is_empty());
+        assert!(!FaultPlan::new(4).crash_forever(0, SimTime::ZERO).is_empty());
     }
 }

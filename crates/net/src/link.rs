@@ -196,7 +196,10 @@ mod tests {
         // A 4 KiB agent hop on a 2 ms LAN link should land in a
         // believable couple-of-ms window.
         let d = lan.delay(Duration::from_millis(2), 4096, &mut rng);
-        assert!(d > Duration::from_millis(2) && d < Duration::from_millis(10), "{d:?}");
+        assert!(
+            d > Duration::from_millis(2) && d < Duration::from_millis(10),
+            "{d:?}"
+        );
         let wan = LinkModel::wan();
         let d = wan.delay(Duration::from_millis(80), 4096, &mut rng);
         assert!(d > Duration::from_millis(30), "{d:?}");

@@ -113,8 +113,7 @@ impl Topology {
 
     /// Overwrite one directed link's base latency.
     pub fn set_latency(&mut self, a: NodeId, b: NodeId, latency: Duration) {
-        self.latency[usize::from(a) * self.n + usize::from(b)] =
-            marp_sim::duration_nanos(latency);
+        self.latency[usize::from(a) * self.n + usize::from(b)] = marp_sim::duration_nanos(latency);
     }
 
     /// Scale every link latency by `factor` (used for the WAN-latency
@@ -205,7 +204,12 @@ mod tests {
     fn random_geometric_is_seed_deterministic() {
         let build = |seed| {
             let mut rng = SimRng::from_seed(seed);
-            Topology::random_geometric(5, Duration::from_millis(50), Duration::from_millis(1), &mut rng)
+            Topology::random_geometric(
+                5,
+                Duration::from_millis(50),
+                Duration::from_millis(1),
+                &mut rng,
+            )
         };
         let a = build(3);
         let b = build(3);

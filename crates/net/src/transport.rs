@@ -167,7 +167,9 @@ mod tests {
         // During: cross-group dropped, intra-group delivered.
         assert!(matches!(
             t.route(SimTime::from_millis(6), 0, 2, 8),
-            Delivery::Drop { reason: "network partition" }
+            Delivery::Drop {
+                reason: "network partition"
+            }
         ));
         assert!(matches!(
             t.route(SimTime::from_millis(6), 0, 1, 8),
@@ -182,13 +184,13 @@ mod tests {
 
     #[test]
     fn link_outage_is_directional() {
-        let schedule = vec![
-            (SimTime::ZERO, NetAction::LinkDown(0, 1)),
-        ];
+        let schedule = vec![(SimTime::ZERO, NetAction::LinkDown(0, 1))];
         let mut t = lan3().with_schedule(schedule);
         assert!(matches!(
             t.route(SimTime::from_millis(1), 0, 1, 8),
-            Delivery::Drop { reason: "link down" }
+            Delivery::Drop {
+                reason: "link down"
+            }
         ));
         assert!(matches!(
             t.route(SimTime::from_millis(1), 1, 0, 8),

@@ -42,6 +42,9 @@ impl Journeys {
                 TraceEvent::AgentMigrateFailed { agent, from, to } => {
                     journeys.log(agent, at, format!("migration {from} -> {to} failed"));
                 }
+                TraceEvent::AgentStateShipped { agent, bytes } => {
+                    journeys.log(agent, at, format!("shipped {bytes} byte(s) of state"));
+                }
                 TraceEvent::ReplicaDeclaredUnavailable { agent, node } => {
                     journeys.log(agent, at, format!("declared replica {node} unavailable"));
                 }

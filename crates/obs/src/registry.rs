@@ -120,6 +120,10 @@ impl MetricsRegistry {
                 }
                 TraceEvent::AgentMigrated { .. } => node.bump("agent.migrated"),
                 TraceEvent::AgentMigrateFailed { .. } => node.bump("agent.migrate_failed"),
+                TraceEvent::AgentStateShipped { bytes, .. } => {
+                    node.bump("agent.state_shipped");
+                    node.observe("agent.state_bytes", bytes as f64);
+                }
                 TraceEvent::ReplicaDeclaredUnavailable { .. } => {
                     node.bump("agent.replica_unavailable")
                 }

@@ -105,6 +105,7 @@ impl SpanSet {
                 | TraceEvent::AgentDispatched { .. }
                 | TraceEvent::AgentMigrated { .. }
                 | TraceEvent::AgentMigrateFailed { .. }
+                | TraceEvent::AgentStateShipped { .. }
                 | TraceEvent::ReplicaDeclaredUnavailable { .. }
                 | TraceEvent::LockRequested { .. }
                 | TraceEvent::LockGranted { .. }

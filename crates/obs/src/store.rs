@@ -212,6 +212,13 @@ fn encode_event(event: &TraceEvent, buf: &mut BytesMut) {
             a.encode(buf);
             b.encode(buf);
         }
+        // Tags are appended in declaration order of *introduction*, so
+        // traces written before a variant existed still decode.
+        TraceEvent::AgentStateShipped { agent, bytes } => {
+            23u8.encode(buf);
+            agent.encode(buf);
+            bytes.encode(buf);
+        }
     }
 }
 
@@ -324,6 +331,10 @@ fn decode_event(buf: &mut Bytes) -> Result<TraceEvent, WireError> {
             kind: intern(String::decode(buf)?),
             a: Wire::decode(buf)?,
             b: Wire::decode(buf)?,
+        }),
+        23 => Ok(TraceEvent::AgentStateShipped {
+            agent: Wire::decode(buf)?,
+            bytes: Wire::decode(buf)?,
         }),
         tag => Err(WireError::InvalidTag {
             type_name: "TraceEvent",

@@ -283,6 +283,9 @@ impl Wire for Verdict {
             }),
         }
     }
+    fn encoded_len(&self) -> usize {
+        1
+    }
 }
 
 impl Wire for SuccessRule {
@@ -326,6 +329,17 @@ impl Wire for SuccessRule {
             }),
         }
     }
+    fn encoded_len(&self) -> usize {
+        1 + match self {
+            SuccessRule::Majority { n } => n.encoded_len(),
+            SuccessRule::Weighted {
+                total_votes,
+                threshold,
+            } => total_votes.encoded_len() + threshold.encoded_len(),
+            SuccessRule::AllAvailable => 0,
+            SuccessRule::FirstK { k } => k.encoded_len(),
+        }
+    }
 }
 
 impl<T: Wire> Wire for QuorumCall<T> {
@@ -352,6 +366,17 @@ impl<T: Wire> Wire for QuorumCall<T> {
             verdict: Option::decode(buf)?,
             span: u64::decode(buf)?,
         })
+    }
+    fn encoded_len(&self) -> usize {
+        self.rule.encoded_len()
+            + self.outstanding.encoded_len()
+            + self.positives.encoded_len()
+            + self.negatives.encoded_len()
+            + self.granted_votes.encoded_len()
+            + self.rejected_votes.encoded_len()
+            + self.started.encoded_len()
+            + self.verdict.encoded_len()
+            + self.span.encoded_len()
     }
 }
 

@@ -120,6 +120,9 @@ impl Wire for TimerMux {
             armed: Vec::decode(buf)?,
         })
     }
+    fn encoded_len(&self) -> usize {
+        self.armed.encoded_len()
+    }
 }
 
 #[cfg(test)]

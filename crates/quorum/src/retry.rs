@@ -93,9 +93,10 @@ impl RetryPolicy {
     pub fn next_delay(&self, attempt: u32) -> Duration {
         let grown = match self.growth {
             Growth::Linear { max_factor } => self.base.saturating_mul(attempt.min(max_factor)),
-            Growth::Exponential { max_doublings } => self
-                .base
-                .saturating_mul(1u32.checked_shl(attempt.min(max_doublings)).unwrap_or(u32::MAX)),
+            Growth::Exponential { max_doublings } => self.base.saturating_mul(
+                1u32.checked_shl(attempt.min(max_doublings))
+                    .unwrap_or(u32::MAX),
+            ),
         };
         grown.saturating_add(self.stagger)
     }
@@ -109,11 +110,8 @@ mod tests {
     fn linear_matches_the_legacy_coordinator_schedule() {
         // The schedule previously copy-pasted into MCV and weighted
         // voting: base * attempts.min(16) + 500µs * node.
-        let policy = RetryPolicy::default_for(Duration::ZERO).staggered(
-            Duration::from_micros(500),
-            3,
-            0,
-        );
+        let policy =
+            RetryPolicy::default_for(Duration::ZERO).staggered(Duration::from_micros(500), 3, 0);
         assert_eq!(
             policy.next_delay(1),
             Duration::from_millis(8) + Duration::from_micros(1500)

@@ -24,8 +24,7 @@ fn run_call(
     repeat: usize,
 ) -> (Option<Verdict>, usize) {
     let n = votes.len();
-    let mut call: QuorumCall<u64> =
-        QuorumCall::new(rule, 0..n as u16, SimTime::ZERO);
+    let mut call: QuorumCall<u64> = QuorumCall::new(rule, 0..n as u16, SimTime::ZERO);
     for step in 0..n {
         let node = (step + rotate) % n;
         for _ in 0..=repeat {

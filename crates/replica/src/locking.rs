@@ -41,12 +41,22 @@ marp_wire::wire_struct!(LockEntry {
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct LockingList {
     entries: Vec<LockEntry>,
+    /// Monotonic queue-content version: bumped whenever the *sequence of
+    /// agents* changes (append, removal, purge) — not on lease
+    /// refreshes, which leave snapshots identical. Snapshots carry it so
+    /// receivers can order them and delta-encode exchanges.
+    version: u64,
 }
 
 impl LockingList {
     /// An empty list.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// The current queue-content version (0 while never mutated).
+    pub fn version(&self) -> u64 {
+        self.version
     }
 
     /// Append an agent (idempotent: a repeat visit refreshes the lease
@@ -72,6 +82,7 @@ impl LockingList {
             expires_at,
             last_host,
         });
+        self.version += 1;
     }
 
     /// Move an agent's entry to the *front* of the queue, violating the
@@ -83,6 +94,7 @@ impl LockingList {
         if let Some(pos) = self.entries.iter().position(|e| e.agent == agent) {
             let entry = self.entries.remove(pos);
             self.entries.insert(0, entry);
+            self.version += 1;
         }
     }
 
@@ -110,7 +122,11 @@ impl LockingList {
     pub fn remove(&mut self, agent: AgentId) -> bool {
         let before = self.entries.len();
         self.entries.retain(|e| e.agent != agent);
-        self.entries.len() != before
+        let removed = self.entries.len() != before;
+        if removed {
+            self.version += 1;
+        }
+        removed
     }
 
     /// Remove by compact trace key (commit records carry the key, not
@@ -119,7 +135,11 @@ impl LockingList {
     pub fn remove_by_key(&mut self, key: marp_sim::AgentKey) -> bool {
         let before = self.entries.len();
         self.entries.retain(|e| e.agent.key() != key);
-        self.entries.len() != before
+        let removed = self.entries.len() != before;
+        if removed {
+            self.version += 1;
+        }
+        removed
     }
 
     /// Drop expired entries; returns the agents purged.
@@ -139,6 +159,9 @@ impl LockingList {
                 true
             }
         });
+        if !purged.is_empty() {
+            self.version += 1;
+        }
         purged
     }
 
@@ -175,6 +198,7 @@ impl LockingList {
     /// An ordered snapshot of agent ids, as carried in Locking Tables.
     pub fn snapshot(&self, taken_at: SimTime) -> LlSnapshot {
         LlSnapshot {
+            version: self.version,
             taken_at,
             queue: self.entries.iter().map(|e| e.agent).collect(),
         }
@@ -185,13 +209,22 @@ impl LockingList {
 /// between agents (directly or via gossip boards).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct LlSnapshot {
+    /// The owning server's queue-content version when the snapshot was
+    /// taken (see [`LockingList::version`]). Orders snapshots of the
+    /// same server and lets receivers advertise a horizon so senders
+    /// ship only what is newer.
+    pub version: u64,
     /// When the snapshot was taken at the owning server.
     pub taken_at: SimTime,
     /// Agent ids in queue order (index 0 is the top).
     pub queue: Vec<AgentId>,
 }
 
-marp_wire::wire_struct!(LlSnapshot { taken_at, queue });
+marp_wire::wire_struct!(LlSnapshot {
+    version,
+    taken_at,
+    queue
+});
 
 impl LlSnapshot {
     /// The top-ranked agent in this snapshot.
@@ -199,9 +232,11 @@ impl LlSnapshot {
         self.queue.first().copied()
     }
 
-    /// Whether `newer` supersedes `self`.
+    /// Whether `newer` supersedes `self`. Versions order snapshots of
+    /// one server; `taken_at` breaks ties between equal-version
+    /// snapshots (a lease refresh re-snapshotted later).
     pub fn is_older_than(&self, newer: &LlSnapshot) -> bool {
-        self.taken_at < newer.taken_at
+        (self.version, self.taken_at) < (newer.version, newer.taken_at)
     }
 }
 
@@ -253,6 +288,12 @@ impl UpdatedList {
         let before = self.agents.len();
         self.agents.retain(|&(_, at)| at >= cutoff);
         before - self.agents.len()
+    }
+
+    /// Keep only the entries `keep` approves (migrating agents shed
+    /// entries their carried snapshots no longer name).
+    pub fn retain(&mut self, mut keep: impl FnMut(AgentId) -> bool) {
+        self.agents.retain(|&(a, _)| keep(a));
     }
 
     /// All recorded agents in completion order (locally observed).

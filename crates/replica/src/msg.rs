@@ -83,6 +83,12 @@ impl Wire for Operation {
             }),
         }
     }
+    fn encoded_len(&self) -> usize {
+        1 + match self {
+            Operation::Read { key } | Operation::ReadFresh { key } => key.encoded_len(),
+            Operation::Write { key, value } => key.encoded_len() + value.encoded_len(),
+        }
+    }
 }
 
 /// A request as sent from a client to its replica server.
@@ -176,6 +182,18 @@ impl Wire for ClientReply {
             }),
         }
     }
+    fn encoded_len(&self) -> usize {
+        1 + match self {
+            ClientReply::ReadOk {
+                id,
+                key,
+                value,
+                version,
+            } => id.encoded_len() + key.encoded_len() + value.encoded_len() + version.encoded_len(),
+            ClientReply::WriteDone { id, version } => id.encoded_len() + version.encoded_len(),
+            ClientReply::Rejected { id } => id.encoded_len(),
+        }
+    }
 }
 
 /// A pending write as carried in an agent's Request List (RL) or a
@@ -243,6 +261,12 @@ impl Wire for SyncMsg {
                 type_name: "SyncMsg",
                 tag: u32::from(tag),
             }),
+        }
+    }
+    fn encoded_len(&self) -> usize {
+        1 + match self {
+            SyncMsg::Pull { from_version } => from_version.encoded_len(),
+            SyncMsg::Push { records } => records.encoded_len(),
         }
     }
 }

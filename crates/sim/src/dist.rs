@@ -98,8 +98,14 @@ pub struct LogNormal {
 impl LogNormal {
     /// Create from the distribution median and shape `sigma >= 0`.
     pub fn from_median(median: f64, sigma: f64) -> Self {
-        assert!(median > 0.0 && median.is_finite(), "median must be positive");
-        assert!(sigma >= 0.0 && sigma.is_finite(), "sigma must be non-negative");
+        assert!(
+            median > 0.0 && median.is_finite(),
+            "median must be positive"
+        );
+        assert!(
+            sigma >= 0.0 && sigma.is_finite(),
+            "sigma must be non-negative"
+        );
         LogNormal {
             mu: median.ln(),
             sigma,

@@ -201,8 +201,23 @@ pub struct RunStats {
     pub spans_started: u64,
     /// Causal spans closed (`TraceEvent::SpanEnd`).
     pub spans_ended: u64,
+    /// Bytes of serialized agent state shipped in migrations, including
+    /// retries (`TraceEvent::AgentStateShipped`). Counts the behaviour
+    /// state alone, not the enclosing envelope or message framing.
+    pub agent_bytes_migrated: u64,
+    /// Bytes submitted to the transport per message kind, indexed by the
+    /// message's leading tag byte (kinds ≥ 15 share the last bucket).
+    /// For MARP traffic the index is the `NodeMsg` wire tag.
+    pub bytes_by_kind: [u64; 16],
     /// Virtual time when the run stopped.
     pub finished_at: SimTime,
+}
+
+impl RunStats {
+    /// Bytes submitted for messages whose leading wire tag is `tag`.
+    pub fn bytes_for_kind(&self, tag: u8) -> u64 {
+        self.bytes_by_kind[usize::from(tag.min(15))]
+    }
 }
 
 /// The node id used as `from` for externally injected messages.
@@ -571,6 +586,9 @@ impl Simulation {
                     match event {
                         TraceEvent::SpanStart { .. } => self.stats.spans_started += 1,
                         TraceEvent::SpanEnd { .. } => self.stats.spans_ended += 1,
+                        TraceEvent::AgentStateShipped { bytes, .. } => {
+                            self.stats.agent_bytes_migrated += bytes as u64
+                        }
                         _ => {}
                     }
                     self.trace.push(self.now, node, event);
@@ -586,6 +604,10 @@ impl Simulation {
         );
         self.stats.messages_sent += 1;
         self.stats.bytes_sent += msg.len() as u64;
+        // Per-kind byte accounting, keyed by the message's leading wire
+        // tag (every workspace message enum writes a one-byte tag first).
+        let kind = usize::from(msg.first().copied().unwrap_or(0).min(15));
+        self.stats.bytes_by_kind[kind] += msg.len() as u64;
         self.trace.push(
             self.now,
             from,

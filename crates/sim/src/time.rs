@@ -115,6 +115,9 @@ impl Wire for SimTime {
     fn decode(buf: &mut Bytes) -> Result<Self, WireError> {
         Ok(SimTime(u64::decode(buf)?))
     }
+    fn encoded_len(&self) -> usize {
+        self.0.encoded_len()
+    }
 }
 
 /// Convert a [`Duration`] to nanoseconds, saturating at `u64::MAX`.
@@ -190,7 +193,10 @@ mod tests {
             scale_duration(Duration::from_millis(10), 0.5),
             Duration::from_millis(5)
         );
-        assert_eq!(scale_duration(Duration::from_millis(10), 0.0), Duration::ZERO);
+        assert_eq!(
+            scale_duration(Duration::from_millis(10), 0.0),
+            Duration::ZERO
+        );
         assert_eq!(
             scale_duration(Duration::from_millis(10), f64::NAN),
             Duration::ZERO

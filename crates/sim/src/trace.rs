@@ -213,6 +213,16 @@ pub enum TraceEvent {
         /// Unreachable destination.
         to: NodeId,
     },
+    /// An agent's serialized state left a host (first send or retry).
+    /// `bytes` is the size of the encoded behaviour state alone, not the
+    /// enclosing envelope — the kernel folds these into
+    /// `RunStats::agent_bytes_migrated`.
+    AgentStateShipped {
+        /// Agent identity.
+        agent: AgentKey,
+        /// Encoded behaviour-state size in bytes.
+        bytes: usize,
+    },
     /// An agent declared a replica unavailable after repeated failures.
     ReplicaDeclaredUnavailable {
         /// Agent identity.
@@ -379,10 +389,21 @@ pub struct TraceLog {
 
 impl TraceLog {
     /// Create a log at the given retention level.
+    ///
+    /// The backing store is preallocated according to the level so the
+    /// hot path appends without growth reallocations: `Off` keeps no
+    /// records and reserves nothing, while `Protocol`/`Full` reserve
+    /// generously (a run that outgrows the reservation still works —
+    /// the vector grows as usual).
     pub fn new(level: TraceLevel) -> Self {
+        let capacity = match level {
+            TraceLevel::Off => 0,
+            TraceLevel::Protocol => 4_096,
+            TraceLevel::Full => 16_384,
+        };
         TraceLog {
             level,
-            records: Vec::new(),
+            records: Vec::with_capacity(capacity),
             dropped: 0,
         }
     }

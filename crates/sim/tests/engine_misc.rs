@@ -35,7 +35,10 @@ fn node_count_and_liveness_inspection() {
     let mut sim = sim_with_counters(3);
     assert_eq!(sim.node_count(), 3);
     assert!(sim.is_up(2));
-    sim.schedule_control(SimTime::from_millis(1), Control::SetNodeUp { node: 2, up: false });
+    sim.schedule_control(
+        SimTime::from_millis(1),
+        Control::SetNodeUp { node: 2, up: false },
+    );
     sim.run_to_quiescence();
     assert!(!sim.is_up(2));
 }
@@ -56,10 +59,7 @@ fn process_mut_allows_in_place_adjustment() {
 #[test]
 fn trace_levels_control_retention() {
     for (level, expect_msgs) in [(TraceLevel::Full, true), (TraceLevel::Protocol, false)] {
-        let mut sim = Simulation::new(
-            Box::new(FixedDelay(Duration::from_millis(1))),
-            level,
-        );
+        let mut sim = Simulation::new(Box::new(FixedDelay(Duration::from_millis(1))), level);
         sim.add_process(Box::new(Counter { seen: 0 }));
         sim.schedule_external(SimTime::from_millis(1), 0, Bytes::from_static(b"x"));
         sim.run_to_quiescence();
@@ -115,10 +115,7 @@ fn sending_to_unknown_node_panics() {
         fn on_message(&mut self, _: NodeId, _: Bytes, _: &mut dyn Context) {}
         impl_as_any!();
     }
-    let mut sim = Simulation::new(
-        Box::new(FixedDelay(Duration::ZERO)),
-        TraceLevel::Off,
-    );
+    let mut sim = Simulation::new(Box::new(FixedDelay(Duration::ZERO)), TraceLevel::Off);
     sim.add_process(Box::new(BadSender));
     sim.run_to_quiescence();
 }

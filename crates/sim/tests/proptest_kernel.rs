@@ -25,7 +25,8 @@ impl Recorder {
 
 impl Process for Recorder {
     fn on_message(&mut self, _from: NodeId, msg: Bytes, ctx: &mut dyn Context) {
-        self.deliveries.push((ctx.now(), msg.first().copied().unwrap_or(0)));
+        self.deliveries
+            .push((ctx.now(), msg.first().copied().unwrap_or(0)));
     }
     fn on_timer(&mut self, _id: TimerId, tag: u64, ctx: &mut dyn Context) {
         self.timer_fires.push((ctx.now(), tag));

@@ -138,9 +138,7 @@ impl Clock {
     }
 
     fn wall_after(&self, virtual_delay: Duration) -> Instant {
-        let wall = Duration::from_nanos(
-            (virtual_delay.as_nanos() as f64 / self.speed) as u64,
-        );
+        let wall = Duration::from_nanos((virtual_delay.as_nanos() as f64 / self.speed) as u64);
         Instant::now() + wall
     }
 
@@ -362,8 +360,7 @@ pub fn run_threaded(
     for tx in &host_txs {
         let _ = tx.send(HostEvent::Start);
     }
-    let wall_budget =
-        Duration::from_nanos((virtual_duration.as_nanos() as f64 / cfg.speed) as u64);
+    let wall_budget = Duration::from_nanos((virtual_duration.as_nanos() as f64 / cfg.speed) as u64);
     let deadline = Instant::now() + wall_budget;
     while Instant::now() < deadline && !halted.load(Ordering::Relaxed) {
         std::thread::sleep(Duration::from_millis(5));
@@ -459,10 +456,11 @@ mod tests {
         let ponger: &Ponger = run.process(1).unwrap();
         assert_eq!(ponger.received, 10);
         assert!(run.messages_sent >= 19);
-        assert!(run.trace.records().iter().any(|r| matches!(
-            r.event,
-            TraceEvent::MsgDelivered { .. }
-        )));
+        assert!(run
+            .trace
+            .records()
+            .iter()
+            .any(|r| matches!(r.event, TraceEvent::MsgDelivered { .. })));
     }
 
     #[test]

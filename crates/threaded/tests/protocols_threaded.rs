@@ -19,7 +19,12 @@ fn mcv_commits_under_real_threads() {
         processes.push(Box::new(McvNode::new(me, McvConfig::new(n))));
     }
     let script: Vec<(Duration, Operation)> = (0..6)
-        .map(|i| (Duration::from_millis(20), Operation::Write { key: 1, value: i }))
+        .map(|i| {
+            (
+                Duration::from_millis(20),
+                Operation::Write { key: 1, value: i },
+            )
+        })
         .collect();
     processes.push(Box::new(ClientProcess::new(
         0,
@@ -88,6 +93,10 @@ fn workload_sources_drive_threaded_clients() {
         },
     );
     let metrics = PaperMetrics::from_trace(&run.trace);
-    assert!(metrics.writes_arrived >= 7, "arrived {}", metrics.writes_arrived);
+    assert!(
+        metrics.writes_arrived >= 7,
+        "arrived {}",
+        metrics.writes_arrived
+    );
     assert!(metrics.completed >= 7, "completed {}", metrics.completed);
 }

@@ -62,13 +62,22 @@ mod tests {
 
     #[test]
     fn display_messages_are_informative() {
-        assert_eq!(WireError::UnexpectedEof.to_string(), "unexpected end of input");
-        assert!(WireError::InvalidTag { type_name: "Msg", tag: 7 }
-            .to_string()
-            .contains("Msg"));
-        assert!(WireError::ValueOutOfRange { type_name: "u16", value: 70000 }
-            .to_string()
-            .contains("70000"));
+        assert_eq!(
+            WireError::UnexpectedEof.to_string(),
+            "unexpected end of input"
+        );
+        assert!(WireError::InvalidTag {
+            type_name: "Msg",
+            tag: 7
+        }
+        .to_string()
+        .contains("Msg"));
+        assert!(WireError::ValueOutOfRange {
+            type_name: "u16",
+            value: 70000
+        }
+        .to_string()
+        .contains("70000"));
         assert!(WireError::TrailingBytes { remaining: 3 }
             .to_string()
             .contains('3'));

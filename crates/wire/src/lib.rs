@@ -25,7 +25,7 @@ mod error;
 mod varint;
 
 pub use error::WireError;
-pub use varint::{get_ivarint, get_uvarint, put_ivarint, put_uvarint, uvarint_len};
+pub use varint::{get_ivarint, get_uvarint, ivarint_len, put_ivarint, put_uvarint, uvarint_len};
 
 use bytes::{Buf, Bytes, BytesMut};
 
@@ -41,12 +41,29 @@ pub trait Wire: Sized {
     /// Decode a value from the front of `buf`, advancing it past the
     /// consumed bytes.
     fn decode(buf: &mut Bytes) -> Result<Self, WireError>;
+
+    /// Exact number of bytes [`encode`](Wire::encode) will append.
+    ///
+    /// Used by [`to_bytes`] to reserve the output buffer in a single
+    /// allocation. Implementations must be exact — `to_bytes` asserts
+    /// (in debug builds) that the hint matches what `encode` produced.
+    fn encoded_len(&self) -> usize;
 }
 
 /// Encode a value into a fresh, frozen byte buffer.
+///
+/// The buffer is reserved once from [`Wire::encoded_len`], so encoding
+/// never reallocates mid-write.
 pub fn to_bytes<T: Wire>(value: &T) -> Bytes {
-    let mut buf = BytesMut::new();
+    let hint = value.encoded_len();
+    let mut buf = BytesMut::with_capacity(hint);
     value.encode(&mut buf);
+    debug_assert_eq!(
+        buf.len(),
+        hint,
+        "Wire::encoded_len for {} is not exact",
+        std::any::type_name::<T>()
+    );
     buf.freeze()
 }
 
@@ -87,6 +104,9 @@ impl Wire for bool {
             }),
         }
     }
+    fn encoded_len(&self) -> usize {
+        1
+    }
 }
 
 impl Wire for u8 {
@@ -95,6 +115,9 @@ impl Wire for u8 {
     }
     fn decode(buf: &mut Bytes) -> Result<Self, WireError> {
         take_u8(buf)
+    }
+    fn encoded_len(&self) -> usize {
+        1
     }
 }
 
@@ -111,6 +134,9 @@ macro_rules! wire_uvarint {
                     value: raw,
                 })
             }
+            fn encoded_len(&self) -> usize {
+                uvarint_len(u64::from(*self))
+            }
         }
     )*};
 }
@@ -122,6 +148,9 @@ impl Wire for u64 {
     }
     fn decode(buf: &mut Bytes) -> Result<Self, WireError> {
         get_uvarint(buf)
+    }
+    fn encoded_len(&self) -> usize {
+        uvarint_len(*self)
     }
 }
 
@@ -135,6 +164,9 @@ impl Wire for usize {
             type_name: "usize",
             value: raw,
         })
+    }
+    fn encoded_len(&self) -> usize {
+        uvarint_len(*self as u64)
     }
 }
 
@@ -151,6 +183,9 @@ macro_rules! wire_ivarint {
                     value: raw as u64,
                 })
             }
+            fn encoded_len(&self) -> usize {
+                ivarint_len(i64::from(*self))
+            }
         }
     )*};
 }
@@ -163,6 +198,9 @@ impl Wire for i64 {
     fn decode(buf: &mut Bytes) -> Result<Self, WireError> {
         get_ivarint(buf)
     }
+    fn encoded_len(&self) -> usize {
+        ivarint_len(*self)
+    }
 }
 
 impl Wire for f64 {
@@ -174,6 +212,9 @@ impl Wire for f64 {
             return Err(WireError::UnexpectedEof);
         }
         Ok(f64::from_bits(buf.get_u64()))
+    }
+    fn encoded_len(&self) -> usize {
+        8
     }
 }
 
@@ -190,6 +231,9 @@ impl Wire for String {
         let raw = buf.copy_to_bytes(len);
         String::from_utf8(raw.to_vec()).map_err(|_| WireError::InvalidUtf8)
     }
+    fn encoded_len(&self) -> usize {
+        uvarint_len(self.len() as u64) + self.len()
+    }
 }
 
 impl Wire for Bytes {
@@ -203,6 +247,9 @@ impl Wire for Bytes {
             return Err(WireError::UnexpectedEof);
         }
         Ok(buf.copy_to_bytes(len))
+    }
+    fn encoded_len(&self) -> usize {
+        uvarint_len(self.len() as u64) + self.len()
     }
 }
 
@@ -226,6 +273,9 @@ impl<T: Wire> Wire for Option<T> {
             }),
         }
     }
+    fn encoded_len(&self) -> usize {
+        1 + self.as_ref().map_or(0, Wire::encoded_len)
+    }
 }
 
 impl<T: Wire> Wire for Vec<T> {
@@ -245,6 +295,9 @@ impl<T: Wire> Wire for Vec<T> {
             out.push(T::decode(buf)?);
         }
         Ok(out)
+    }
+    fn encoded_len(&self) -> usize {
+        uvarint_len(self.len() as u64) + self.iter().map(Wire::encoded_len).sum::<usize>()
     }
 }
 
@@ -266,6 +319,13 @@ impl<K: Wire + Ord, V: Wire> Wire for std::collections::BTreeMap<K, V> {
         }
         Ok(out)
     }
+    fn encoded_len(&self) -> usize {
+        uvarint_len(self.len() as u64)
+            + self
+                .iter()
+                .map(|(k, v)| k.encoded_len() + v.encoded_len())
+                .sum::<usize>()
+    }
 }
 
 impl<T: Wire + Ord> Wire for std::collections::BTreeSet<T> {
@@ -282,6 +342,9 @@ impl<T: Wire + Ord> Wire for std::collections::BTreeSet<T> {
             out.insert(T::decode(buf)?);
         }
         Ok(out)
+    }
+    fn encoded_len(&self) -> usize {
+        uvarint_len(self.len() as u64) + self.iter().map(Wire::encoded_len).sum::<usize>()
     }
 }
 
@@ -300,6 +363,9 @@ impl<T: Wire> Wire for std::collections::VecDeque<T> {
         }
         Ok(out)
     }
+    fn encoded_len(&self) -> usize {
+        uvarint_len(self.len() as u64) + self.iter().map(Wire::encoded_len).sum::<usize>()
+    }
 }
 
 impl<A: Wire, B: Wire> Wire for (A, B) {
@@ -309,6 +375,9 @@ impl<A: Wire, B: Wire> Wire for (A, B) {
     }
     fn decode(buf: &mut Bytes) -> Result<Self, WireError> {
         Ok((A::decode(buf)?, B::decode(buf)?))
+    }
+    fn encoded_len(&self) -> usize {
+        self.0.encoded_len() + self.1.encoded_len()
     }
 }
 
@@ -320,6 +389,9 @@ impl<A: Wire, B: Wire, C: Wire> Wire for (A, B, C) {
     }
     fn decode(buf: &mut Bytes) -> Result<Self, WireError> {
         Ok((A::decode(buf)?, B::decode(buf)?, C::decode(buf)?))
+    }
+    fn encoded_len(&self) -> usize {
+        self.0.encoded_len() + self.1.encoded_len() + self.2.encoded_len()
     }
 }
 
@@ -362,6 +434,9 @@ macro_rules! wire_struct {
             }
             fn decode(buf: &mut ::bytes::Bytes) -> ::core::result::Result<Self, $crate::WireError> {
                 Ok(Self { $( $field: $crate::Wire::decode(buf)? ),* })
+            }
+            fn encoded_len(&self) -> usize {
+                0 $( + $crate::Wire::encoded_len(&self.$field) )*
             }
         }
     };
@@ -412,6 +487,9 @@ macro_rules! wire_enum {
                     type_name: stringify!($name),
                     tag: u32::from(got),
                 })
+            }
+            fn encoded_len(&self) -> usize {
+                1
             }
         }
     };

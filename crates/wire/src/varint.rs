@@ -66,6 +66,11 @@ pub fn uvarint_len(value: u64) -> usize {
     bits.div_ceil(7)
 }
 
+/// Number of bytes `value` occupies as a signed zigzag varint.
+pub fn ivarint_len(value: i64) -> usize {
+    uvarint_len(zigzag_encode(value))
+}
+
 fn zigzag_encode(value: i64) -> u64 {
     ((value << 1) ^ (value >> 63)) as u64
 }

@@ -127,9 +127,7 @@ mod tests {
         let process = ArrivalProcess::Exponential { mean_ms: 45.0 };
         let mut gen = process.start(SimRng::from_seed(1));
         let n = 100_000;
-        let total: f64 = (0..n)
-            .map(|_| gen.next_gap().as_secs_f64() * 1e3)
-            .sum();
+        let total: f64 = (0..n).map(|_| gen.next_gap().as_secs_f64() * 1e3).sum();
         let mean = total / f64::from(n);
         assert!((mean - 45.0).abs() < 1.0, "mean = {mean}");
         assert_eq!(process.mean_ms(), 45.0);

@@ -170,8 +170,7 @@ mod tests {
 
     #[test]
     fn write_fraction_is_respected() {
-        let mut gen =
-            OpMix::new(0.2, KeyDist::Uniform { keys: 10 }).start(SimRng::from_seed(2));
+        let mut gen = OpMix::new(0.2, KeyDist::Uniform { keys: 10 }).start(SimRng::from_seed(2));
         let writes = (0..10_000).filter(|_| gen.next_op().is_write()).count();
         assert!((1_700..2_300).contains(&writes), "writes = {writes}");
     }
@@ -186,8 +185,7 @@ mod tests {
 
     #[test]
     fn uniform_covers_the_space() {
-        let mut gen =
-            OpMix::write_only(KeyDist::Uniform { keys: 4 }).start(SimRng::from_seed(4));
+        let mut gen = OpMix::write_only(KeyDist::Uniform { keys: 4 }).start(SimRng::from_seed(4));
         let mut seen = [false; 4];
         for _ in 0..200 {
             seen[gen.next_op().key() as usize] = true;
@@ -208,8 +206,8 @@ mod tests {
 
     #[test]
     fn zipf_skews_low_ranks() {
-        let mut gen = OpMix::write_only(KeyDist::Zipf { keys: 50, s: 1.2 })
-            .start(SimRng::from_seed(6));
+        let mut gen =
+            OpMix::write_only(KeyDist::Zipf { keys: 50, s: 1.2 }).start(SimRng::from_seed(6));
         let zeros = (0..10_000).filter(|_| gen.next_op().key() == 0).count();
         let tails = (0..10_000).filter(|_| gen.next_op().key() >= 40).count();
         assert!(zeros > tails, "zeros = {zeros}, tails = {tails}");

@@ -18,6 +18,10 @@
 //! * **no-unwrap-core** (crates/core only) — `unwrap()` / `expect(`:
 //!   protocol paths handle malformed input; a panic in a replica is a
 //!   crash fault the paper's model does not allow us to self-inflict.
+//! * **no-unreserved-encode** — `BytesMut::new()`: encode paths must
+//!   reserve up front (`BytesMut::with_capacity`, fed by
+//!   `Wire::encoded_len`) so building a message never reallocates
+//!   mid-write.
 //! * **timer-tag-discipline** — `set_timer` callers must pass a
 //!   `TAG_*` constant or a `TimerMux`-minted tag (an `.arm(` /
 //!   `TimerMux::tag(` nearby), so every fired timer is attributable
@@ -40,13 +44,16 @@ use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-/// Crates whose `src/` must stay sans-io.
+/// Crates whose `src/` must stay sans-io. `crates/wire` rides along:
+/// a codec is trivially sans-io, and the scan also enforces the
+/// encode-reservation rule there.
 const SANS_IO_CRATES: &[&str] = &[
     "crates/core",
     "crates/quorum",
     "crates/baselines",
     "crates/agent",
     "crates/replica",
+    "crates/wire",
 ];
 
 /// Crates whose `src/` must not contain wildcard match arms.
@@ -215,6 +222,16 @@ fn lint_file(path: &Path, text: &str, core_crate: bool, findings: &mut Vec<Findi
         }
         if core_crate && (line.contains(".unwrap()") || line.contains(".expect(")) {
             report(lineno, "no-unwrap-core", line);
+        }
+
+        // Encode paths reserve before writing: `BytesMut::new()` starts
+        // at capacity zero, so the first `encode` into it reallocates —
+        // possibly several times for nested messages. `Wire::encoded_len`
+        // makes the exact size knowable up front; use
+        // `BytesMut::with_capacity` (or `marp_wire::to_bytes`, which
+        // reserves from the hint) instead.
+        if line.contains("BytesMut::new()") {
+            report(lineno, "no-unreserved-encode", line);
         }
 
         // Timer tag discipline: a `set_timer` *call* (not the trait
@@ -393,6 +410,20 @@ mod tests {
         lint_file(Path::new("crates/core/src/x.rs"), bad, false, &mut findings);
         assert_eq!(findings.len(), 1);
         assert_eq!(findings[0].rule, "timer-tag-discipline");
+    }
+
+    #[test]
+    fn unreserved_encode_buffers_are_flagged() {
+        let bad = "let mut buf = BytesMut::new();\n";
+        let mut findings = Vec::new();
+        lint_file(Path::new("crates/core/src/x.rs"), bad, false, &mut findings);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].rule, "no-unreserved-encode");
+
+        let ok = "let mut buf = BytesMut::with_capacity(msg.encoded_len());\n";
+        findings.clear();
+        lint_file(Path::new("crates/core/src/x.rs"), ok, false, &mut findings);
+        assert!(findings.is_empty(), "{findings:?}");
     }
 
     #[test]

@@ -15,7 +15,12 @@ use marp_workload::KeyDist;
 fn main() {
     let mut table = Table::new(
         "Read paths on a 5-replica LAN (10% writes)",
-        &["access path", "read p50 (ms)", "read mean (ms)", "guarantee"],
+        &[
+            "access path",
+            "read p50 (ms)",
+            "read mean (ms)",
+            "guarantee",
+        ],
     );
     for (label, fresh, guarantee) in [
         ("local read (paper)", false, "may lag in-flight commits"),

@@ -42,9 +42,17 @@ fn main() {
             label.to_string(),
             fmt_ms(outcome.metrics.mean_att_ms()),
             outcome.metrics.completed.to_string(),
-            format!("{:.1}", outcome.stats.messages_sent as f64 / completed as f64),
+            format!(
+                "{:.1}",
+                outcome.stats.messages_sent as f64 / completed as f64
+            ),
             format!("{:.0}", outcome.stats.bytes_sent as f64 / completed as f64),
-            if outcome.audit.ok() { "clean" } else { "VIOLATED" }.to_string(),
+            if outcome.audit.ok() {
+                "clean"
+            } else {
+                "VIOLATED"
+            }
+            .to_string(),
         ]);
         outcome.audit.assert_ok();
     }

@@ -31,17 +31,17 @@ fn all_protocols_complete_the_same_request_set() {
             "{label}: completed {} of {expected}",
             outcome.metrics.completed
         );
-        assert_eq!(
-            outcome.metrics.incomplete(),
-            0,
-            "{label}: lost requests"
-        );
+        assert_eq!(outcome.metrics.incomplete(), 0, "{label}: lost requests");
     }
 }
 
 #[test]
 fn consistent_protocols_commit_exactly_one_version_per_request() {
-    for protocol in [ProtocolKind::marp(), ProtocolKind::Mcv, ProtocolKind::PrimaryCopy] {
+    for protocol in [
+        ProtocolKind::marp(),
+        ProtocolKind::Mcv,
+        ProtocolKind::PrimaryCopy,
+    ] {
         let label = protocol.label();
         let outcome = run_scenario(&base(protocol));
         outcome.audit.assert_ok();

@@ -21,7 +21,8 @@ fn marp_is_consistent_across_sizes_and_loads() {
         outcome.audit.assert_ok();
         let expected = (scenario.n_servers * 8) as u64;
         assert_eq!(
-            outcome.metrics.completed, expected,
+            outcome.metrics.completed,
+            expected,
             "n={} mean={} seed={}: {} of {} completed",
             scenario.n_servers,
             scenario.mean_interarrival_ms,

@@ -19,8 +19,7 @@ fn arb_fault_plan() -> impl Strategy<Value = FaultPlan> {
         0u64..200,
     )
         .prop_map(|(nodes, windows, detect_ms)| {
-            let mut plan = FaultPlan::new(5)
-                .detect_delay(Duration::from_millis(50 + detect_ms));
+            let mut plan = FaultPlan::new(5).detect_delay(Duration::from_millis(50 + detect_ms));
             for (&node, &(at_ms, outage_ms)) in nodes.iter().zip(windows.iter()) {
                 plan = plan.crash(
                     node,

@@ -38,10 +38,8 @@ fn arbitrary_table(n: usize, agents: usize) -> impl Strategy<Value = (LockingTab
     let ids: Vec<AgentId> = (0..agents)
         .map(|i| AgentId::new(i as NodeId, SimTime::from_millis(i as u64 % 3), i as u32))
         .collect();
-    let queues = proptest::collection::vec(
-        proptest::collection::vec(0..agents, 0..agents.max(1)),
-        n,
-    );
+    let queues =
+        proptest::collection::vec(proptest::collection::vec(0..agents, 0..agents.max(1)), n);
     (queues, Just(ids)).prop_map(move |(queues, ids)| {
         let mut table = LockingTable::new();
         for (server, queue) in queues.into_iter().enumerate() {
@@ -61,6 +59,7 @@ fn arbitrary_table(n: usize, agents: usize) -> impl Strategy<Value = (LockingTab
             table.merge(
                 server as NodeId,
                 LlSnapshot {
+                    version: 1,
                     taken_at: SimTime::from_millis(1),
                     queue: agents_in_order,
                 },
