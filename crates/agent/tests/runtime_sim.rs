@@ -517,3 +517,131 @@ fn hopper_state_survives_many_hops() {
         9
     );
 }
+
+// ---------------------------------------------------------------------
+// Crash semantics: what survives `clear_volatile` and what must not.
+// These drive the runtime directly with a recording context so the
+// crash point sits exactly between two envelope deliveries — no
+// latency tuning required.
+// ---------------------------------------------------------------------
+
+/// A recording [`Context`] for direct runtime tests.
+#[derive(Default)]
+struct RecCtx {
+    sent: Vec<(NodeId, Bytes)>,
+    traces: Vec<TraceEvent>,
+    next_timer: u64,
+}
+
+impl Context for RecCtx {
+    fn now(&self) -> SimTime {
+        SimTime::ZERO
+    }
+    fn me(&self) -> NodeId {
+        1
+    }
+    fn send(&mut self, to: NodeId, msg: Bytes) {
+        self.sent.push((to, msg));
+    }
+    fn set_timer(&mut self, _after: Duration, _tag: u64) -> TimerId {
+        self.next_timer += 1;
+        TimerId(self.next_timer)
+    }
+    fn cancel_timer(&mut self, _id: TimerId) {}
+    fn trace(&mut self, event: TraceEvent) {
+        self.traces.push(event);
+    }
+    fn halt(&mut self) {}
+}
+
+#[test]
+fn migration_dedup_survives_crash_recovery() {
+    // A duplicated migration (the sender retried across our crash)
+    // must not re-run on_arrive after recovery: `clear_volatile`
+    // deliberately keeps `seen_migrations`, because re-running a hop's
+    // arrival would re-enqueue the agent and double its side effects.
+    let mut runtime: AgentRuntime<Hopper> = AgentRuntime::new(AgentConfig::default(), wrap);
+    let mut book = GuestBook::default();
+    let mut ctx = RecCtx::default();
+    let agent = AgentId::new(0, SimTime::ZERO, 0);
+    let hopper = Hopper {
+        id: agent,
+        route: vec![],
+        stamped: vec![],
+        skipped: vec![],
+    };
+    let state = marp_wire::to_bytes(&hopper);
+
+    let migrate = AgentEnvelope::Migrate {
+        agent,
+        hop: 1,
+        state: state.clone(),
+    };
+    runtime.handle_envelope(0, migrate.clone(), &mut book, &mut ctx);
+    assert_eq!(book.stamps.len(), 1, "first delivery runs on_arrive");
+    assert_eq!(ctx.sent.len(), 1, "arrival is acked");
+
+    // Crash + recover: resident agents are lost, the dedup set is not.
+    runtime.clear_volatile();
+    assert_eq!(runtime.resident_count(), 0);
+
+    runtime.handle_envelope(0, migrate, &mut book, &mut ctx);
+    assert_eq!(book.stamps.len(), 1, "duplicate after recovery is deduped");
+    assert_eq!(ctx.sent.len(), 2, "but the duplicate is still re-acked");
+}
+
+#[test]
+fn crash_loses_residents_and_later_messages_miss_loudly() {
+    // An agent resident at crash time is gone after recovery; a message
+    // addressed to it must surface as an `agent-msg-missed` trace (the
+    // sender's cue to give up on the lost copy), never a panic, and a
+    // stale pre-crash agent timer must come back as "not ours".
+    let mut runtime: AgentRuntime<Sitter> = AgentRuntime::new(AgentConfig::default(), wrap);
+    let mut book = GuestBook::default();
+    let mut ctx = RecCtx::default();
+    let agent = AgentId::new(1, SimTime::ZERO, 0);
+    runtime.spawn(
+        Sitter {
+            id: agent,
+            ticks: 0,
+        },
+        &mut book,
+        &mut ctx,
+    );
+    assert_eq!(runtime.resident_count(), 1);
+    // on_arrive armed the sitter's tick timer.
+    let stale_timer = TimerId(ctx.next_timer);
+
+    runtime.clear_volatile();
+    assert_eq!(runtime.resident_count(), 0);
+    assert_eq!(runtime.in_flight(), 0);
+
+    runtime.handle_envelope(
+        0,
+        AgentEnvelope::ToAgent {
+            agent,
+            payload: Bytes::from_static(b"poke"),
+        },
+        &mut book,
+        &mut ctx,
+    );
+    assert!(book.pokes.is_empty(), "the lost agent cannot receive");
+    assert_eq!(
+        ctx.traces
+            .iter()
+            .filter(|e| matches!(
+                e,
+                TraceEvent::Custom {
+                    kind: "agent-msg-missed",
+                    ..
+                }
+            ))
+            .count(),
+        1
+    );
+
+    // The pre-crash timer belongs to nobody now: the runtime disowns it
+    // instead of dispatching into a dangling agent.
+    assert!(!runtime.handle_timer(stale_timer, &mut book, &mut ctx));
+    assert_eq!(book.stamps.len(), 0, "no tick ran");
+}

@@ -45,6 +45,7 @@ fn bench_protocol_messages(c: &mut Criterion) {
     let update = NodeMsg::Update(UpdateMsg {
         agent: AgentId::new(2, SimTime::from_millis(5), 1),
         attempt: 1,
+        incarnation: 0,
         reply_to: 2,
         requests: sample_requests(4),
         tie_certificate: Some(vec![

@@ -112,6 +112,10 @@ pub struct UpdateAgent {
     ual: UpdatedList,
     visited: Vec<NodeId>,
     attempt: u32,
+    /// Regeneration incarnation assigned by the home replica's dispatch
+    /// registry: 0 for the original agent, bumped for each regeneration
+    /// of the same batch. Servers fence claims from stale incarnations.
+    incarnation: u32,
     repoll_epoch: u32,
     repoll_round: u32,
     timers: TimerMux,
@@ -132,6 +136,7 @@ impl Wire for UpdateAgent {
         self.ual.encode(buf);
         self.visited.encode(buf);
         self.attempt.encode(buf);
+        self.incarnation.encode(buf);
         self.repoll_epoch.encode(buf);
         self.repoll_round.encode(buf);
         self.timers.encode(buf);
@@ -151,6 +156,7 @@ impl Wire for UpdateAgent {
             ual: UpdatedList::decode(buf)?,
             visited: Vec::decode(buf)?,
             attempt: u32::decode(buf)?,
+            incarnation: u32::decode(buf)?,
             repoll_epoch: u32::decode(buf)?,
             repoll_round: u32::decode(buf)?,
             timers: TimerMux::decode(buf)?,
@@ -170,6 +176,7 @@ impl Wire for UpdateAgent {
             + self.ual.encoded_len()
             + self.visited.encoded_len()
             + self.attempt.encoded_len()
+            + self.incarnation.encoded_len()
             + self.repoll_epoch.encoded_len()
             + self.repoll_round.encoded_len()
             + self.timers.encoded_len()
@@ -194,11 +201,25 @@ impl UpdateAgent {
             ual: UpdatedList::new(),
             visited: Vec::new(),
             attempt: 0,
+            incarnation: 0,
             repoll_epoch: 0,
             repoll_round: 0,
             timers: TimerMux::new(),
             phase: Phase::Travelling,
         }
+    }
+
+    /// Mark this agent as incarnation `incarnation` of its batch (0 is
+    /// the original dispatch; the home's dispatch registry bumps it for
+    /// every regeneration).
+    pub fn with_incarnation(mut self, incarnation: u32) -> Self {
+        self.incarnation = incarnation;
+        self
+    }
+
+    /// This agent's regeneration incarnation.
+    pub fn incarnation(&self) -> u32 {
+        self.incarnation
     }
 
     /// Current phase (for inspection).
@@ -209,6 +230,18 @@ impl UpdateAgent {
     /// Servers visited so far (the paper's K in PRK).
     pub fn visits(&self) -> u32 {
         self.visited.len() as u32
+    }
+
+    /// Replicas backing this copy's lock — the K that Theorem 3 bounds.
+    /// Usually equal to [`Self::visits`], but the theorem's real
+    /// quantity is Locking-List presence: after a duplicated migration
+    /// (home re-sends the agent on a lost migrate-ack) a clone shares
+    /// its sibling's AgentId and therefore inherits its LL enqueues, so
+    /// it can legitimately win with a hop count below the majority.
+    /// `max` also keeps the hop count authoritative if a lease expiry
+    /// shrinks the observed presence mid-flight.
+    fn lock_backing(&self) -> u32 {
+        self.visits().max(self.lt.presence_count(self.id) as u32)
     }
 
     /// The requests this agent carries.
@@ -332,7 +365,7 @@ impl UpdateAgent {
         env.trace(TraceEvent::LockGranted {
             agent: self.id.key(),
             node: env.here(),
-            visits: self.visits(),
+            visits: self.lock_backing(),
             via_tie,
         });
         env.trace(TraceEvent::UpdateSent {
@@ -342,6 +375,7 @@ impl UpdateAgent {
         let msg = NodeMsg::Update(UpdateMsg {
             agent: self.id,
             attempt: self.attempt,
+            incarnation: self.incarnation,
             reply_to: env.here(),
             requests: self.rl.clone(),
             tie_certificate: via_tie.then(|| certificate.clone()),
@@ -411,9 +445,36 @@ impl UpdateAgent {
                 arrived: req.arrived,
                 dispatched: self.id.born,
                 locked: locked_at,
-                visits: self.visits(),
+                visits: self.lock_backing(),
             });
         }
+        Action::Dispose
+    }
+
+    /// A server's fenced refusal told this agent it is superseded — a
+    /// higher incarnation owns its requests, or every request it
+    /// carries has already committed. Release everything and dispose;
+    /// if the work is in fact unfinished, the home's dispatch registry
+    /// regenerates it under a fresh incarnation. This extends the
+    /// zombie-clone self-check: the UL catches clones of the *same*
+    /// agent id, the fence catches zombies across regenerations.
+    fn superseded(&mut self, env: &mut AgentEnv<'_>) -> Action {
+        env.trace(TraceEvent::Custom {
+            kind: "agent-superseded",
+            a: self.id.key(),
+            b: u64::from(self.incarnation),
+        });
+        env.trace(TraceEvent::SpanEnd {
+            id: span_id(
+                SpanKind::UpdateQuorum,
+                self.id.key(),
+                u64::from(self.attempt),
+            ),
+            kind: SpanKind::UpdateQuorum,
+        });
+        self.timers.disarm_kind(TIMER_ACK);
+        let msg = NodeMsg::Release { agent: self.id };
+        self.broadcast(env, &msg);
         Action::Dispose
     }
 
@@ -531,10 +592,17 @@ impl AgentBehavior for UpdateAgent {
                 attempt,
                 positive,
                 store_version,
+                fenced,
                 ..
             } => {
                 if attempt != self.attempt {
                     return Action::Stay; // stale ack from an aborted claim
+                }
+                if !matches!(self.phase, Phase::Updating { .. }) {
+                    return Action::Stay;
+                }
+                if fenced {
+                    return self.superseded(env);
                 }
                 let Phase::Updating { call, .. } = &mut self.phase else {
                     return Action::Stay;
@@ -701,6 +769,7 @@ mod tests {
         };
         a.visited = vec![0, 1, 2];
         a.attempt = 3;
+        a.incarnation = 2;
         a.timers.arm(TIMER_ACK, 3);
         let bytes = marp_wire::to_bytes(&a);
         let back: UpdateAgent = marp_wire::from_bytes(&bytes).unwrap();
@@ -714,5 +783,7 @@ mod tests {
         assert_eq!(a.requests().len(), 1);
         assert_eq!(*a.phase(), Phase::Travelling);
         assert_eq!(a.maj(), 3);
+        assert_eq!(a.incarnation(), 0);
+        assert_eq!(a.with_incarnation(4).incarnation(), 4);
     }
 }

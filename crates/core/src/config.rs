@@ -94,6 +94,14 @@ pub struct MarpConfig {
     /// eventually, and re-dispatching it creates (harmless but
     /// wasteful) duplicate commits.
     pub redispatch_timeout: Duration,
+    /// Regenerate the update agent of a batch whose commits were not
+    /// observed by the regeneration deadline (the agent presumably died
+    /// with a crashed host). The regenerated agent carries the same
+    /// request ids under a bumped incarnation: servers fence the
+    /// original's claims and the store deduplicates its commits, so
+    /// regeneration can never double-apply. Disable only for ablations
+    /// (the chaos harness's lost-write demonstration).
+    pub regeneration: bool,
     /// Seeded protocol mutation for model-checker self-tests
     /// ([`ChaosMode::None`] everywhere else).
     pub chaos: ChaosMode,
@@ -117,6 +125,7 @@ impl MarpConfig {
             reserve_lease: Duration::from_secs(5),
             maintenance_interval: Duration::from_millis(500),
             redispatch_timeout: Duration::from_secs(45),
+            regeneration: true,
             chaos: ChaosMode::default(),
         }
     }

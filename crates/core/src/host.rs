@@ -43,6 +43,12 @@ pub struct MarpServerState {
     /// its migration acks). Agents migrating from here delta-encode
     /// their Locking Tables against the destination's entry.
     peer_horizons: BTreeMap<NodeId, BTreeMap<NodeId, u64>>,
+    /// Incarnation fence per client request: the highest incarnation
+    /// this server positively acked for each request it has seen, plus
+    /// when (for pruning). A regenerated agent carries a bumped
+    /// incarnation; once any server acks it, the original — now a
+    /// zombie — can no longer assemble a quorum through that server.
+    fences: BTreeMap<u64, (u32, SimTime)>,
 }
 
 impl MarpServerState {
@@ -57,6 +63,7 @@ impl MarpServerState {
             reserved: None,
             chaos: cfg.chaos,
             peer_horizons: BTreeMap::new(),
+            fences: BTreeMap::new(),
         }
     }
 
@@ -164,9 +171,30 @@ impl MarpServerState {
         // Refusal reasons are traced for diagnosability: 1 = reserved
         // for another claimant, 2 = claimant absent from the LL,
         // 3 = an agent ranked above the claimant is missing from its
-        // certificate, 4 = not top and no certificate offered.
+        // certificate, 4 = not top and no certificate offered,
+        // 5 = the claim's incarnation is below a fence (a regenerated
+        // successor has been acked here), 6 = every carried request has
+        // already committed here. 5 and 6 mark the claimant superseded:
+        // the ack carries `fenced: true` and the agent must dispose.
         let mut refusal: u64 = 0;
-        let positive = if self.chaos.blind_acks() {
+        if msg.requests.iter().any(|r| {
+            self.fences
+                .get(&r.id)
+                .is_some_and(|&(inc, _)| inc > msg.incarnation)
+        }) {
+            refusal = 5;
+        } else if !msg.requests.is_empty()
+            && msg
+                .requests
+                .iter()
+                .all(|r| self.core.store.request_applied(r.id))
+        {
+            refusal = 6;
+        }
+        let fenced = refusal != 0;
+        let positive = if fenced {
+            false
+        } else if self.chaos.blind_acks() {
             // Seeded bug (checker self-test): ack without validating or
             // reserving.
             true
@@ -207,6 +235,14 @@ impl MarpServerState {
         }
         if positive && !self.chaos.blind_acks() {
             self.reserved = Some((msg.agent, now + self.reserve_lease));
+            // Raise the fences: from now on, only this incarnation (or
+            // a later regeneration) of the carried requests can gather
+            // a positive ack here.
+            for r in &msg.requests {
+                let fence = self.fences.entry(r.id).or_insert((msg.incarnation, now));
+                fence.0 = fence.0.max(msg.incarnation);
+                fence.1 = now;
+            }
         }
         ctx.trace(TraceEvent::UpdateAcked {
             agent: msg.agent.key(),
@@ -217,6 +253,7 @@ impl MarpServerState {
             node: self.core.me(),
             attempt: msg.attempt,
             positive,
+            fenced,
             store_version: self.core.store.applied_version(),
             last_update: self.core.store.last_update_time(),
         }
@@ -289,14 +326,16 @@ impl MarpServerState {
     }
 
     /// Periodic maintenance: purge expired LL entries and reservations,
-    /// and prune Updated List entries too old for any stale LL snapshot
-    /// to still name them (bounded by the lock lease).
+    /// and prune Updated List entries and incarnation fences too old for
+    /// any stale claimant to still be live (bounded by the lock lease;
+    /// the store's request dedup remains the permanent backstop).
     pub fn maintain(&mut self, ctx: &mut dyn Context) {
         self.core.purge_expired_locks(ctx);
         let horizon = ctx.now().checked_since(SimTime::ZERO).unwrap_or_default();
         if horizon > self.core.lock_lease() {
             let cutoff = SimTime::ZERO + (horizon - self.core.lock_lease());
             self.core.ul.prune_before(cutoff);
+            self.fences.retain(|_, &mut (_, at)| at >= cutoff);
         }
         if let Some((_, expires)) = self.reserved {
             if expires <= ctx.now() {
@@ -311,6 +350,7 @@ impl MarpServerState {
         self.board.clear();
         self.reserved = None;
         self.peer_horizons.clear();
+        self.fences.clear();
     }
 }
 
@@ -363,6 +403,7 @@ mod tests {
         UpdateMsg {
             agent,
             attempt: 1,
+            incarnation: 0,
             reply_to: agent.home,
             requests: vec![WriteRequest {
                 id: 1,
@@ -378,6 +419,13 @@ mod tests {
     fn positive(reply: &AgentReply) -> bool {
         match reply {
             AgentReply::UpdateAck { positive, .. } => *positive,
+            _ => panic!("expected ack"),
+        }
+    }
+
+    fn fenced(reply: &AgentReply) -> bool {
+        match reply {
+            AgentReply::UpdateAck { fenced, .. } => *fenced,
             _ => panic!("expected ack"),
         }
     }
@@ -635,5 +683,75 @@ mod tests {
         assert_eq!(state.board.known_servers(), 0);
         let info = state.visit(aid(2, 2), SimTime::from_millis(2), 2);
         assert_eq!(info.board.known_servers(), 0);
+    }
+
+    #[test]
+    fn stale_incarnation_is_fenced_after_regeneration_acked() {
+        let mut state = state();
+        let original = aid(1, 1);
+        let regenerated = aid(1, 5);
+        state.visit(regenerated, SimTime::from_millis(5), 1);
+        let mut ctx = TestCtx {
+            now: SimTime::from_millis(6),
+            traced: vec![],
+        };
+        // The regenerated agent (incarnation 1) gets a positive ack,
+        // raising the fence for request 1.
+        let mut claim = update_msg(regenerated, None);
+        claim.incarnation = 1;
+        let ack = state.handle_update(&claim, &mut ctx);
+        assert!(positive(&ack));
+        assert!(!fenced(&ack));
+        state.handle_release(regenerated);
+        // The zombie original (incarnation 0) now claims — even from the
+        // top of the queue it must be refused and told it is superseded.
+        state.visit(original, SimTime::from_millis(7), 2);
+        state.core.ll.remove(regenerated);
+        let ack = state.handle_update(&update_msg(original, None), &mut ctx);
+        assert!(!positive(&ack));
+        assert!(fenced(&ack), "stale incarnation must get a fenced ack");
+        assert!(ctx.traced.iter().any(|e| matches!(
+            e,
+            TraceEvent::Custom {
+                kind: "update-refused",
+                b,
+                ..
+            } if b & 0xff == 5
+        )));
+    }
+
+    #[test]
+    fn claims_for_already_committed_requests_are_fenced() {
+        let mut state = state();
+        let winner = aid(1, 1);
+        let zombie = aid(1, 3);
+        let mut ctx = TestCtx {
+            now: SimTime::from_millis(5),
+            traced: vec![],
+        };
+        state.visit(winner, SimTime::from_millis(1), 1);
+        let record = marp_replica::CommitRecord {
+            version: 1,
+            key: 1,
+            value: 7,
+            agent: winner.key(),
+            request: 1,
+            committed_at: ctx.now,
+        };
+        state.handle_commit(winner, vec![record], &mut ctx);
+        // A different agent carrying the same (already committed)
+        // request gets a fenced refusal regardless of queue position.
+        state.visit(zombie, SimTime::from_millis(6), 2);
+        let ack = state.handle_update(&update_msg(zombie, None), &mut ctx);
+        assert!(!positive(&ack));
+        assert!(fenced(&ack), "committed work must fence late claimants");
+        assert!(ctx.traced.iter().any(|e| matches!(
+            e,
+            TraceEvent::Custom {
+                kind: "update-refused",
+                b,
+                ..
+            } if b & 0xff == 6
+        )));
     }
 }

@@ -21,6 +21,12 @@ pub struct UpdateMsg {
     /// Attempt counter: acks echo it so a retried claim cannot count
     /// stale acknowledgements from an aborted attempt.
     pub attempt: u32,
+    /// Regeneration incarnation of the batch this agent carries. The
+    /// home replica bumps it each time it regenerates a lost agent;
+    /// servers fence claims whose incarnation is below the highest they
+    /// have positively acknowledged for any of the same requests, so a
+    /// zombie original and its replacement can never both commit.
+    pub incarnation: u32,
     /// Where the agent awaits acknowledgements.
     pub reply_to: NodeId,
     /// The write requests about to be committed (versions not yet
@@ -35,6 +41,7 @@ pub struct UpdateMsg {
 marp_wire::wire_struct!(UpdateMsg {
     agent,
     attempt,
+    incarnation,
     reply_to,
     requests,
     tie_certificate
@@ -182,6 +189,11 @@ pub enum AgentReply {
         store_version: u64,
         /// The server's last update time (the paper's freshness check).
         last_update: SimTime,
+        /// True when the claim was refused because it is *superseded*:
+        /// its incarnation is below a fence, or every request it
+        /// carries has already committed. The agent must release and
+        /// dispose — its work belongs to another incarnation.
+        fenced: bool,
     },
     /// Fresh locking information (reply to `LlQuery`, a visit, or a
     /// pushed change notification).
@@ -206,6 +218,7 @@ impl Wire for AgentReply {
                 positive,
                 store_version,
                 last_update,
+                fenced,
             } => {
                 0u8.encode(buf);
                 node.encode(buf);
@@ -213,6 +226,7 @@ impl Wire for AgentReply {
                 positive.encode(buf);
                 store_version.encode(buf);
                 last_update.encode(buf);
+                fenced.encode(buf);
             }
             AgentReply::LlInfo {
                 node,
@@ -237,6 +251,7 @@ impl Wire for AgentReply {
                 positive: bool::decode(buf)?,
                 store_version: u64::decode(buf)?,
                 last_update: SimTime::decode(buf)?,
+                fenced: bool::decode(buf)?,
             }),
             1 => Ok(AgentReply::LlInfo {
                 node: NodeId::decode(buf)?,
@@ -259,12 +274,14 @@ impl Wire for AgentReply {
                 positive,
                 store_version,
                 last_update,
+                fenced,
             } => {
                 node.encoded_len()
                     + attempt.encoded_len()
                     + positive.encoded_len()
                     + store_version.encoded_len()
                     + last_update.encoded_len()
+                    + fenced.encoded_len()
             }
             AgentReply::LlInfo {
                 node,
@@ -328,6 +345,7 @@ mod tests {
         roundtrip(NodeMsg::Update(UpdateMsg {
             agent: aid(1),
             attempt: 2,
+            incarnation: 1,
             reply_to: 4,
             requests: vec![WriteRequest {
                 id: 9,
@@ -370,6 +388,7 @@ mod tests {
             positive: true,
             store_version: 5,
             last_update: SimTime::from_millis(7),
+            fenced: false,
         };
         let bytes = marp_wire::to_bytes(&reply);
         assert_eq!(marp_wire::from_bytes::<AgentReply>(&bytes).unwrap(), reply);

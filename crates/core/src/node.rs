@@ -10,21 +10,32 @@ use crate::read_agent::ReadAgent;
 use bytes::Bytes;
 use marp_agent::{AgentEnvelope, AgentId, AgentRuntime};
 use marp_net::RoutingTable;
+use marp_quorum::{RetryPolicy, TimerMux};
 use marp_replica::{RequestBatcher, ServerCore, WriteRequest};
-use marp_sim::{
-    impl_as_any, span_id, Context, NodeId, Process, SimTime, SpanKind, TimerId, TraceEvent,
-};
+use marp_sim::{impl_as_any, span_id, Context, NodeId, Process, SpanKind, TimerId, TraceEvent};
 use std::collections::BTreeMap;
 
 const TAG_BATCH_TICK: u64 = 100;
 const TAG_MAINTENANCE: u64 = 101;
+/// Timer-mux kind for per-dispatch regeneration deadlines (epoch =
+/// registry sequence number). Cannot collide with the raw tags above:
+/// mux tags carry kind 7 in the low byte.
+const KIND_REGEN: u8 = 7;
 
-/// A batch whose agent has been dispatched but whose commits have not
-/// all been observed locally yet.
+/// A dispatch-registry entry: a batch whose agent has been launched but
+/// whose commits have not all been observed locally yet. Each entry
+/// carries a regeneration deadline; if it fires first, the home assumes
+/// the agent died with a crashed host and launches a successor with a
+/// bumped incarnation.
 #[derive(Debug, Clone)]
 struct OutstandingBatch {
     requests: Vec<WriteRequest>,
-    dispatched_at: SimTime,
+    /// Incarnation the current agent for this batch was launched with.
+    incarnation: u32,
+    /// How many agents (original + regenerations) this batch has had.
+    attempts: u32,
+    /// Registry sequence number — the epoch of the regeneration timer.
+    seq: u64,
 }
 
 /// One MARP replica server node.
@@ -37,6 +48,11 @@ pub struct MarpNode {
     agent_seq: u32,
     read_seq: u32,
     outstanding: BTreeMap<AgentId, OutstandingBatch>,
+    /// Regeneration-deadline timers, one per registry entry.
+    regen_mux: TimerMux,
+    regen_seq: u64,
+    /// Timer epoch → registry key, for deadline fires.
+    regen_agents: BTreeMap<u64, AgentId>,
 }
 
 impl MarpNode {
@@ -54,6 +70,9 @@ impl MarpNode {
             // same instant.
             read_seq: 1 << 31,
             outstanding: BTreeMap::new(),
+            regen_mux: TimerMux::new(),
+            regen_seq: 0,
+            regen_agents: BTreeMap::new(),
             cfg,
         }
     }
@@ -90,6 +109,19 @@ impl MarpNode {
     }
 
     fn dispatch_agent(&mut self, batch: Vec<WriteRequest>, ctx: &mut dyn Context) {
+        self.launch(batch, 0, 1, ctx);
+    }
+
+    /// Launch one update agent for `batch` (original dispatch or a
+    /// regeneration), register it in the dispatch registry, and arm its
+    /// regeneration deadline.
+    fn launch(
+        &mut self,
+        batch: Vec<WriteRequest>,
+        incarnation: u32,
+        attempts: u32,
+        ctx: &mut dyn Context,
+    ) {
         if batch.is_empty() {
             return;
         }
@@ -116,15 +148,61 @@ impl MarpNode {
                 to: dispatch_span,
             });
         }
+        let seq = self.regen_seq;
+        self.regen_seq += 1;
         self.outstanding.insert(
             id,
             OutstandingBatch {
                 requests: batch.clone(),
-                dispatched_at: ctx.now(),
+                incarnation,
+                attempts,
+                seq,
             },
         );
-        let agent = UpdateAgent::new(id, &self.cfg, batch);
+        self.regen_agents.insert(seq, id);
+        // The deadline backs off linearly with the attempt count so a
+        // batch stuck in a deep contention backlog is not regenerated
+        // at full cadence forever.
+        let deadline = RetryPolicy::linear(self.cfg.redispatch_timeout, 4).next_delay(attempts);
+        ctx.set_timer(deadline, self.regen_mux.arm(KIND_REGEN, seq));
+        let agent = UpdateAgent::new(id, &self.cfg, batch).with_incarnation(incarnation);
         self.runtime.spawn(agent, &mut self.state, ctx);
+    }
+
+    /// A regeneration deadline fired: if the batch still has
+    /// uncommitted requests, its agent is presumed lost — launch a
+    /// successor carrying the remainder under a bumped incarnation.
+    fn regen_deadline(&mut self, seq: u64, ctx: &mut dyn Context) {
+        let Some(id) = self.regen_agents.remove(&seq) else {
+            return;
+        };
+        let Some(batch) = self.outstanding.remove(&id) else {
+            return;
+        };
+        let remaining: Vec<WriteRequest> = batch
+            .requests
+            .into_iter()
+            .filter(|r| !self.state.core.store.request_applied(r.id))
+            .collect();
+        if remaining.is_empty() {
+            return;
+        }
+        if !self.cfg.regeneration {
+            // Ablation mode: the loss is explicit in the trace, never
+            // silent.
+            ctx.trace(TraceEvent::Custom {
+                kind: "regeneration-disabled",
+                a: id.key(),
+                b: remaining.len() as u64,
+            });
+            return;
+        }
+        ctx.trace(TraceEvent::Custom {
+            kind: "agent-regenerated",
+            a: id.key(),
+            b: remaining.len() as u64,
+        });
+        self.launch(remaining, batch.incarnation + 1, batch.attempts + 1, ctx);
     }
 
     fn send_to_agent(&self, at: NodeId, agent: AgentId, reply: &AgentReply, ctx: &mut dyn Context) {
@@ -219,45 +297,27 @@ impl MarpNode {
         if peer != self.me() {
             self.state.core.pull_if_behind(peer, ctx);
         }
-        // Re-dispatch batches whose agent died with a crashed host: keep
-        // only requests not yet committed anywhere we can see.
-        let now = ctx.now();
-        let timeout = self.cfg.redispatch_timeout;
-        let expired: Vec<AgentId> = self
+        // Retire registry entries whose batch fully committed; their
+        // regeneration deadlines are disarmed. (A deadline that fires
+        // before this sweep re-checks the store itself, so the sweep is
+        // an optimization, not a correctness requirement.)
+        let done: Vec<AgentId> = self
             .outstanding
             .iter()
-            .filter(|(_, batch)| now.saturating_since(batch.dispatched_at) >= timeout)
+            .filter(|(_, batch)| {
+                batch
+                    .requests
+                    .iter()
+                    .all(|r| self.state.core.store.request_applied(r.id))
+            })
             .map(|(&id, _)| id)
             .collect();
-        let mut to_redispatch = Vec::new();
-        for id in expired {
-            let Some(batch) = self.outstanding.remove(&id) else {
-                continue;
-            };
-            let remaining: Vec<WriteRequest> = batch
-                .requests
-                .into_iter()
-                .filter(|r| !self.state.core.store.request_applied(r.id))
-                .collect();
-            if !remaining.is_empty() {
-                ctx.trace(TraceEvent::Custom {
-                    kind: "batch-redispatched",
-                    a: id.key(),
-                    b: remaining.len() as u64,
-                });
-                to_redispatch.push(remaining);
+        for id in done {
+            if let Some(batch) = self.outstanding.remove(&id) {
+                self.regen_mux.disarm(KIND_REGEN, batch.seq);
+                self.regen_agents.remove(&batch.seq);
             }
         }
-        for batch in to_redispatch {
-            self.dispatch_agent(batch, ctx);
-        }
-        // Drop bookkeeping for batches that fully committed.
-        self.outstanding.retain(|_, batch| {
-            batch
-                .requests
-                .iter()
-                .any(|r| !self.state.core.store.request_applied(r.id))
-        });
     }
 }
 
@@ -284,6 +344,10 @@ impl Process for MarpNode {
         if self.read_runtime.handle_timer(timer, &mut self.state, ctx) {
             return;
         }
+        if let Some((KIND_REGEN, seq)) = self.regen_mux.fired(tag) {
+            self.regen_deadline(seq, ctx);
+            return;
+        }
         match tag {
             TAG_BATCH_TICK => {
                 if let Some(batch) = self.batcher.take_if_due(ctx.now()) {
@@ -303,7 +367,13 @@ impl Process for MarpNode {
         self.state.on_recover();
         self.runtime.clear_volatile();
         self.read_runtime.clear_volatile();
+        // The dispatch registry is volatile: regeneration timers from
+        // the pre-crash life can never fire (the crash bumped the node
+        // epoch), and in-flight client requests are re-driven by the
+        // clients' own retries.
         self.outstanding.clear();
+        self.regen_mux.clear();
+        self.regen_agents.clear();
         self.arm_node_timers(ctx);
         let peer = (self.me() + 1) % self.cfg.n_servers as NodeId;
         if peer != self.me() {

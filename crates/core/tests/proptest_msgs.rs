@@ -77,19 +77,23 @@ fn arb_node_msg() -> impl Strategy<Value = NodeMsg> {
         (
             arb_agent_id(),
             any::<u32>(),
+            any::<u32>(),
             any::<u16>(),
             proptest::collection::vec(arb_write_request(), 0..4),
             proptest::option::of(proptest::collection::vec(arb_agent_id(), 0..4)),
         )
-            .prop_map(|(agent, attempt, reply_to, requests, tie_certificate)| {
-                NodeMsg::Update(UpdateMsg {
-                    agent,
-                    attempt,
-                    reply_to,
-                    requests,
-                    tie_certificate,
-                })
-            }),
+            .prop_map(
+                |(agent, attempt, incarnation, reply_to, requests, tie_certificate)| {
+                    NodeMsg::Update(UpdateMsg {
+                        agent,
+                        attempt,
+                        incarnation,
+                        reply_to,
+                        requests,
+                        tie_certificate,
+                    })
+                }
+            ),
         (
             arb_agent_id(),
             proptest::collection::vec(arb_commit_record(), 0..4)

@@ -1,0 +1,321 @@
+//! E15 — randomized chaos sweep: exactly-once writes under crashes.
+//!
+//! Generates hundreds of seeded random fault plans (crash-heavy,
+//! network-heavy and mixed profiles from [`ChaosProfile`]) and runs the
+//! full MARP stack through each with client retry and agent
+//! regeneration enabled. After every run it asserts the robustness
+//! contract:
+//!
+//! 1. the consistency audit is clean (order preservation, in-order
+//!    application, duplicate-apply, Theorem 3 bounds);
+//! 2. no acknowledged write was lost — every write acked to a client
+//!    was applied by at least one replica;
+//! 3. losses are never silent — a request the cluster could not finish
+//!    shows up in the `abandoned` counter, not as a quiet shortfall.
+//!
+//! A violating run dumps a replayable artifact (plan parameters plus
+//! the exact repro command) before the process aborts.
+//!
+//! Flags:
+//!
+//! * `--plans N` — number of random plans to sweep (default 120).
+//! * `--ablate` — disable agent regeneration. The same sweep then
+//!   demonstrably loses writes (abandoned > 0), proving the harness
+//!   detects real losses; consistency must still hold and no lost
+//!   write may have been acked.
+//! * `--seed S --profile P` — replay one plan from a failure artifact.
+//! * `--artifact-dir DIR` — where violation artifacts go
+//!   (default `target/chaos`).
+
+use marp_lab::{run_sweep, RunOutcome, Scenario, PAPER_SEEDS};
+use marp_metrics::Table;
+use marp_net::{ChaosProfile, FaultPlan};
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::time::Duration;
+
+const N_SERVERS: usize = 5;
+
+/// One planned chaos run.
+struct PlanSpec {
+    seed: u64,
+    profile_name: &'static str,
+    profile: ChaosProfile,
+}
+
+fn chaos_scenario(spec: &PlanSpec, regeneration: bool) -> Scenario {
+    // Arrivals stretched across the whole ~20 s chaos window (profiles
+    // schedule faults inside it), so crashes land on in-flight writes
+    // rather than an idle cluster.
+    let mut s = Scenario::paper(N_SERVERS, 1500.0, spec.seed);
+    s.requests_per_client = 10;
+    s.horizon = Some(Duration::from_secs(300));
+    s.faults = Some(FaultPlan::random(N_SERVERS, spec.seed, &spec.profile));
+    // Patience spanning a full crash + regeneration cycle: backoff
+    // doubles from 2 s and caps at 16 s, so 8 attempts cover ~80 s.
+    s.client_retry = Some((Duration::from_secs(2), 8));
+    s.regeneration = regeneration;
+    s
+}
+
+/// The deterministic plan list: profiles round-robin, seeds derived
+/// from [`PAPER_SEEDS`] so the sweep is reproducible run to run.
+fn plan_list(total: usize, only_profile: Option<&str>) -> Vec<PlanSpec> {
+    let profiles = ChaosProfile::all();
+    let mut plans = Vec::with_capacity(total);
+    let mut k = 0u64;
+    while plans.len() < total {
+        let (profile_name, profile) = profiles[(k as usize) % profiles.len()].clone();
+        let base = PAPER_SEEDS[(k as usize / profiles.len()) % PAPER_SEEDS.len()];
+        let seed = marp_sim::splitmix64(base ^ (0x9e3779b97f4a7c15 ^ k));
+        k += 1;
+        if only_profile.is_some_and(|p| p != profile_name) {
+            continue;
+        }
+        plans.push(PlanSpec {
+            seed,
+            profile_name,
+            profile,
+        });
+    }
+    plans
+}
+
+/// Check one run against the robustness contract. Returns the list of
+/// failures (empty = clean).
+fn check(outcome: &RunOutcome, ablate: bool) -> Vec<String> {
+    let mut failures = Vec::new();
+    if !outcome.audit.ok() {
+        for v in &outcome.audit.violations {
+            failures.push(format!("audit violation [{}]: {}", v.rule, v.detail));
+        }
+    }
+    if !outcome.lost_acked_writes.is_empty() {
+        failures.push(format!(
+            "{} acknowledged writes never applied by any replica: {:x?}",
+            outcome.lost_acked_writes.len(),
+            outcome.lost_acked_writes
+        ));
+    }
+    if !ablate {
+        // With regeneration on, every issued request must be accounted
+        // for: completed, or loudly abandoned by its client.
+        let accounted = outcome.metrics.completed + outcome.abandoned;
+        if accounted < outcome.issued {
+            failures.push(format!(
+                "{} of {} issued requests vanished silently \
+                 (completed {} + abandoned {})",
+                outcome.issued - accounted,
+                outcome.issued,
+                outcome.metrics.completed,
+                outcome.abandoned
+            ));
+        }
+    }
+    failures
+}
+
+fn write_artifact(dir: &PathBuf, spec: &PlanSpec, ablate: bool, failures: &[String]) {
+    let _ = std::fs::create_dir_all(dir);
+    let path = dir.join(format!(
+        "violation-{}-{:x}.txt",
+        spec.profile_name, spec.seed
+    ));
+    let plan = FaultPlan::random(N_SERVERS, spec.seed, &spec.profile);
+    let body = format!(
+        "e15_chaos violation artifact\n\
+         ============================\n\
+         seed:     {:#x}\n\
+         profile:  {}\n\
+         servers:  {N_SERVERS}\n\
+         ablate:   {ablate}\n\
+         plan:     {:?}\n\n\
+         failures:\n{}\n\n\
+         reproduce with:\n\
+         cargo run -p marp-lab --release --bin e15_chaos -- \
+         --seed {:#x} --profile {}{}\n",
+        spec.seed,
+        spec.profile_name,
+        plan,
+        failures
+            .iter()
+            .map(|f| format!("  - {f}"))
+            .collect::<Vec<_>>()
+            .join("\n"),
+        spec.seed,
+        spec.profile_name,
+        if ablate { " --ablate" } else { "" },
+    );
+    match std::fs::write(&path, body) {
+        Ok(()) => eprintln!("violation artifact written to {}", path.display()),
+        Err(err) => eprintln!("failed to write artifact {}: {err}", path.display()),
+    }
+}
+
+fn main() {
+    let mut plans = 120usize;
+    let mut ablate = false;
+    let mut seed: Option<u64> = None;
+    let mut profile: Option<String> = None;
+    let mut artifact_dir = PathBuf::from("target/chaos");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |what: &str| {
+            args.next()
+                .unwrap_or_else(|| panic!("{what} expects a value"))
+        };
+        match arg.as_str() {
+            "--plans" => plans = value("--plans").parse().expect("--plans expects a number"),
+            "--ablate" => ablate = true,
+            "--seed" => {
+                let raw = value("--seed");
+                let parsed = raw
+                    .strip_prefix("0x")
+                    .map(|hex| u64::from_str_radix(hex, 16))
+                    .unwrap_or_else(|| raw.parse());
+                seed = Some(parsed.expect("--seed expects a number"));
+            }
+            "--profile" => profile = Some(value("--profile")),
+            "--artifact-dir" => artifact_dir = PathBuf::from(value("--artifact-dir")),
+            other => panic!("unknown flag {other}"),
+        }
+    }
+
+    let specs: Vec<PlanSpec> = match seed {
+        Some(seed) => {
+            // Replay a single plan from a failure artifact.
+            let name = profile.as_deref().unwrap_or("mixed");
+            let profile =
+                ChaosProfile::by_name(name).unwrap_or_else(|| panic!("unknown profile {name}"));
+            let profile_name = ChaosProfile::all()
+                .iter()
+                .find(|(n, _)| *n == name)
+                .map(|(n, _)| *n)
+                .unwrap();
+            vec![PlanSpec {
+                seed,
+                profile_name,
+                profile,
+            }]
+        }
+        None => plan_list(plans, profile.as_deref()),
+    };
+
+    let scenarios: Vec<Scenario> = specs
+        .iter()
+        .map(|spec| chaos_scenario(spec, !ablate))
+        .collect();
+    let outcomes = run_sweep(&scenarios, None);
+
+    // Aggregate per profile for the report.
+    #[derive(Default)]
+    struct Agg {
+        runs: u64,
+        issued: u64,
+        completed: u64,
+        acked: u64,
+        retries: u64,
+        abandoned: u64,
+        violations: u64,
+    }
+    let mut by_profile: BTreeMap<&'static str, Agg> = BTreeMap::new();
+    let mut violating_runs = 0u64;
+    for (spec, outcome) in specs.iter().zip(&outcomes) {
+        let failures = check(outcome, ablate);
+        let agg = by_profile.entry(spec.profile_name).or_default();
+        agg.runs += 1;
+        agg.issued += outcome.issued;
+        agg.completed += outcome.metrics.completed;
+        agg.acked += outcome.acked_writes;
+        agg.retries += outcome.retries;
+        agg.abandoned += outcome.abandoned;
+        if !failures.is_empty() {
+            agg.violations += 1;
+            violating_runs += 1;
+            eprintln!(
+                "VIOLATION in plan seed={:#x} profile={}:",
+                spec.seed, spec.profile_name
+            );
+            for failure in &failures {
+                eprintln!("  - {failure}");
+            }
+            write_artifact(&artifact_dir, spec, ablate, &failures);
+        }
+    }
+
+    let mode = if ablate {
+        "ablation: regeneration OFF"
+    } else {
+        "regeneration + client retry ON"
+    };
+    let mut table = Table::new(
+        format!(
+            "E15 — randomized chaos sweep, {} plans, N = {N_SERVERS} ({mode})",
+            specs.len()
+        ),
+        &[
+            "profile",
+            "runs",
+            "issued",
+            "completed",
+            "acked",
+            "retries",
+            "abandoned",
+            "violations",
+        ],
+    );
+    for (name, agg) in &by_profile {
+        table.row(vec![
+            name.to_string(),
+            agg.runs.to_string(),
+            agg.issued.to_string(),
+            agg.completed.to_string(),
+            agg.acked.to_string(),
+            agg.retries.to_string(),
+            agg.abandoned.to_string(),
+            agg.violations.to_string(),
+        ]);
+    }
+    println!("{}", table.render());
+
+    let total_abandoned: u64 = outcomes.iter().map(|o| o.abandoned).sum();
+    let total_issued: u64 = outcomes.iter().map(|o| o.issued).sum();
+    let total_completed: u64 = outcomes.iter().map(|o| o.metrics.completed).sum();
+    if ablate {
+        // The ablation proves the harness has teeth: without
+        // regeneration the cluster loses work — but it must still never
+        // lie (audit clean, no acked write lost, losses all loud).
+        assert_eq!(
+            violating_runs, 0,
+            "ablation may lose writes but must stay consistent"
+        );
+        assert!(
+            total_abandoned > 0 || total_completed < total_issued,
+            "ablation sweep lost nothing — the harness would be \
+             insensitive to regeneration bugs"
+        );
+        println!(
+            "(ablation lost {} of {} issued writes across the sweep — \
+             the losses the regeneration path exists to prevent)",
+            total_issued - total_completed,
+            total_issued
+        );
+    } else {
+        assert_eq!(
+            violating_runs,
+            0,
+            "{violating_runs} chaos plans violated the exactly-once \
+             contract; see artifacts in {}",
+            artifact_dir.display()
+        );
+        println!(
+            "(all {} plans clean: no acked write lost, no duplicate \
+             apply, no invariant violation; {} retries, {} abandoned \
+             of {} issued)",
+            specs.len(),
+            outcomes.iter().map(|o| o.retries).sum::<u64>(),
+            total_abandoned,
+            total_issued
+        );
+    }
+}

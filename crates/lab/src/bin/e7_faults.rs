@@ -12,9 +12,15 @@ use std::time::Duration;
 fn faulted(protocol: ProtocolKind, crash_node: u16) -> Scenario {
     // Moderate load: the experiment isolates fault behaviour, not the
     // contention backlog a crash leaves behind.
+    let retry = matches!(protocol, ProtocolKind::Marp { .. });
     let mut base = Scenario::paper(5, 100.0, 0).with_protocol(protocol);
     base.requests_per_client = 40;
     base.horizon = Some(Duration::from_secs(180));
+    // Client retry rides on MARP's server-side request dedup; the
+    // baselines have no dedup, so a resend would double-apply.
+    if retry {
+        base.client_retry = Some((Duration::from_secs(2), 8));
+    }
     base.faults = Some(
         FaultPlan::new(5)
             .detect_delay(Duration::from_millis(100))
@@ -37,7 +43,9 @@ fn main() {
         &[
             "protocol",
             "crashed node",
+            "issued",
             "completed",
+            "abandoned",
             "arrived",
             "ATT (ms)",
             "audit",
@@ -56,10 +64,14 @@ fn main() {
         let outcomes = run_seeds(&base, PAPER_SEEDS, None);
         let pooled = pool_metrics(&outcomes);
         let clean = outcomes.iter().all(|o| o.audit.ok());
+        let issued: u64 = outcomes.iter().map(|o| o.issued).sum();
+        let abandoned: u64 = outcomes.iter().map(|o| o.abandoned).sum();
         table.row(vec![
             protocol.label().to_string(),
             crash_node.to_string(),
+            issued.to_string(),
             pooled.completed.to_string(),
+            abandoned.to_string(),
             pooled.writes_arrived.to_string(),
             fmt_ms(pooled.mean_att_ms()),
             if clean { "clean" } else { "VIOLATED" }.to_string(),
@@ -67,6 +79,6 @@ fn main() {
         assert!(clean, "consistency audit failed under faults");
     }
     println!("{}", table.render());
-    println!("(requests accepted by a crashed-and-lost node are re-dispatched by its recovery;\n the horizon bounds how many stragglers finish in time)");
+    println!("(requests accepted by a crashed-and-lost node are re-dispatched by its recovery;\n the horizon bounds how many stragglers finish in time;\n MARP rows run with client retry — a nonzero abandoned column would mean a client\n gave up loudly, never a silent loss)");
     marp_lab::write_obs_outputs(&faulted(ProtocolKind::marp(), 4), &obs);
 }

@@ -21,6 +21,8 @@
 //! | `e11_batching` | E11 — batch size ablation |
 //! | `e12_backends` | E12 — DES vs threaded runtime cross-check |
 //! | `e13_read_mix` | E13 — read-dominated mixes vs quorum reads |
+//! | `e14_adaptive` | E14 — adaptive batching under bursty arrivals |
+//! | `e15_chaos` | E15 — randomized chaos sweep: exactly-once writes |
 //!
 //! Run one with `cargo run -p marp-lab --release --bin fig2_alt`.
 

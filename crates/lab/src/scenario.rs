@@ -151,6 +151,18 @@ pub struct Scenario {
     pub link: LinkKind,
     /// Fault schedule, if any.
     pub faults: Option<FaultPlan>,
+    /// Client retry: `(timeout, max_attempts)` for idempotent resends
+    /// of unanswered requests. `None` (the default) keeps the paper's
+    /// fire-once clients; the chaos harness turns it on so no loss can
+    /// hide behind a client that never asked twice. Only protocols with
+    /// request deduplication (MARP) should enable this — the baselines
+    /// would double-apply a resend.
+    pub client_retry: Option<(Duration, u32)>,
+    /// MARP only: regenerate agents for batches whose commits never
+    /// arrived (on by default). Disabled by the chaos harness's
+    /// ablation arm to demonstrate that without regeneration,
+    /// acknowledged availability collapses into lost work.
+    pub regeneration: bool,
     /// Master seed.
     pub seed: u64,
     /// Virtual-time horizon; `None` = auto (generous multiple of the
@@ -177,6 +189,8 @@ impl Scenario {
             topology: TopologyKind::Lan { latency_ms: 1.0 },
             link: LinkKind::Lan1990s,
             faults: None,
+            client_retry: None,
+            regeneration: true,
             seed,
             horizon: None,
         }
@@ -290,6 +304,16 @@ pub struct RunOutcome {
     pub client_write_ms: Samples,
     /// Requests issued by clients.
     pub issued: u64,
+    /// Idempotent resends clients sent (0 unless `client_retry` is on).
+    pub retries: u64,
+    /// Requests a client gave up on after exhausting its retry budget —
+    /// losses are never silent.
+    pub abandoned: u64,
+    /// Writes acknowledged to a client.
+    pub acked_writes: u64,
+    /// Acknowledged writes no replica ever applied — an exactly-once
+    /// violation (must be empty; the chaos harness asserts it).
+    pub lost_acked_writes: Vec<u64>,
 }
 
 /// Execute one scenario to completion.
@@ -330,6 +354,7 @@ pub fn run_scenario_traced(scenario: &Scenario) -> (RunOutcome, marp_sim::TraceL
             cfg.batch.max_batch = *batch_max;
             cfg.adaptive_batching = scenario.adaptive_batching;
             cfg.lt_delta = scenario.lt_delta;
+            cfg.regeneration = scenario.regeneration;
             build_cluster(&mut sim, &cfg, &topo);
             wrap_marp_client_request
         }
@@ -392,11 +417,11 @@ pub fn run_scenario_traced(scenario: &Scenario) -> (RunOutcome, marp_sim::TraceL
             scenario.requests_per_client,
             marp_sim::splitmix64(scenario.seed ^ (k as u64 + 0x1234)),
         );
-        let client = sim.add_process(Box::new(ClientProcess::new(
-            server,
-            Box::new(source),
-            client_wrap,
-        )));
+        let mut process = ClientProcess::new(server, Box::new(source), client_wrap);
+        if let Some((timeout, max_attempts)) = scenario.client_retry {
+            process = process.with_retry(timeout, max_attempts);
+        }
+        let client = sim.add_process(Box::new(process));
         client_nodes.push(client);
     }
 
@@ -412,11 +437,17 @@ pub fn run_scenario_traced(scenario: &Scenario) -> (RunOutcome, marp_sim::TraceL
     let mut client_read_ms = Samples::new();
     let mut client_write_ms = Samples::new();
     let mut issued = 0;
+    let mut retries = 0;
+    let mut abandoned = 0;
+    let mut acked = Vec::new();
     for &client in &client_nodes {
         let proc = sim
             .process::<ClientProcess>(client)
             .expect("client process");
         issued += proc.stats.issued;
+        retries += proc.stats.retries;
+        abandoned += proc.stats.abandoned;
+        acked.extend_from_slice(&proc.stats.acked_writes);
         for d in &proc.stats.read_latencies {
             client_read_ms.push(d.as_secs_f64() * 1e3);
         }
@@ -427,6 +458,21 @@ pub fn run_scenario_traced(scenario: &Scenario) -> (RunOutcome, marp_sim::TraceL
 
     let trace = sim.into_trace();
     let metrics = PaperMetrics::from_trace(&trace);
+    // The durability cross-check: every write acknowledged to a client
+    // must have been applied by at least one replica.
+    let committed: std::collections::HashSet<u64> = trace
+        .records()
+        .iter()
+        .filter_map(|rec| match rec.event {
+            marp_sim::TraceEvent::CommitApplied { request, .. } => Some(request),
+            _ => None,
+        })
+        .collect();
+    let lost_acked_writes: Vec<u64> = acked
+        .iter()
+        .copied()
+        .filter(|id| !committed.contains(id))
+        .collect();
     // Dense-global-version protocols get the strict order audit; the
     // LWW/per-key baselines (AC, WV) get the relaxed one.
     let audit = match scenario.protocol {
@@ -442,6 +488,10 @@ pub fn run_scenario_traced(scenario: &Scenario) -> (RunOutcome, marp_sim::TraceL
         client_read_ms,
         client_write_ms,
         issued,
+        retries,
+        abandoned,
+        acked_writes: acked.len() as u64,
+        lost_acked_writes,
     };
     (outcome, trace)
 }
@@ -461,6 +511,23 @@ mod tests {
         assert!(outcome.metrics.mean_att_ms().unwrap() >= outcome.metrics.mean_alt_ms().unwrap());
         assert_eq!(outcome.issued, 15);
         assert_eq!(outcome.client_write_ms.len(), 15);
+        assert_eq!(outcome.acked_writes, 15);
+        assert!(outcome.lost_acked_writes.is_empty());
+        assert_eq!(outcome.retries, 0);
+        assert_eq!(outcome.abandoned, 0);
+    }
+
+    #[test]
+    fn client_retry_is_harmless_on_a_healthy_cluster() {
+        let mut scenario = Scenario::paper(3, 40.0, 7);
+        scenario.requests_per_client = 5;
+        scenario.client_retry = Some((Duration::from_secs(2), 5));
+        let outcome = run_scenario(&scenario);
+        outcome.audit.assert_ok();
+        assert_eq!(outcome.metrics.completed, 15);
+        assert_eq!(outcome.acked_writes, 15);
+        assert_eq!(outcome.abandoned, 0);
+        assert!(outcome.lost_acked_writes.is_empty());
     }
 
     #[test]

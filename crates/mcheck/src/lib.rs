@@ -33,4 +33,4 @@ pub mod schedule;
 
 pub use explore::{CheckConfig, Choice, Counterexample, Explorer, Report};
 pub use model::{Family, ModelSpec, OneShotWriter};
-pub use schedule::{from_text, replay, shrink, to_text, ReplayOutcome};
+pub use schedule::{agent_loss_schedule, from_text, replay, shrink, to_text, ReplayOutcome};

@@ -66,6 +66,11 @@ pub struct ModelSpec {
     pub agents: usize,
     /// Seeded mutation (MARP only; `None` for faithful checking).
     pub chaos: ChaosMode,
+    /// Home-side regeneration of lost agents (MARP only). Faithful
+    /// models keep this on; the agent-loss schedule family disables it
+    /// to prove a crashed host really strands its resident agent's
+    /// write without the dispatch registry.
+    pub regeneration: bool,
 }
 
 impl ModelSpec {
@@ -78,6 +83,7 @@ impl ModelSpec {
             replicas,
             agents,
             chaos: ChaosMode::None,
+            regeneration: true,
         }
     }
 
@@ -94,6 +100,7 @@ impl ModelSpec {
         cfg.server.lock_lease = Duration::from_millis(300);
         cfg.redispatch_timeout = Duration::from_millis(400);
         cfg.chaos = self.chaos;
+        cfg.regeneration = self.regeneration;
         cfg
     }
 

@@ -12,7 +12,7 @@ use crate::explore::{Choice, Counterexample};
 use crate::model::{Family, ModelSpec};
 use marp_core::ChaosMode;
 use marp_metrics::Violation;
-use marp_sim::{Control, PendingKind};
+use marp_sim::{Control, NodeId, PendingKind, TraceEvent};
 
 /// Name of a chaos mode in schedule files and on the CLI.
 pub fn chaos_name(chaos: ChaosMode) -> &'static str {
@@ -66,6 +66,10 @@ pub fn to_text(spec: &ModelSpec, schedule: &[Choice], note: &str) -> String {
     out.push_str(&format!("replicas {}\n", spec.replicas));
     out.push_str(&format!("agents {}\n", spec.agents));
     out.push_str(&format!("chaos {}\n", chaos_name(spec.chaos)));
+    if !spec.regeneration {
+        // Omitted when on: older schedule files stay byte-identical.
+        out.push_str("regeneration 0\n");
+    }
     for choice in schedule {
         out.push_str(&fmt_choice(choice));
         out.push('\n');
@@ -79,6 +83,7 @@ pub fn from_text(text: &str) -> Result<(ModelSpec, Vec<Choice>), String> {
     let mut replicas = None;
     let mut agents = None;
     let mut chaos = ChaosMode::None;
+    let mut regeneration = true;
     let mut schedule = Vec::new();
     for (lineno, raw) in text.lines().enumerate() {
         let line = raw.trim();
@@ -97,6 +102,7 @@ pub fn from_text(text: &str) -> Result<(ModelSpec, Vec<Choice>), String> {
             "chaos" if fields.len() == 2 => {
                 chaos = parse_chaos(fields[1]).ok_or_else(|| err("unknown chaos mode"))?;
             }
+            "regeneration" if fields.len() == 2 => regeneration = num(fields[1])? != 0,
             "crash" if fields.len() == 2 => {
                 schedule.push(Choice::Crash {
                     node: num(fields[1])? as u16,
@@ -144,7 +150,73 @@ pub fn from_text(text: &str) -> Result<(ModelSpec, Vec<Choice>), String> {
     let agents = agents.ok_or("missing 'agents' header")?;
     let mut spec = ModelSpec::new(family, replicas, agents);
     spec.chaos = chaos;
+    spec.regeneration = regeneration;
     Ok((spec, schedule))
+}
+
+/// Build the **agent-loss schedule family**: run the canonical
+/// schedule until an update agent is observed resident at `victim` (a
+/// replica other than its home), then fail-stop the victim and recover
+/// it immediately. The resident agent dies with the host, so the
+/// schedule puts the home's dispatch registry on the critical path:
+/// with regeneration on, [`replay`]'s canonical drain must still
+/// complete every write exactly once; with
+/// [`ModelSpec::regeneration`] off, the write is provably stranded.
+/// The explorer's random interleavings only hit this situation by
+/// luck, which is why it gets a targeted family.
+///
+/// Panics if the agent never migrates to `victim` within a generous
+/// step budget (pick a victim on the majority itinerary).
+pub fn agent_loss_schedule(spec: &ModelSpec, victim: NodeId) -> Vec<Choice> {
+    assert_eq!(
+        spec.family,
+        Family::Marp,
+        "agent loss targets MARP's mobile agents"
+    );
+    let mut sim = spec.build();
+    let starts: Vec<u64> = sim
+        .pending_events()
+        .iter()
+        .filter(|e| matches!(e.kind, PendingKind::Start { .. }))
+        .map(|e| e.seq)
+        .collect();
+    for seq in starts {
+        sim.step_event(seq);
+    }
+    let mut schedule = Vec::new();
+    let mut pos = sim.trace().records().len();
+    let mut timer_fires = 0u32;
+    for _ in 0..DRAIN_CAP {
+        let pending = sim.pending_events();
+        let next = pending
+            .iter()
+            .find(|e| !matches!(e.kind, PendingKind::Timer { .. }))
+            .or_else(|| {
+                if timer_fires >= 8 {
+                    None
+                } else {
+                    timer_fires += 1;
+                    pending
+                        .iter()
+                        .find(|e| matches!(e.kind, PendingKind::Timer { .. }))
+                }
+            })
+            .map(|e| (e.seq, e.kind.clone()));
+        let Some((seq, kind)) = next else { break };
+        sim.step_event(seq);
+        schedule.push(Choice::Deliver { seq, kind });
+        let records = sim.trace().records();
+        let arrived = records[pos..]
+            .iter()
+            .any(|r| matches!(r.event, TraceEvent::AgentMigrated { to, .. } if to == victim));
+        pos = records.len();
+        if arrived {
+            schedule.push(Choice::Crash { node: victim });
+            schedule.push(Choice::Recover { node: victim });
+            return schedule;
+        }
+    }
+    panic!("no agent migrated to node {victim}; pick a victim on the majority itinerary");
 }
 
 /// What replaying a schedule produced.
@@ -168,6 +240,12 @@ pub struct ReplayOutcome {
 /// Upper bound on post-schedule drain steps (a wedged model must not
 /// hang the replayer).
 const DRAIN_CAP: usize = 2000;
+
+/// Timer fires allowed during the canonical drain. Sized to cross the
+/// 400 ms regeneration deadline: four 100 ms maintenance rounds across
+/// three replicas, with lease/repoll ticks interleaved, land ~35 fires
+/// before the home's regeneration timer becomes runnable.
+const DRAIN_TIMER_CAP: u32 = 64;
 
 impl ReplayOutcome {
     /// All violations, incremental then quiescent.
@@ -317,7 +395,7 @@ pub fn replay(spec: &ModelSpec, schedule: &[Choice]) -> ReplayOutcome {
             .iter()
             .find(|e| !matches!(e.kind, PendingKind::Timer { .. }))
             .or_else(|| {
-                if done || timer_fires >= 24 {
+                if done || timer_fires >= DRAIN_TIMER_CAP {
                     None
                 } else {
                     timer_fires += 1;

@@ -17,6 +17,11 @@
 //!   dense and increasing.
 //! * **theorem-3-visits** — every lock grant took between ⌈(N+1)/2⌉
 //!   and N server visits.
+//! * **duplicate-apply** — no replica writes the data for the same
+//!   client request twice (exactly-once: a regenerated agent's commit
+//!   for an already-applied request must be suppressed, which the
+//!   store traces as `commit-suppressed` instead of `CommitApplied`;
+//!   suppressed slots still advance the denseness cursor).
 //! * **lost-update** (quiescent-only) — a request that reported
 //!   completion must have its commit applied by at least one replica.
 //!   Only meaningful once no messages are in flight, so it is exposed
@@ -40,6 +45,9 @@ pub struct InvariantMonitor {
     completions: HashMap<u64, u64>,
     /// Requests some replica has applied a commit for.
     committed_requests: HashSet<u64>,
+    /// (node, request) pairs whose data write has been applied — a
+    /// second `CommitApplied` for a pair is a duplicate-apply violation.
+    applied_at: HashSet<(NodeId, u64)>,
     violations: Vec<Violation>,
     lock_grants: u64,
     tie_grants: u64,
@@ -71,6 +79,7 @@ impl InvariantMonitor {
             last_applied: HashMap::new(),
             completions: HashMap::new(),
             committed_requests: HashSet::new(),
+            applied_at: HashSet::new(),
             violations: Vec::new(),
             lock_grants: 0,
             tie_grants: 0,
@@ -92,6 +101,15 @@ impl InvariantMonitor {
                 if !self.check_order {
                     self.version_owner.entry(*version).or_insert((*agent, *key));
                     return;
+                }
+                if !self.applied_at.insert((*node, *request)) {
+                    self.violations.push(Violation {
+                        rule: "duplicate-apply",
+                        detail: format!(
+                            "node {node} applied the data write for request {request:#x} \
+                             twice (second time as version {version})"
+                        ),
+                    });
                 }
                 match self.version_owner.get(version) {
                     Some(&(owner, owner_key)) => {
@@ -145,6 +163,30 @@ impl InvariantMonitor {
                     self.duplicate_completions += 1;
                 }
             }
+            // A suppressed duplicate apply burns its version slot: the
+            // data does not move, but the slot must still advance the
+            // replica's denseness cursor or the next real apply would
+            // be flagged as a gap.
+            TraceEvent::Custom {
+                kind: "commit-suppressed",
+                a: version,
+                ..
+            } => {
+                if !self.check_order {
+                    return;
+                }
+                let last = self.last_applied.entry(record.node).or_insert(0);
+                if *version != *last + 1 {
+                    self.violations.push(Violation {
+                        rule: "in-order-application",
+                        detail: format!(
+                            "node {} suppressed version {version} after {last}",
+                            record.node
+                        ),
+                    });
+                }
+                *last = (*last).max(*version);
+            }
             _ => {}
         }
     }
@@ -175,6 +217,13 @@ impl InvariantMonitor {
     /// Distinct versions committed system-wide so far.
     pub fn committed_versions(&self) -> u64 {
         self.version_owner.len() as u64
+    }
+
+    /// Whether any replica has applied a commit for `request` (the
+    /// durability side of the chaos harness's acknowledged ⊆ committed
+    /// check).
+    pub fn request_committed(&self, request: u64) -> bool {
+        self.committed_requests.contains(&request)
     }
 
     /// The quiescent-only checks, returned without being recorded:
@@ -297,6 +346,54 @@ mod tests {
         assert_eq!(report.committed_versions, 1);
         assert_eq!(report.duplicate_completions, 1);
         assert_eq!(mon.completed_requests(), 1);
+    }
+
+    fn suppressed(node: NodeId, version: u64, request: u64) -> TraceRecord {
+        TraceRecord {
+            at: SimTime::ZERO,
+            node,
+            event: TraceEvent::Custom {
+                kind: "commit-suppressed",
+                a: version,
+                b: request,
+            },
+        }
+    }
+
+    #[test]
+    fn duplicate_apply_is_flagged_per_node() {
+        let mut mon = InvariantMonitor::strict(3);
+        mon.observe(&commit(0, 1, 7, 0xa));
+        // The same request applied again at the same node (as a later
+        // version) is an exactly-once violation...
+        mon.observe(&commit(0, 2, 9, 0xa));
+        assert!(mon.violations().iter().any(|v| v.rule == "duplicate-apply"));
+        // ...but the first apply at a *different* node is fine.
+        let mut mon = InvariantMonitor::strict(3);
+        mon.observe(&commit(0, 1, 7, 0xa));
+        mon.observe(&commit(1, 1, 7, 0xa));
+        assert!(mon.ok());
+        assert!(mon.request_committed(0xa));
+        assert!(!mon.request_committed(0xb));
+    }
+
+    #[test]
+    fn suppressed_commits_advance_the_denseness_cursor() {
+        let mut mon = InvariantMonitor::strict(3);
+        mon.observe(&commit(0, 1, 7, 0xa));
+        // Version 2 carried a duplicate of request 0xa: node 0 burns
+        // the slot instead of re-applying.
+        mon.observe(&suppressed(0, 2, 0xa));
+        mon.observe(&commit(0, 3, 9, 0xb));
+        assert!(mon.ok(), "suppressed slot must not read as a gap");
+        // A suppression that itself skips a version is still a gap.
+        let mut mon = InvariantMonitor::strict(3);
+        mon.observe(&commit(0, 1, 7, 0xa));
+        mon.observe(&suppressed(0, 3, 0xa));
+        assert!(mon
+            .violations()
+            .iter()
+            .any(|v| v.rule == "in-order-application"));
     }
 
     #[test]

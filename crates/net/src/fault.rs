@@ -11,7 +11,7 @@
 //! (b) a time-sorted [`NetAction`] schedule consumed by the transport
 //! (partitions, link outages, loss).
 
-use marp_sim::{Control, NodeId, SimTime, Simulation};
+use marp_sim::{Control, NodeId, SimRng, SimTime, Simulation};
 use std::time::Duration;
 
 /// Time-triggered change to network behaviour, applied by the transport.
@@ -42,13 +42,36 @@ pub struct FaultPlan {
 impl FaultPlan {
     /// An empty plan over `n` nodes with a 100 ms failure-detection
     /// bound.
+    ///
+    /// # Panics
+    /// If `n` is zero. Every builder method below validates its inputs
+    /// the same way — a fault aimed at a node that does not exist, a
+    /// zero-length outage window, or a loss rate outside [0, 1] is a
+    /// bug in the experiment, not a fault to inject, and is rejected at
+    /// build time instead of silently scheduling controls for nobody.
     pub fn new(n: usize) -> Self {
+        assert!(n > 0, "FaultPlan over zero nodes");
         FaultPlan {
             n,
             node_events: Vec::new(),
             net_events: Vec::new(),
             detect_delay: Duration::from_millis(100),
         }
+    }
+
+    fn check_node(&self, node: NodeId) {
+        assert!(
+            usize::from(node) < self.n,
+            "fault targets node {node} but the plan covers only {} nodes",
+            self.n
+        );
+    }
+
+    fn check_window(duration: Duration, what: &str) {
+        assert!(
+            duration > Duration::ZERO,
+            "{what} window must have positive duration"
+        );
     }
 
     /// Set the failure-detector notification bound (the paper's "finite
@@ -60,6 +83,8 @@ impl FaultPlan {
 
     /// Crash `node` at `at` and recover it after `outage`.
     pub fn crash(mut self, node: NodeId, at: SimTime, outage: Duration) -> Self {
+        self.check_node(node);
+        Self::check_window(outage, "crash outage");
         self.node_events.push((at, node, false));
         self.node_events.push((at + outage, node, true));
         self
@@ -67,6 +92,7 @@ impl FaultPlan {
 
     /// Crash `node` at `at` permanently.
     pub fn crash_forever(mut self, node: NodeId, at: SimTime) -> Self {
+        self.check_node(node);
         self.node_events.push((at, node, false));
         self
     }
@@ -81,6 +107,12 @@ impl FaultPlan {
     /// Nodes not mentioned in any group go into an extra group of their
     /// own.
     pub fn partition(mut self, at: SimTime, duration: Duration, groups: &[&[NodeId]]) -> Self {
+        Self::check_window(duration, "partition");
+        for group in groups {
+            for &node in *group {
+                self.check_node(node);
+            }
+        }
         let mut assignment = vec![u8::MAX; self.n];
         for (gid, group) in groups.iter().enumerate() {
             for &node in *group {
@@ -103,6 +135,10 @@ impl FaultPlan {
 
     /// Set message loss probability from `at` onward.
     pub fn loss(mut self, at: SimTime, rate: f64) -> Self {
+        assert!(
+            rate.is_finite() && (0.0..=1.0).contains(&rate),
+            "loss rate {rate} outside [0, 1]"
+        );
         self.net_events.push((at, NetAction::SetLoss(rate)));
         self
     }
@@ -115,6 +151,9 @@ impl FaultPlan {
         at: SimTime,
         duration: Duration,
     ) -> Self {
+        self.check_node(from);
+        self.check_node(to);
+        Self::check_window(duration, "link outage");
         self.net_events.push((at, NetAction::LinkDown(from, to)));
         self.net_events
             .push((at + duration, NetAction::LinkUp(from, to)));
@@ -157,6 +196,180 @@ impl FaultPlan {
     /// Whether the plan injects anything at all.
     pub fn is_empty(&self) -> bool {
         self.node_events.is_empty() && self.net_events.is_empty()
+    }
+
+    /// Generate a randomized fault plan from a seeded RNG and a
+    /// [`ChaosProfile`]. Plans are valid by construction (every target
+    /// node exists, every window is positive) and every injected fault
+    /// heals before `profile.active + longest outage`, leaving a quiet
+    /// convergence tail for the run to settle in. The same `(n, seed,
+    /// profile)` triple always yields the same plan, so any chaos-sweep
+    /// failure is replayable from its seed alone.
+    pub fn random(n: usize, seed: u64, profile: &ChaosProfile) -> Self {
+        let mut plan = FaultPlan::new(n).detect_delay(profile.detect_delay);
+        let mut rng = SimRng::derive_indexed(seed, "chaos-plan", n as u64);
+        let active_ms = profile.active.as_millis() as u64;
+        let start_ms = |rng: &mut SimRng| SimTime::from_millis(rng.range_inclusive(200, active_ms));
+        let window = |rng: &mut SimRng, (lo, hi): (Duration, Duration)| {
+            let lo_ms = lo.as_millis().max(1) as u64;
+            let hi_ms = (hi.as_millis() as u64).max(lo_ms);
+            Duration::from_millis(rng.range_inclusive(lo_ms, hi_ms))
+        };
+
+        // Crashes: each node gets at most one outage window so a plan
+        // never re-crashes a node that is already down.
+        let crashes = rng.range_inclusive(profile.crashes.0 as u64, profile.crashes.1 as u64);
+        let mut nodes: Vec<NodeId> = (0..n as NodeId).collect();
+        rng.shuffle(&mut nodes);
+        for &node in nodes.iter().take(crashes as usize) {
+            let at = start_ms(&mut rng);
+            let outage = window(&mut rng, profile.outage);
+            plan = plan.crash(node, at, outage);
+        }
+
+        // At most one partition window: split the nodes into two
+        // non-empty groups at random.
+        if n >= 2 && rng.chance(profile.partition_chance) {
+            let mut shuffled: Vec<NodeId> = (0..n as NodeId).collect();
+            rng.shuffle(&mut shuffled);
+            let cut = rng.range_inclusive(1, n as u64 - 1) as usize;
+            let (a, b) = shuffled.split_at(cut);
+            let at = start_ms(&mut rng);
+            let dur = window(&mut rng, profile.partition_duration);
+            plan = plan.partition(at, dur, &[a, b]);
+        }
+
+        // A bounded loss episode: raise the loss rate, then restore a
+        // perfect network before the convergence tail.
+        if rng.chance(profile.loss_chance) {
+            let rate =
+                profile.loss_rate.0 + (profile.loss_rate.1 - profile.loss_rate.0) * rng.f64();
+            let at = start_ms(&mut rng);
+            let dur = window(&mut rng, profile.loss_duration);
+            plan = plan.loss(at, rate.clamp(0.0, 1.0)).loss(at + dur, 0.0);
+        }
+
+        // Directed link outages between distinct random nodes.
+        let links =
+            rng.range_inclusive(profile.link_outages.0 as u64, profile.link_outages.1 as u64);
+        for _ in 0..links {
+            if n < 2 {
+                break;
+            }
+            let from = rng.below(n as u64) as NodeId;
+            let mut to = rng.below(n as u64 - 1) as NodeId;
+            if to >= from {
+                to += 1;
+            }
+            let at = start_ms(&mut rng);
+            let dur = window(&mut rng, profile.link_outage_duration);
+            plan = plan.link_outage(from, to, at, dur);
+        }
+        plan
+    }
+}
+
+/// Tunable shape of a randomized fault plan: how many faults of each
+/// kind to draw and from what ranges. All fault *start* times fall in
+/// `[200 ms, active]`; durations are drawn per fault, so the last fault
+/// heals by `active + max(outage, partition, loss, link)` and the run
+/// has a quiet tail to converge in.
+#[derive(Debug, Clone)]
+pub struct ChaosProfile {
+    /// Inclusive range of crash-with-recovery events (distinct nodes).
+    pub crashes: (usize, usize),
+    /// Crash outage duration range.
+    pub outage: (Duration, Duration),
+    /// Probability of a single two-way partition window.
+    pub partition_chance: f64,
+    /// Partition duration range.
+    pub partition_duration: (Duration, Duration),
+    /// Probability of a message-loss episode.
+    pub loss_chance: f64,
+    /// Loss-rate range for the episode.
+    pub loss_rate: (f64, f64),
+    /// Loss-episode duration range.
+    pub loss_duration: (Duration, Duration),
+    /// Inclusive range of directed link outages.
+    pub link_outages: (usize, usize),
+    /// Link outage duration range.
+    pub link_outage_duration: (Duration, Duration),
+    /// Window in which fault start times are drawn.
+    pub active: Duration,
+    /// Failure-detector notification bound.
+    pub detect_delay: Duration,
+}
+
+impl ChaosProfile {
+    /// Crash-heavy: one to three crash/recovery cycles, no network
+    /// trouble. Exercises agent loss and regeneration in isolation.
+    pub fn crashes() -> Self {
+        ChaosProfile {
+            crashes: (1, 3),
+            outage: (Duration::from_secs(2), Duration::from_secs(12)),
+            partition_chance: 0.0,
+            partition_duration: (Duration::from_secs(2), Duration::from_secs(6)),
+            loss_chance: 0.0,
+            loss_rate: (0.0, 0.0),
+            loss_duration: (Duration::from_secs(1), Duration::from_secs(5)),
+            link_outages: (0, 0),
+            link_outage_duration: (Duration::from_secs(1), Duration::from_secs(4)),
+            active: Duration::from_secs(20),
+            detect_delay: Duration::from_millis(100),
+        }
+    }
+
+    /// Network-heavy: partitions, loss episodes and link outages, at
+    /// most one crash. Exercises marooned agents and anti-entropy.
+    pub fn network() -> Self {
+        ChaosProfile {
+            crashes: (0, 1),
+            outage: (Duration::from_secs(2), Duration::from_secs(8)),
+            partition_chance: 0.8,
+            partition_duration: (Duration::from_secs(2), Duration::from_secs(8)),
+            loss_chance: 0.6,
+            loss_rate: (0.005, 0.03),
+            loss_duration: (Duration::from_secs(2), Duration::from_secs(10)),
+            link_outages: (0, 2),
+            link_outage_duration: (Duration::from_secs(1), Duration::from_secs(4)),
+            active: Duration::from_secs(20),
+            detect_delay: Duration::from_millis(100),
+        }
+    }
+
+    /// Everything at once: crashes on top of partitions, loss and link
+    /// outages. The hostile end of the sweep.
+    pub fn mixed() -> Self {
+        ChaosProfile {
+            crashes: (1, 2),
+            outage: (Duration::from_secs(2), Duration::from_secs(10)),
+            partition_chance: 0.5,
+            partition_duration: (Duration::from_secs(2), Duration::from_secs(6)),
+            loss_chance: 0.5,
+            loss_rate: (0.005, 0.02),
+            loss_duration: (Duration::from_secs(2), Duration::from_secs(8)),
+            link_outages: (0, 2),
+            link_outage_duration: (Duration::from_secs(1), Duration::from_secs(3)),
+            active: Duration::from_secs(20),
+            detect_delay: Duration::from_millis(100),
+        }
+    }
+
+    /// The named profiles swept by `e15_chaos`, in order.
+    pub fn all() -> Vec<(&'static str, ChaosProfile)> {
+        vec![
+            ("crashes", Self::crashes()),
+            ("network", Self::network()),
+            ("mixed", Self::mixed()),
+        ]
+    }
+
+    /// Look up a profile by its sweep name.
+    pub fn by_name(name: &str) -> Option<ChaosProfile> {
+        Self::all()
+            .into_iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, p)| p)
     }
 }
 
@@ -230,5 +443,88 @@ mod tests {
     fn empty_plan_reports_empty() {
         assert!(FaultPlan::new(4).is_empty());
         assert!(!FaultPlan::new(4).crash_forever(0, SimTime::ZERO).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "targets node 9")]
+    fn crash_of_nonexistent_node_is_rejected() {
+        let _ = FaultPlan::new(5).crash(9, SimTime::ZERO, Duration::from_secs(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive duration")]
+    fn zero_length_outage_is_rejected() {
+        let _ = FaultPlan::new(5).crash(1, SimTime::ZERO, Duration::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0, 1]")]
+    fn out_of_range_loss_is_rejected() {
+        let _ = FaultPlan::new(5).loss(SimTime::ZERO, 1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "targets node 7")]
+    fn partition_of_nonexistent_node_is_rejected() {
+        let _ =
+            FaultPlan::new(5).partition(SimTime::ZERO, Duration::from_secs(1), &[&[0, 7], &[1, 2]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "targets node 5")]
+    fn link_outage_of_nonexistent_node_is_rejected() {
+        let _ = FaultPlan::new(5).link_outage(0, 5, SimTime::ZERO, Duration::from_secs(1));
+    }
+
+    #[test]
+    fn random_plans_are_deterministic_and_valid() {
+        for (name, profile) in ChaosProfile::all() {
+            for seed in [1u64, 2, 3, 77, 1000] {
+                let a = FaultPlan::random(5, seed, &profile);
+                let b = FaultPlan::random(5, seed, &profile);
+                assert_eq!(
+                    a.node_events, b.node_events,
+                    "{name}/{seed} not deterministic"
+                );
+                assert_eq!(
+                    a.net_schedule(),
+                    b.net_schedule(),
+                    "{name}/{seed} not deterministic"
+                );
+                // Validity is enforced by the builders; spot-check that
+                // every crashed node also recovers (no silent forever-
+                // crashes in randomized plans) and each node crashes at
+                // most once.
+                let mut down: Vec<NodeId> = Vec::new();
+                for &(_, node, up) in &a.node_events {
+                    if up {
+                        down.retain(|&d| d != node);
+                    } else {
+                        assert!(!down.contains(&node), "{name}/{seed} re-crashed {node}");
+                        down.push(node);
+                    }
+                }
+                assert!(down.is_empty(), "{name}/{seed} left nodes down: {down:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn random_plans_differ_across_seeds() {
+        let profile = ChaosProfile::mixed();
+        let a = FaultPlan::random(5, 1, &profile);
+        let b = FaultPlan::random(5, 2, &profile);
+        assert!(
+            a.node_events != b.node_events || a.net_schedule() != b.net_schedule(),
+            "seeds 1 and 2 produced identical plans"
+        );
+    }
+
+    #[test]
+    fn profiles_resolve_by_name() {
+        assert!(ChaosProfile::by_name("crashes").is_some());
+        assert!(ChaosProfile::by_name("network").is_some());
+        assert!(ChaosProfile::by_name("mixed").is_some());
+        assert!(ChaosProfile::by_name("nope").is_none());
     }
 }

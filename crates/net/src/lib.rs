@@ -26,7 +26,7 @@ mod routing;
 mod topology;
 mod transport;
 
-pub use fault::{FaultPlan, NetAction};
+pub use fault::{ChaosProfile, FaultPlan, NetAction};
 pub use link::{Jitter, LinkModel};
 pub use routing::RoutingTable;
 pub use topology::Topology;

@@ -47,7 +47,7 @@ pub type ClientWrapFn = fn(ClientRequest) -> Bytes;
 /// Latency bookkeeping accumulated by a client.
 #[derive(Debug, Default, Clone)]
 pub struct ClientStats {
-    /// Requests sent.
+    /// Distinct requests issued (resends are counted in `retries`).
     pub issued: u64,
     /// Read replies received, with latency.
     pub read_latencies: Vec<Duration>,
@@ -58,6 +58,15 @@ pub struct ClientStats {
     /// Versions observed by reads, in completion order (for staleness
     /// analysis).
     pub read_versions: Vec<u64>,
+    /// Idempotent resends of unanswered requests.
+    pub retries: u64,
+    /// Requests given up on after exhausting every retry — losses are
+    /// loud, never silent.
+    pub abandoned: u64,
+    /// Request ids of every acknowledged write, in completion order.
+    /// The chaos harness checks each against the committed set: an
+    /// acknowledged write that never committed is a durability bug.
+    pub acked_writes: Vec<u64>,
 }
 
 impl ClientStats {
@@ -86,6 +95,36 @@ fn mean_ms(latencies: &[Duration]) -> Option<f64> {
 }
 
 const TAG_ARRIVAL: u64 = 1;
+/// Retry timer tags carry the request id in the low bits; request ids
+/// never reach bit 63 (`client << 32 | seq`), so the bit is free.
+const TAG_RETRY_BIT: u64 = 1 << 63;
+
+/// Client-side retry: resend an unanswered request after `timeout`,
+/// doubling the wait each attempt (capped at 8× the base), and abandon
+/// the request — loudly, via `ClientStats::abandoned` — after
+/// `max_attempts` total sends. Resends reuse the original request id,
+/// so the server's intake dedup keeps them idempotent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryConfig {
+    /// Base resend timeout.
+    pub timeout: Duration,
+    /// Total sends (first try included) before giving up.
+    pub max_attempts: u32,
+}
+
+impl RetryConfig {
+    fn delay(&self, attempts: u32) -> Duration {
+        let factor = 1u32 << attempts.saturating_sub(1).min(3);
+        self.timeout * factor
+    }
+}
+
+/// An issued request awaiting its reply.
+struct Pending {
+    op: Operation,
+    first_sent: SimTime,
+    attempts: u32,
+}
 
 /// A client node driving one replica server.
 pub struct ClientProcess {
@@ -94,13 +133,15 @@ pub struct ClientProcess {
     wrap: ClientWrapFn,
     seq: u32,
     next_op: Option<Operation>,
-    outstanding: HashMap<u64, (SimTime, bool)>,
+    outstanding: HashMap<u64, Pending>,
+    retry: Option<RetryConfig>,
     /// Accumulated latency statistics.
     pub stats: ClientStats,
 }
 
 impl ClientProcess {
-    /// Create a client attached to `server`.
+    /// Create a client attached to `server`. Retry is off by default:
+    /// an unanswered request stays outstanding forever.
     pub fn new(server: NodeId, source: Box<dyn RequestSource>, wrap: ClientWrapFn) -> Self {
         ClientProcess {
             server,
@@ -109,8 +150,19 @@ impl ClientProcess {
             seq: 0,
             next_op: None,
             outstanding: HashMap::new(),
+            retry: None,
             stats: ClientStats::default(),
         }
+    }
+
+    /// Enable timeout-and-resend with capped exponential backoff.
+    pub fn with_retry(mut self, timeout: Duration, max_attempts: u32) -> Self {
+        assert!(max_attempts >= 1, "max_attempts must be at least 1");
+        self.retry = Some(RetryConfig {
+            timeout,
+            max_attempts,
+        });
+        self
     }
 
     /// Operations issued but not yet answered.
@@ -124,6 +176,36 @@ impl ClientProcess {
             ctx.set_timer(gap, TAG_ARRIVAL);
         }
     }
+
+    fn send_request(&mut self, id: u64, op: Operation, ctx: &mut dyn Context) {
+        let msg = (self.wrap)(ClientRequest { id, op });
+        ctx.send(self.server, msg);
+        if let Some(retry) = self.retry {
+            let attempts = self.outstanding.get(&id).map_or(1, |p| p.attempts);
+            ctx.set_timer(retry.delay(attempts), TAG_RETRY_BIT | id);
+        }
+    }
+
+    fn on_retry_timer(&mut self, id: u64, ctx: &mut dyn Context) {
+        let Some(retry) = self.retry else { return };
+        let Some(pending) = self.outstanding.get_mut(&id) else {
+            return; // answered (or abandoned) before the timer fired
+        };
+        if pending.attempts >= retry.max_attempts {
+            self.outstanding.remove(&id);
+            self.stats.abandoned += 1;
+            ctx.trace(marp_sim::TraceEvent::Custom {
+                kind: "client-abandoned",
+                a: id,
+                b: u64::from(retry.max_attempts),
+            });
+            return;
+        }
+        pending.attempts += 1;
+        let op = pending.op;
+        self.stats.retries += 1;
+        self.send_request(id, op, ctx);
+    }
 }
 
 impl Process for ClientProcess {
@@ -132,14 +214,24 @@ impl Process for ClientProcess {
     }
 
     fn on_timer(&mut self, _timer: TimerId, tag: u64, ctx: &mut dyn Context) {
+        if tag & TAG_RETRY_BIT != 0 {
+            self.on_retry_timer(tag & !TAG_RETRY_BIT, ctx);
+            return;
+        }
         debug_assert_eq!(tag, TAG_ARRIVAL);
         if let Some(op) = self.next_op.take() {
             let id = request_id(ctx.me(), self.seq);
             self.seq += 1;
             self.stats.issued += 1;
-            self.outstanding.insert(id, (ctx.now(), op.is_write()));
-            let msg = (self.wrap)(ClientRequest { id, op });
-            ctx.send(self.server, msg);
+            self.outstanding.insert(
+                id,
+                Pending {
+                    op,
+                    first_sent: ctx.now(),
+                    attempts: 1,
+                },
+            );
+            self.send_request(id, op, ctx);
         }
         self.arm_next(ctx);
     }
@@ -157,10 +249,11 @@ impl Process for ClientProcess {
                 return;
             }
         };
-        if let Some((sent_at, is_write)) = self.outstanding.remove(&id) {
-            let latency = ctx.now().saturating_since(sent_at);
-            if is_write {
+        if let Some(pending) = self.outstanding.remove(&id) {
+            let latency = ctx.now().saturating_since(pending.first_sent);
+            if pending.op.is_write() {
                 self.stats.write_latencies.push(latency);
+                self.stats.acked_writes.push(id);
             } else {
                 self.stats.read_latencies.push(latency);
                 if let Some(v) = version {
@@ -259,6 +352,97 @@ mod tests {
         assert_eq!(stats.messages_sent, 0);
         let client_proc: &ClientProcess = sim.process(client).unwrap();
         assert_eq!(client_proc.stats.issued, 0);
+    }
+
+    /// A server that ignores the first `drop_first` requests it sees
+    /// and answers the rest (write → WriteDone v1).
+    struct FlakyServer {
+        drop_first: usize,
+        seen: usize,
+    }
+
+    impl Process for FlakyServer {
+        fn on_message(&mut self, from: NodeId, msg: Bytes, ctx: &mut dyn Context) {
+            let req: ClientRequest = marp_wire::from_bytes(&msg).unwrap();
+            self.seen += 1;
+            if self.seen <= self.drop_first {
+                return;
+            }
+            let reply = ClientReply::WriteDone {
+                id: req.id,
+                version: 1,
+            };
+            ctx.send(from, marp_wire::to_bytes(&reply));
+        }
+        impl_as_any!();
+    }
+
+    #[test]
+    fn retry_resends_until_answered() {
+        let mut sim = Simulation::new(
+            Box::new(FixedDelay(Duration::from_millis(2))),
+            TraceLevel::Off,
+        );
+        let server = sim.add_process(Box::new(FlakyServer {
+            drop_first: 2,
+            seen: 0,
+        }));
+        let script = ScriptedSource::new([(
+            Duration::from_millis(1),
+            Operation::Write { key: 4, value: 9 },
+        )]);
+        let client = sim.add_process(Box::new(
+            ClientProcess::new(server, Box::new(script), wrap)
+                .with_retry(Duration::from_millis(10), 5),
+        ));
+        sim.run_to_quiescence();
+        let client_proc: &ClientProcess = sim.process(client).unwrap();
+        assert_eq!(client_proc.stats.issued, 1);
+        assert_eq!(client_proc.stats.retries, 2);
+        assert_eq!(client_proc.stats.abandoned, 0);
+        assert_eq!(client_proc.stats.write_latencies.len(), 1);
+        assert_eq!(client_proc.stats.acked_writes.len(), 1);
+        assert_eq!(client_proc.outstanding(), 0);
+    }
+
+    #[test]
+    fn exhausted_retries_are_abandoned_loudly() {
+        let mut sim = Simulation::new(
+            Box::new(FixedDelay(Duration::from_millis(2))),
+            TraceLevel::Off,
+        );
+        let server = sim.add_process(Box::new(FlakyServer {
+            drop_first: usize::MAX,
+            seen: 0,
+        }));
+        let script = ScriptedSource::new([(
+            Duration::from_millis(1),
+            Operation::Write { key: 4, value: 9 },
+        )]);
+        let client = sim.add_process(Box::new(
+            ClientProcess::new(server, Box::new(script), wrap)
+                .with_retry(Duration::from_millis(10), 3),
+        ));
+        sim.run_to_quiescence();
+        let client_proc: &ClientProcess = sim.process(client).unwrap();
+        assert_eq!(client_proc.stats.issued, 1);
+        assert_eq!(client_proc.stats.retries, 2);
+        assert_eq!(client_proc.stats.abandoned, 1);
+        assert_eq!(client_proc.stats.write_latencies.len(), 0);
+        assert_eq!(client_proc.outstanding(), 0);
+    }
+
+    #[test]
+    fn backoff_doubles_and_caps() {
+        let retry = RetryConfig {
+            timeout: Duration::from_millis(100),
+            max_attempts: 10,
+        };
+        assert_eq!(retry.delay(1), Duration::from_millis(100));
+        assert_eq!(retry.delay(2), Duration::from_millis(200));
+        assert_eq!(retry.delay(3), Duration::from_millis(400));
+        assert_eq!(retry.delay(4), Duration::from_millis(800));
+        assert_eq!(retry.delay(9), Duration::from_millis(800));
     }
 
     #[test]

@@ -25,7 +25,9 @@ mod server;
 mod store;
 
 pub use batch::{BatchConfig, RequestBatcher};
-pub use client::{ClientProcess, ClientStats, ClientWrapFn, RequestSource, ScriptedSource};
+pub use client::{
+    ClientProcess, ClientStats, ClientWrapFn, RequestSource, RetryConfig, ScriptedSource,
+};
 pub use locking::{LlSnapshot, LockEntry, LockingList, UpdatedList};
 pub use msg::{request_id, ClientReply, ClientRequest, Operation, SyncMsg, WriteRequest};
 pub use server::{ClientAction, FreshReadRequest, ServerConfig, ServerCore, SyncWrapFn};

@@ -128,6 +128,36 @@ impl ServerCore {
                 ClientAction::Done
             }
             Operation::Write { key, value } => {
+                // Idempotent intake: a retried write that already
+                // committed is answered from the request→version map
+                // (exactly-once for the client even when the original
+                // reply was lost); one that is still in flight only
+                // refreshes the reply address — the protocol layer is
+                // already working on it and must not dispatch it twice.
+                if let Some(version) = self.store.request_version(request.id) {
+                    ctx.trace(TraceEvent::Custom {
+                        kind: "retry-answered",
+                        a: request.id,
+                        b: version,
+                    });
+                    let reply = ClientReply::WriteDone {
+                        id: request.id,
+                        version,
+                    };
+                    ctx.send(from, marp_wire::to_bytes(&reply));
+                    return ClientAction::Done;
+                }
+                if let std::collections::hash_map::Entry::Occupied(mut entry) =
+                    self.pending_clients.entry(request.id)
+                {
+                    entry.insert(from);
+                    ctx.trace(TraceEvent::Custom {
+                        kind: "retry-in-flight",
+                        a: request.id,
+                        b: u64::from(from),
+                    });
+                    return ClientAction::Done;
+                }
                 // The request span covers the write's whole life at this
                 // server: intake here, closed when `apply_commits`
                 // answers the client.
@@ -176,8 +206,11 @@ impl ServerCore {
 
     /// Apply a set of commit records (from a COMMIT broadcast or a sync
     /// push). Emits `CommitApplied` traces and answers clients whose
-    /// writes this server accepted. Returns the records that actually
-    /// applied here, in order.
+    /// writes this server accepted. A record whose request already
+    /// committed under an earlier version is *suppressed*: the version
+    /// slot burns (keeping the log dense) but no data moves, no client
+    /// is answered, and a `commit-suppressed` trace marks the burn.
+    /// Returns the records that actually applied here, in order.
     pub fn apply_commits(
         &mut self,
         records: Vec<CommitRecord>,
@@ -186,11 +219,20 @@ impl ServerCore {
         let mut all_applied = Vec::new();
         for record in records {
             let applied = self.store.offer(record, ctx.now());
-            for rec in applied {
+            for (rec, suppressed) in applied {
                 // However the record reached us (COMMIT broadcast or
                 // anti-entropy), its agent's lock request is over:
                 // purge any Locking List entry it may still hold here.
                 self.ll.remove_by_key(rec.agent);
+                if suppressed {
+                    ctx.trace(TraceEvent::Custom {
+                        kind: "commit-suppressed",
+                        a: rec.version,
+                        b: rec.request,
+                    });
+                    all_applied.push(rec);
+                    continue;
+                }
                 ctx.trace(TraceEvent::CommitApplied {
                     node: self.me,
                     version: rec.version,
@@ -420,6 +462,92 @@ mod tests {
             .traced
             .iter()
             .any(|e| matches!(e, TraceEvent::CommitApplied { version: 1, .. })));
+    }
+
+    #[test]
+    fn retried_write_of_committed_request_is_answered_not_redispatched() {
+        let mut core = core(0);
+        let mut ctx = TestCtx::new(0);
+        let req = ClientRequest {
+            id: 8,
+            op: Operation::Write { key: 2, value: 5 },
+        };
+        assert!(matches!(
+            core.handle_client_request(4, req, &mut ctx),
+            ClientAction::Write(_)
+        ));
+        core.apply_commits(vec![commit(1, 8)], &mut ctx);
+        // The client's resend (it may have missed the reply) is answered
+        // immediately from the request→version map.
+        let action = core.handle_client_request(4, req, &mut ctx);
+        assert_eq!(action, ClientAction::Done);
+        let reply: ClientReply = marp_wire::from_bytes(&ctx.sent.last().unwrap().1).unwrap();
+        assert_eq!(reply, ClientReply::WriteDone { id: 8, version: 1 });
+        assert!(ctx.traced.iter().any(|e| matches!(
+            e,
+            TraceEvent::Custom {
+                kind: "retry-answered",
+                ..
+            }
+        )));
+    }
+
+    #[test]
+    fn retried_write_in_flight_is_swallowed() {
+        let mut core = core(0);
+        let mut ctx = TestCtx::new(0);
+        let req = ClientRequest {
+            id: 8,
+            op: Operation::Write { key: 2, value: 5 },
+        };
+        assert!(matches!(
+            core.handle_client_request(4, req, &mut ctx),
+            ClientAction::Write(_)
+        ));
+        // Resend while the original dispatch is still working: no second
+        // Write action, no reply yet.
+        let sent_before = ctx.sent.len();
+        assert_eq!(
+            core.handle_client_request(4, req, &mut ctx),
+            ClientAction::Done
+        );
+        assert_eq!(core.pending_client_writes(), 1);
+        assert_eq!(ctx.sent.len(), sent_before);
+    }
+
+    #[test]
+    fn duplicate_commit_is_suppressed_and_client_answered_once() {
+        let mut core = core(0);
+        let mut ctx = TestCtx::new(0);
+        core.handle_client_request(
+            4,
+            ClientRequest {
+                id: 8,
+                op: Operation::Write { key: 2, value: 5 },
+            },
+            &mut ctx,
+        );
+        core.apply_commits(vec![commit(1, 8)], &mut ctx);
+        let replies_before = ctx.sent.len();
+        // A zombie's re-commit of request 8 arrives as version 2.
+        let applied = core.apply_commits(vec![commit(2, 8)], &mut ctx);
+        assert_eq!(applied.len(), 1);
+        assert_eq!(ctx.sent.len(), replies_before, "no second WriteDone");
+        assert!(ctx.traced.iter().any(|e| matches!(
+            e,
+            TraceEvent::Custom {
+                kind: "commit-suppressed",
+                a: 2,
+                b: 8
+            }
+        )));
+        // Only one CommitApplied for the request.
+        let applies = ctx
+            .traced
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::CommitApplied { request: 8, .. }))
+            .count();
+        assert_eq!(applies, 1);
     }
 
     #[test]

@@ -57,7 +57,7 @@ pub struct VersionedStore {
     data: BTreeMap<u64, StoredValue>,
     log: Vec<CommitRecord>,
     pending: BTreeMap<u64, CommitRecord>,
-    applied_requests: std::collections::BTreeSet<u64>,
+    applied_requests: BTreeMap<u64, u64>,
 }
 
 impl VersionedStore {
@@ -93,42 +93,58 @@ impl VersionedStore {
     }
 
     /// Offer a commit. Returns every record that became applicable (the
-    /// offered one plus any buffered successors), in application order.
+    /// offered one plus any buffered successors), in application order,
+    /// each tagged with whether its data write was *suppressed* — the
+    /// record's request was already applied under an earlier version, so
+    /// the slot is burned (version advances, the log stays dense for
+    /// anti-entropy) but the data and the client reply are exactly-once.
     /// Records at or below the applied version are duplicates and are
     /// ignored.
-    pub fn offer(&mut self, record: CommitRecord, now: SimTime) -> Vec<CommitRecord> {
+    pub fn offer(&mut self, record: CommitRecord, now: SimTime) -> Vec<(CommitRecord, bool)> {
         if record.version <= self.applied {
             return Vec::new();
         }
         self.pending.insert(record.version, record);
         let mut applied = Vec::new();
         while let Some(next) = self.pending.remove(&(self.applied + 1)) {
-            self.apply(next.clone(), now);
-            applied.push(next);
+            let suppressed = self.apply(next.clone(), now);
+            applied.push((next, suppressed));
         }
         applied
     }
 
-    fn apply(&mut self, record: CommitRecord, now: SimTime) {
+    /// Apply one in-order record; returns true when the data write was
+    /// suppressed as a duplicate of an already-applied request.
+    fn apply(&mut self, record: CommitRecord, now: SimTime) -> bool {
         debug_assert_eq!(record.version, self.applied + 1);
         self.applied = record.version;
         self.last_update = now;
-        self.data.insert(
-            record.key,
-            StoredValue {
-                value: record.value,
-                version: record.version,
-                applied_at: now,
-            },
-        );
-        self.applied_requests.insert(record.request);
+        let suppressed = self.applied_requests.contains_key(&record.request);
+        if !suppressed {
+            self.data.insert(
+                record.key,
+                StoredValue {
+                    value: record.value,
+                    version: record.version,
+                    applied_at: now,
+                },
+            );
+            self.applied_requests.insert(record.request, record.version);
+        }
         self.log.push(record);
+        suppressed
     }
 
     /// Whether a client request has already been applied here (used to
     /// avoid re-dispatching work whose original agent survived).
     pub fn request_applied(&self, request: u64) -> bool {
-        self.applied_requests.contains(&request)
+        self.applied_requests.contains_key(&request)
+    }
+
+    /// The version under which a client request first committed, if it
+    /// has been applied here — the answer an idempotent resend gets.
+    pub fn request_version(&self, request: u64) -> Option<u64> {
+        self.applied_requests.get(&request).copied()
     }
 
     /// Lowest missing version if the store is waiting on a gap.
@@ -202,7 +218,7 @@ mod tests {
         assert_eq!(store.pending_len(), 2);
         let applied = store.offer(record(1, 1, 10), SimTime::from_millis(5));
         assert_eq!(
-            applied.iter().map(|r| r.version).collect::<Vec<_>>(),
+            applied.iter().map(|(r, _)| r.version).collect::<Vec<_>>(),
             vec![1, 2, 3]
         );
         assert_eq!(store.applied_version(), 3);
@@ -244,6 +260,39 @@ mod tests {
         assert_eq!(sv.value, 51);
         assert_eq!(sv.version, 2);
         assert_eq!(store.len(), 1);
+    }
+
+    #[test]
+    fn duplicate_request_burns_the_slot_without_rewriting_data() {
+        let mut store = VersionedStore::new();
+        // Version 1 commits request 100 writing key 5 = 50.
+        let first = CommitRecord {
+            request: 100,
+            ..record(1, 5, 50)
+        };
+        let applied = store.offer(first, SimTime::from_millis(1));
+        assert_eq!(applied.len(), 1);
+        assert!(!applied[0].1);
+        assert_eq!(store.request_version(100), Some(1));
+        // A zombie re-commit of request 100 arrives as version 2 with a
+        // different (stale) value: the slot burns, the data does not move.
+        let dup = CommitRecord {
+            request: 100,
+            ..record(2, 5, 99)
+        };
+        let applied = store.offer(dup, SimTime::from_millis(2));
+        assert_eq!(applied.len(), 1);
+        assert!(applied[0].1, "duplicate request must be suppressed");
+        assert_eq!(store.get(5).unwrap().value, 50);
+        assert_eq!(store.get(5).unwrap().version, 1);
+        assert_eq!(store.request_version(100), Some(1));
+        // The log stays dense so anti-entropy still works.
+        assert_eq!(store.applied_version(), 2);
+        assert_eq!(store.log().len(), 2);
+        // An unrelated request applies normally afterwards.
+        let applied = store.offer(record(3, 6, 60), SimTime::from_millis(3));
+        assert!(!applied[0].1, "fresh request must not be suppressed");
+        assert_eq!(store.get(6).unwrap().value, 60);
     }
 
     #[test]
