@@ -70,20 +70,22 @@ pub trait AgentBehavior: Wire + Send + 'static {
         env: &mut AgentEnv<'_>,
     ) -> Action;
 
-    /// The host's knowledge horizon — for each server, the highest
-    /// locking-list snapshot version the host has seen. Piggybacked on
-    /// every [`AgentEnvelope::MigrateAck`] this host sends, so peers can
+    /// The host's knowledge horizon — for each packed
+    /// `key << 16 | server` slot, the highest locking-list snapshot
+    /// version the host has seen for that object key at that server
+    /// (key-0 slots coincide with bare server ids, keeping single-key
+    /// deployments byte-identical). Piggybacked on every
+    /// [`AgentEnvelope::MigrateAck`] this host sends, so peers can
     /// delta-encode future agent state shipped to it. The default (no
     /// horizon tracking) keeps non-MARP behaviours unaffected.
-    fn host_horizon(_host: &Self::Host) -> BTreeMap<NodeId, u64> {
+    fn host_horizon(_host: &Self::Host) -> BTreeMap<u64, u64> {
         BTreeMap::new()
     }
 
     /// A [`AgentEnvelope::MigrateAck`] from `peer` advertised its
     /// knowledge horizon; record it in the local host so agents
     /// migrating from here can shrink their carried state.
-    fn record_peer_horizon(_host: &mut Self::Host, _peer: NodeId, _horizon: BTreeMap<NodeId, u64>) {
-    }
+    fn record_peer_horizon(_host: &mut Self::Host, _peer: NodeId, _horizon: BTreeMap<u64, u64>) {}
 
     /// About to serialize and ship this agent to `dest`: last chance to
     /// shed state the destination already knows (delta-encoded Locking

@@ -9,7 +9,6 @@
 
 use crate::id::AgentId;
 use bytes::{Bytes, BytesMut};
-use marp_sim::NodeId;
 use marp_wire::{Wire, WireError};
 use std::collections::BTreeMap;
 
@@ -33,11 +32,16 @@ pub enum AgentEnvelope {
         agent: AgentId,
         /// Hop the ack refers to (for retry deduplication).
         hop: u32,
-        /// The acker's knowledge horizon: for each server, the highest
-        /// locking-list snapshot version it has seen. Future migrations
-        /// *to* this host can delta-encode their Locking Table against
-        /// it (empty when the host tracks no horizons).
-        horizon: BTreeMap<NodeId, u64>,
+        /// The acker's knowledge horizon: for each packed
+        /// `key << 16 | server` slot, the highest locking-list snapshot
+        /// version it has seen for that object key at that server.
+        /// Key-0 slots are numerically equal to a bare
+        /// [`marp_sim::NodeId`], so a
+        /// single-key deployment's acks are byte-identical to the
+        /// pre-keyspace format. Future migrations *to* this host can
+        /// delta-encode their Locking Table against it (empty when the
+        /// host tracks no horizons).
+        horizon: BTreeMap<u64, u64>,
     },
     /// A message addressed to an agent resident at the destination host.
     ToAgent {

@@ -170,6 +170,25 @@ fn record_byte_metrics(_c: &mut Criterion) {
         "e2e/metric/migrated-bytes-per-commit/n5/full",
         u128::from(migrated / commits.max(1)),
     );
+    // The keyed-store row: the same 5-replica cluster with writes
+    // spread over two object keys, so mixed batches fan out into
+    // per-key agents and the store keeps two disjoint version chains.
+    // CI gates on this row alongside the single-key one — per-key
+    // Locking Tables must not inflate the wire cost of a commit.
+    let mut two_key = paper_scenario(5, true);
+    two_key.keys = marp_workload::KeyDist::Uniform { keys: 2 };
+    let outcomes = run_seeds(&two_key, PAPER_SEEDS, None);
+    let mut commits = 0u64;
+    let mut bytes = 0u64;
+    for outcome in &outcomes {
+        outcome.audit.assert_ok();
+        commits += outcome.audit.committed_versions;
+        bytes += outcome.stats.bytes_sent;
+    }
+    criterion::record_metric(
+        "e2e/metric/bytes-per-commit/n5-2key",
+        u128::from(bytes / commits.max(1)),
+    );
 }
 
 criterion_group!(

@@ -249,6 +249,14 @@ impl UpdateAgent {
         &self.rl
     }
 
+    /// The object key this agent's batch writes. Batches are
+    /// key-uniform — the home node splits mixed batches at dispatch —
+    /// so the first request speaks for all of them (an empty batch
+    /// never dispatches; 0 is the single-key default).
+    pub fn key(&self) -> u64 {
+        self.rl.first().map_or(0, |r| r.key)
+    }
+
     /// The agent's Locking Table (inspection).
     pub fn locking_table(&self) -> &LockingTable {
         &self.lt
@@ -551,11 +559,24 @@ impl AgentBehavior for UpdateAgent {
         if !self.visited.contains(&here) {
             self.visited.push(here);
         }
-        let info = host.visit(self.id, env.now(), here);
+        let info = host.visit(self.id, self.key(), env.now(), here);
         env.trace(TraceEvent::LockRequested {
             agent: self.id.key(),
             node: here,
         });
+        // Record when this arrival found earlier agents queued ahead on
+        // its key's Locking List: the keyspace tests use the *absence*
+        // of this event to prove that disjoint-key agents never block
+        // each other.
+        if let Some(rank) = info.snapshot.queue.iter().position(|&a| a == self.id) {
+            if rank > 0 {
+                env.trace(TraceEvent::Custom {
+                    kind: "lock-queued-behind",
+                    a: self.id.key(),
+                    b: rank as u64,
+                });
+            }
+        }
         self.ual.merge(&info.ul);
         // A clone left over from a duplicated migration discovers here
         // that "it" already obtained the lock and updated (it is in the
@@ -571,7 +592,7 @@ impl AgentBehavior for UpdateAgent {
         self.lt.merge(here, info.snapshot);
         if self.gossip {
             self.lt.merge_table(&info.board);
-            host.deposit_gossip(&self.lt);
+            host.deposit_gossip(self.key(), &self.lt);
         }
         self.evaluate(host, env)
     }
@@ -647,9 +668,18 @@ impl AgentBehavior for UpdateAgent {
         match kind {
             TIMER_REPOLL => {
                 if matches!(self.phase, Phase::Parked) && epoch == u64::from(self.repoll_epoch) {
-                    let msg = NodeMsg::LlQuery {
-                        agent: self.id,
-                        reply_to: env.here(),
+                    // Key 0 keeps the legacy query form so single-key
+                    // deployments stay byte-identical on the wire.
+                    let msg = match self.key() {
+                        0 => NodeMsg::LlQuery {
+                            agent: self.id,
+                            reply_to: env.here(),
+                        },
+                        key => NodeMsg::LlQueryKeyed {
+                            agent: self.id,
+                            key,
+                            reply_to: env.here(),
+                        },
                     };
                     self.broadcast(env, &msg);
                     self.repoll_round = self.repoll_round.saturating_add(1);
@@ -679,15 +709,11 @@ impl AgentBehavior for UpdateAgent {
         self.evaluate(host, env)
     }
 
-    fn host_horizon(host: &MarpServerState) -> BTreeMap<NodeId, u64> {
+    fn host_horizon(host: &MarpServerState) -> BTreeMap<u64, u64> {
         host.horizon()
     }
 
-    fn record_peer_horizon(
-        host: &mut MarpServerState,
-        peer: NodeId,
-        horizon: BTreeMap<NodeId, u64>,
-    ) {
+    fn record_peer_horizon(host: &mut MarpServerState, peer: NodeId, horizon: BTreeMap<u64, u64>) {
         host.record_peer_horizon(peer, horizon);
     }
 
@@ -706,8 +732,9 @@ impl AgentBehavior for UpdateAgent {
         // crashed and lost its board) costs at most a re-gather round;
         // safety rests on the UPDATE validation quorum, not the LT.
         if self.gossip {
-            if let Some(h) = host.peer_horizon(dest) {
-                self.lt.prune_covered_by(h);
+            if let Some(packed) = host.peer_horizon(dest) {
+                let h = crate::lt::horizon_for_key(packed, self.key());
+                self.lt.prune_covered_by(&h);
             }
         }
         // The UAL is a cache of the servers' Updated Lists, which the

@@ -7,15 +7,22 @@
 //! agents deposit their Locking Table and pick up what earlier visitors
 //! left, so information spreads without extra messages. Disabling the
 //! board is ablation experiment E10.
+//!
+//! With the keyed lock table the board keeps one accumulated
+//! [`LockingTable`] per object key: lock queues of different keys are
+//! unrelated, so agents only pick up (and deposit) knowledge about
+//! their own key.
 
 use crate::lt::LockingTable;
 use marp_replica::LlSnapshot;
 use marp_sim::NodeId;
+use std::collections::BTreeMap;
 
-/// A server's blackboard of LL snapshots left behind by visiting agents.
+/// A server's blackboard of LL snapshots left behind by visiting
+/// agents, partitioned by object key.
 #[derive(Debug, Clone, Default)]
 pub struct GossipBoard {
-    table: LockingTable,
+    tables: BTreeMap<u64, LockingTable>,
 }
 
 impl GossipBoard {
@@ -24,30 +31,37 @@ impl GossipBoard {
         Self::default()
     }
 
-    /// Deposit an agent's Locking Table (keeps the freshest snapshot per
-    /// server).
-    pub fn deposit(&mut self, lt: &LockingTable) {
-        self.table.merge_table(lt);
+    /// Deposit an agent's Locking Table for its key (keeps the freshest
+    /// snapshot per server).
+    pub fn deposit(&mut self, key: u64, lt: &LockingTable) {
+        self.tables.entry(key).or_default().merge_table(lt);
     }
 
-    /// Deposit one snapshot directly (servers post their own LL).
-    pub fn post(&mut self, server: NodeId, snapshot: LlSnapshot) {
-        self.table.merge(server, snapshot);
+    /// Deposit one snapshot directly (servers post their own per-key
+    /// LL).
+    pub fn post(&mut self, key: u64, server: NodeId, snapshot: LlSnapshot) {
+        self.tables.entry(key).or_default().merge(server, snapshot);
     }
 
-    /// The accumulated knowledge, for a visiting agent to merge.
-    pub fn contents(&self) -> &LockingTable {
-        &self.table
+    /// The accumulated knowledge about `key`, for a visiting agent to
+    /// merge, if any visitor left some.
+    pub fn contents(&self, key: u64) -> Option<&LockingTable> {
+        self.tables.get(&key)
     }
 
-    /// Number of servers the board has information about.
-    pub fn known_servers(&self) -> usize {
-        self.table.known_servers()
+    /// Number of servers the board has information about for `key`.
+    pub fn known_servers(&self, key: u64) -> usize {
+        self.tables.get(&key).map_or(0, LockingTable::known_servers)
+    }
+
+    /// Keys any visitor has left information about.
+    pub fn keys(&self) -> impl Iterator<Item = u64> + '_ {
+        self.tables.keys().copied()
     }
 
     /// Reset (volatile across crashes).
     pub fn clear(&mut self) {
-        self.table = LockingTable::new();
+        self.tables.clear();
     }
 }
 
@@ -71,9 +85,12 @@ mod tests {
         let mut board = GossipBoard::new();
         let mut lt = LockingTable::new();
         lt.merge(2, snap(5, &[a]));
-        board.deposit(&lt);
-        assert_eq!(board.known_servers(), 1);
-        assert_eq!(board.contents().snapshot(2).unwrap().top(), Some(a));
+        board.deposit(0, &lt);
+        assert_eq!(board.known_servers(0), 1);
+        assert_eq!(
+            board.contents(0).unwrap().snapshot(2).unwrap().top(),
+            Some(a)
+        );
     }
 
     #[test]
@@ -81,18 +98,34 @@ mod tests {
         let a = AgentId::new(1, SimTime::ZERO, 0);
         let b = AgentId::new(2, SimTime::ZERO, 0);
         let mut board = GossipBoard::new();
-        board.post(0, snap(5, &[a]));
-        board.post(0, snap(3, &[b]));
-        assert_eq!(board.contents().snapshot(0).unwrap().top(), Some(a));
-        board.post(0, snap(7, &[b]));
-        assert_eq!(board.contents().snapshot(0).unwrap().top(), Some(b));
+        board.post(0, 0, snap(5, &[a]));
+        board.post(0, 0, snap(3, &[b]));
+        assert_eq!(
+            board.contents(0).unwrap().snapshot(0).unwrap().top(),
+            Some(a)
+        );
+        board.post(0, 0, snap(7, &[b]));
+        assert_eq!(
+            board.contents(0).unwrap().snapshot(0).unwrap().top(),
+            Some(b)
+        );
+    }
+
+    #[test]
+    fn keys_are_partitioned() {
+        let a = AgentId::new(1, SimTime::ZERO, 0);
+        let mut board = GossipBoard::new();
+        board.post(7, 0, snap(5, &[a]));
+        assert_eq!(board.known_servers(7), 1);
+        assert_eq!(board.known_servers(8), 0);
+        assert!(board.contents(8).is_none());
     }
 
     #[test]
     fn clear_empties_board() {
         let mut board = GossipBoard::new();
-        board.post(0, snap(1, &[]));
+        board.post(0, 0, snap(1, &[]));
         board.clear();
-        assert_eq!(board.known_servers(), 0);
+        assert_eq!(board.known_servers(0), 0);
     }
 }

@@ -4,7 +4,7 @@
 
 use crate::config::{ChaosMode, MarpConfig};
 use crate::gossip::GossipBoard;
-use crate::lt::LockingTable;
+use crate::lt::{pack_horizon_slot, LockingTable, MAX_HORIZON_KEY};
 use crate::msg::{AgentReply, UpdateMsg};
 use marp_agent::AgentId;
 use marp_net::RoutingTable;
@@ -37,12 +37,16 @@ pub struct MarpServerState {
     pub routing: RoutingTable,
     gossip_enabled: bool,
     reserve_lease: Duration,
-    reserved: Option<(AgentId, SimTime)>,
+    /// Reservation holder per object key: winners of different keys
+    /// validate and commit concurrently, so each key carries its own
+    /// reservation.
+    reserved: BTreeMap<u64, (AgentId, SimTime)>,
     chaos: ChaosMode,
     /// Last knowledge horizon advertised by each peer (piggybacked on
-    /// its migration acks). Agents migrating from here delta-encode
-    /// their Locking Tables against the destination's entry.
-    peer_horizons: BTreeMap<NodeId, BTreeMap<NodeId, u64>>,
+    /// its migration acks), as packed `key << 16 | server` slots.
+    /// Agents migrating from here delta-encode their Locking Tables
+    /// against the destination's entry for their key.
+    peer_horizons: BTreeMap<NodeId, BTreeMap<u64, u64>>,
     /// Incarnation fence per client request: the highest incarnation
     /// this server positively acked for each request it has seen, plus
     /// when (for pruning). A regenerated agent carries a bumped
@@ -60,7 +64,7 @@ impl MarpServerState {
             routing,
             gossip_enabled: cfg.gossip,
             reserve_lease: cfg.reserve_lease,
-            reserved: None,
+            reserved: BTreeMap::new(),
             chaos: cfg.chaos,
             peer_horizons: BTreeMap::new(),
             fences: BTreeMap::new(),
@@ -68,32 +72,57 @@ impl MarpServerState {
     }
 
     /// This server's knowledge horizon: the highest locking-list
-    /// snapshot version it holds per server — its own live LL plus
-    /// everything on the gossip board. Advertised in migration acks so
-    /// senders can delta-encode agent state shipped here.
-    pub fn horizon(&self) -> BTreeMap<NodeId, u64> {
-        let mut horizon = if self.gossip_enabled {
-            self.board.contents().horizon()
-        } else {
-            BTreeMap::new()
-        };
+    /// snapshot version it holds per `(key, server)` packed slot — its
+    /// own live lock table plus everything on the gossip board.
+    /// Advertised in migration acks so senders can delta-encode agent
+    /// state shipped here. The key-0 slot for this server is always
+    /// present (even while virgin), matching the pre-keyspace format
+    /// byte-for-byte in single-key deployments.
+    pub fn horizon(&self) -> BTreeMap<u64, u64> {
+        let mut horizon = BTreeMap::new();
         let me = self.core.me();
-        let own = self.core.ll.version();
-        horizon
-            .entry(me)
-            .and_modify(|v| *v = (*v).max(own))
-            .or_insert(own);
+        if self.gossip_enabled {
+            for key in self.board.keys() {
+                if key > MAX_HORIZON_KEY {
+                    continue;
+                }
+                let Some(table) = self.board.contents(key) else {
+                    continue;
+                };
+                for (server, version) in table.horizon() {
+                    let slot = pack_horizon_slot(key, server);
+                    horizon
+                        .entry(slot)
+                        .and_modify(|v: &mut u64| *v = (*v).max(version))
+                        .or_insert(version);
+                }
+            }
+        }
+        let mut own_keys: Vec<u64> = self
+            .core
+            .ll
+            .keys()
+            .filter(|&k| k != 0 && k <= MAX_HORIZON_KEY)
+            .collect();
+        own_keys.push(0);
+        for key in own_keys {
+            let own = self.core.ll.version(key);
+            horizon
+                .entry(pack_horizon_slot(key, me))
+                .and_modify(|v| *v = (*v).max(own))
+                .or_insert(own);
+        }
         horizon
     }
 
     /// Record the knowledge horizon a peer advertised in a migration
     /// ack.
-    pub fn record_peer_horizon(&mut self, peer: NodeId, horizon: BTreeMap<NodeId, u64>) {
+    pub fn record_peer_horizon(&mut self, peer: NodeId, horizon: BTreeMap<u64, u64>) {
         self.peer_horizons.insert(peer, horizon);
     }
 
-    /// The last horizon `peer` advertised, if any.
-    pub fn peer_horizon(&self, peer: NodeId) -> Option<&BTreeMap<NodeId, u64>> {
+    /// The last (packed) horizon `peer` advertised, if any.
+    pub fn peer_horizon(&self, peer: NodeId) -> Option<&BTreeMap<u64, u64>> {
         self.peer_horizons.get(&peer)
     }
 
@@ -102,15 +131,15 @@ impl MarpServerState {
         self.gossip_enabled
     }
 
-    /// Current reservation holder, if any (for inspection).
-    pub fn reserved_for(&self) -> Option<AgentId> {
-        self.reserved.map(|(agent, _)| agent)
+    /// Current reservation holder for `key`, if any (for inspection).
+    pub fn reserved_for(&self, key: u64) -> Option<AgentId> {
+        self.reserved.get(&key).map(|&(agent, _)| agent)
     }
 
-    /// A visiting agent requests the lock and reads the local
-    /// coordination state (paper Algorithm 2, "upon arrival of a mobile
-    /// agent").
-    pub fn visit(&mut self, agent: AgentId, now: SimTime, here: NodeId) -> VisitInfo {
+    /// A visiting agent requests the lock on its object key and reads
+    /// the local coordination state (paper Algorithm 2, "upon arrival
+    /// of a mobile agent").
+    pub fn visit(&mut self, agent: AgentId, key: u64, now: SimTime, here: NodeId) -> VisitInfo {
         self.core.ll.purge_expired(now);
         // A finished agent (listed in the UL) must never re-enter the
         // queue: a stale clone from a duplicated migration would
@@ -119,16 +148,16 @@ impl MarpServerState {
         if !self.core.ul.contains(agent) {
             self.core
                 .ll
-                .request(agent, now, self.core.lock_lease(), here);
+                .request(key, agent, now, self.core.lock_lease(), here);
             if self.chaos.lifo_insert() {
                 // Seeded bug (checker self-test): jump the FIFO queue.
-                self.core.ll.chaos_promote_to_front(agent);
+                self.core.ll.list_mut(key).chaos_promote_to_front(agent);
             }
         }
         VisitInfo {
-            snapshot: self.core.ll.snapshot(now),
+            snapshot: self.core.ll.snapshot(key, now),
             board: if self.gossip_enabled {
-                self.board.contents().clone()
+                self.board.contents(key).cloned().unwrap_or_default()
             } else {
                 LockingTable::new()
             },
@@ -136,11 +165,11 @@ impl MarpServerState {
         }
     }
 
-    /// A visiting agent leaves its accumulated locking information on
-    /// the board (no-op when gossip is disabled).
-    pub fn deposit_gossip(&mut self, lt: &LockingTable) {
+    /// A visiting agent leaves its accumulated locking information
+    /// about its key on the board (no-op when gossip is disabled).
+    pub fn deposit_gossip(&mut self, key: u64, lt: &LockingTable) {
         if self.gossip_enabled {
-            self.board.deposit(lt);
+            self.board.deposit(key, lt);
         }
     }
 
@@ -149,11 +178,11 @@ impl MarpServerState {
         self.routing.cost(to)
     }
 
-    fn reservation_blocks(&mut self, agent: AgentId, now: SimTime) -> bool {
-        match self.reserved {
-            Some((holder, expires)) if holder != agent => {
+    fn reservation_blocks(&mut self, key: u64, agent: AgentId, now: SimTime) -> bool {
+        match self.reserved.get(&key) {
+            Some(&(holder, expires)) if holder != agent => {
                 if expires <= now {
-                    self.reserved = None;
+                    self.reserved.remove(&key);
                     false
                 } else {
                     true
@@ -167,6 +196,9 @@ impl MarpServerState {
     /// acknowledgement to send back to the claimant.
     pub fn handle_update(&mut self, msg: &UpdateMsg, ctx: &mut dyn Context) -> AgentReply {
         let now = ctx.now();
+        // Batches are key-uniform (the node splits mixed batches at
+        // dispatch), so the claim's object key is its first request's.
+        let key = msg.requests.first().map_or(0, |r| r.key);
         self.core.ll.purge_expired(now);
         // Refusal reasons are traced for diagnosability: 1 = reserved
         // for another claimant, 2 = claimant absent from the LL,
@@ -198,18 +230,19 @@ impl MarpServerState {
             // Seeded bug (checker self-test): ack without validating or
             // reserving.
             true
-        } else if self.reservation_blocks(msg.agent, now) {
+        } else if self.reservation_blocks(key, msg.agent, now) {
             refusal = 1;
             false
-        } else if self.core.ll.top() == Some(msg.agent) {
+        } else if self.core.ll.top(key) == Some(msg.agent) {
             true
         } else if let Some(cert) = &msg.tie_certificate {
-            match self.core.ll.rank_of(msg.agent) {
+            match self.core.ll.rank_of(key, msg.agent) {
                 Some(rank) => {
                     // Entries of agents our UL says already finished are
                     // stale (e.g. a commit applied via anti-entropy
                     // before this purge) and do not block a claim.
-                    let ok = self.core.ll.entries()[..rank]
+                    let entries = self.core.ll.list(key).map_or(&[][..], |ll| ll.entries());
+                    let ok = entries[..rank]
                         .iter()
                         .all(|e| cert.contains(&e.agent) || self.core.ul.contains(e.agent));
                     if !ok {
@@ -234,7 +267,8 @@ impl MarpServerState {
             });
         }
         if positive && !self.chaos.blind_acks() {
-            self.reserved = Some((msg.agent, now + self.reserve_lease));
+            self.reserved
+                .insert(key, (msg.agent, now + self.reserve_lease));
             // Raise the fences: from now on, only this incarnation (or
             // a later regeneration) of the carried requests can gather
             // a positive ack here.
@@ -254,70 +288,73 @@ impl MarpServerState {
             attempt: msg.attempt,
             positive,
             fenced,
-            store_version: self.core.store.applied_version(),
-            last_update: self.core.store.last_update_time(),
+            store_version: self.core.store.applied_version_for(key),
+            last_update: self.core.store.last_update_time_for(key),
         }
     }
 
-    /// Handle a COMMIT: apply the records, retire the winner from the
-    /// LL into the UL, clear its reservation, and report the remaining
-    /// LL members (with their last known hosts) so the node can push
-    /// change notifications to them.
+    /// Handle a COMMIT: apply the records, retire the winner from its
+    /// key's queue into the UL, clear its reservation, and report the
+    /// remaining queue members (with their last known hosts) so the
+    /// node can push change notifications to them.
     pub fn handle_commit(
         &mut self,
         agent: AgentId,
         records: Vec<marp_replica::CommitRecord>,
         ctx: &mut dyn Context,
     ) -> Vec<(NodeId, AgentId)> {
+        // Single-key batches: the winner's object key is its records'.
+        let key = records.first().map_or(0, |r| r.key);
         self.core.apply_commits(records, ctx);
-        self.core.ll.remove(agent);
+        self.core.ll.remove(key, agent);
         self.core.ul.record(agent, ctx.now());
-        if self.reserved.map(|(holder, _)| holder) == Some(agent) {
-            self.reserved = None;
+        if self.reserved.get(&key).map(|&(holder, _)| holder) == Some(agent) {
+            self.reserved.remove(&key);
         }
         // Keep the local board fresh so future visitors see this change.
         if self.gossip_enabled {
-            let snapshot = self.core.ll.snapshot(ctx.now());
-            self.board.post(self.core.me(), snapshot);
+            let snapshot = self.core.ll.snapshot(key, ctx.now());
+            self.board.post(key, self.core.me(), snapshot);
         }
-        self.core
-            .ll
-            .entries()
-            .iter()
-            .map(|e| (e.last_host, e.agent))
-            .collect()
+        self.core.ll.list(key).map_or_else(Vec::new, |ll| {
+            ll.entries()
+                .iter()
+                .map(|e| (e.last_host, e.agent))
+                .collect()
+        })
     }
 
-    /// Handle a RELEASE from an aborting claimant.
+    /// Handle a RELEASE from an aborting claimant (a RELEASE names no
+    /// key; agent ids are globally unique, so clearing every
+    /// reservation the agent holds is unambiguous).
     pub fn handle_release(&mut self, agent: AgentId) {
-        if self.reserved.map(|(holder, _)| holder) == Some(agent) {
-            self.reserved = None;
-        }
+        self.reserved.retain(|_, &mut (holder, _)| holder != agent);
     }
 
-    /// Handle a parked agent's LL query: refresh its lease (without
-    /// creating an entry at servers it never visited) and return fresh
-    /// locking information.
+    /// Handle a parked agent's LL query for its key: refresh its lease
+    /// (without creating an entry at servers it never visited) and
+    /// return fresh locking information.
     pub fn handle_ll_query(
         &mut self,
         agent: AgentId,
+        key: u64,
         reply_to: NodeId,
         now: SimTime,
     ) -> AgentReply {
         self.core.ll.purge_expired(now);
         self.core
             .ll
-            .refresh(agent, now, self.core.lock_lease(), reply_to);
-        self.ll_info(now)
+            .refresh(key, agent, now, self.core.lock_lease(), reply_to);
+        self.ll_info(key, now)
     }
 
-    /// Build an `LlInfo` reply from the current state.
-    pub fn ll_info(&self, now: SimTime) -> AgentReply {
+    /// Build an `LlInfo` reply about `key` from the current state.
+    pub fn ll_info(&self, key: u64, now: SimTime) -> AgentReply {
         AgentReply::LlInfo {
             node: self.core.me(),
-            snapshot: self.core.ll.snapshot(now),
+            snapshot: self.core.ll.snapshot(key, now),
             board: if self.gossip_enabled {
-                self.board.contents().clone()
+                self.board.contents(key).cloned().unwrap_or_default()
             } else {
                 LockingTable::new()
             },
@@ -337,18 +374,15 @@ impl MarpServerState {
             self.core.ul.prune_before(cutoff);
             self.fences.retain(|_, &mut (_, at)| at >= cutoff);
         }
-        if let Some((_, expires)) = self.reserved {
-            if expires <= ctx.now() {
-                self.reserved = None;
-            }
-        }
+        let now = ctx.now();
+        self.reserved.retain(|_, &mut (_, expires)| expires > now);
     }
 
     /// Crash recovery: volatile coordination state resets.
     pub fn on_recover(&mut self) {
         self.core.on_recover();
         self.board.clear();
-        self.reserved = None;
+        self.reserved.clear();
         self.peer_horizons.clear();
         self.fences.clear();
     }
@@ -434,7 +468,7 @@ mod tests {
     fn visit_appends_and_returns_snapshot() {
         let mut state = state();
         let a = aid(1, 1);
-        let info = state.visit(a, SimTime::from_millis(1), 1);
+        let info = state.visit(a, 1, SimTime::from_millis(1), 1);
         assert_eq!(info.snapshot.queue, vec![a]);
         assert!(info.ul.is_empty());
         // Gossip on by default: board empty until someone deposits.
@@ -445,14 +479,14 @@ mod tests {
     fn update_from_top_agent_is_positive_and_reserves() {
         let mut state = state();
         let a = aid(1, 1);
-        state.visit(a, SimTime::from_millis(1), 1);
+        state.visit(a, 1, SimTime::from_millis(1), 1);
         let mut ctx = TestCtx {
             now: SimTime::from_millis(2),
             traced: vec![],
         };
         let ack = state.handle_update(&update_msg(a, None), &mut ctx);
         assert!(positive(&ack));
-        assert_eq!(state.reserved_for(), Some(a));
+        assert_eq!(state.reserved_for(1), Some(a));
     }
 
     #[test]
@@ -460,15 +494,15 @@ mod tests {
         let mut state = state();
         let a = aid(1, 1);
         let b = aid(2, 2);
-        state.visit(a, SimTime::from_millis(1), 1);
-        state.visit(b, SimTime::from_millis(2), 2);
+        state.visit(a, 1, SimTime::from_millis(1), 1);
+        state.visit(b, 1, SimTime::from_millis(2), 2);
         let mut ctx = TestCtx {
             now: SimTime::from_millis(3),
             traced: vec![],
         };
         let ack = state.handle_update(&update_msg(b, None), &mut ctx);
         assert!(!positive(&ack));
-        assert_eq!(state.reserved_for(), None);
+        assert_eq!(state.reserved_for(1), None);
     }
 
     #[test]
@@ -476,8 +510,8 @@ mod tests {
         let mut state = state();
         let a = aid(1, 1);
         let b = aid(2, 2);
-        state.visit(a, SimTime::from_millis(1), 1);
-        state.visit(b, SimTime::from_millis(2), 2);
+        state.visit(a, 1, SimTime::from_millis(1), 1);
+        state.visit(b, 1, SimTime::from_millis(2), 2);
         let mut ctx = TestCtx {
             now: SimTime::from_millis(3),
             traced: vec![],
@@ -487,7 +521,7 @@ mod tests {
         assert!(positive(&ack));
         // A certificate missing a does not validate for a third agent.
         let c = aid(3, 3);
-        state.visit(c, SimTime::from_millis(3), 0);
+        state.visit(c, 1, SimTime::from_millis(3), 0);
         state.handle_release(b);
         let ack = state.handle_update(&update_msg(c, Some(vec![b])), &mut ctx);
         assert!(!positive(&ack));
@@ -498,8 +532,8 @@ mod tests {
         let mut state = state();
         let a = aid(1, 1);
         let b = aid(2, 2);
-        state.visit(a, SimTime::from_millis(1), 1);
-        state.visit(b, SimTime::from_millis(2), 2);
+        state.visit(a, 1, SimTime::from_millis(1), 1);
+        state.visit(b, 1, SimTime::from_millis(2), 2);
         let mut ctx = TestCtx {
             now: SimTime::from_millis(3),
             traced: vec![],
@@ -520,8 +554,8 @@ mod tests {
         let mut state = state();
         let a = aid(1, 1);
         let b = aid(2, 2);
-        state.visit(a, SimTime::from_millis(1), 1);
-        state.visit(b, SimTime::from_millis(2), 2);
+        state.visit(a, 1, SimTime::from_millis(1), 1);
+        state.visit(b, 1, SimTime::from_millis(2), 2);
         let mut ctx = TestCtx {
             now: SimTime::from_millis(3),
             traced: vec![],
@@ -540,8 +574,8 @@ mod tests {
         let mut state = state();
         let a = aid(1, 1);
         let b = aid(2, 2);
-        state.visit(a, SimTime::from_millis(1), 1);
-        state.visit(b, SimTime::from_millis(2), 2);
+        state.visit(a, 1, SimTime::from_millis(1), 1);
+        state.visit(b, 1, SimTime::from_millis(2), 2);
         let mut ctx = TestCtx {
             now: SimTime::from_millis(5),
             traced: vec![],
@@ -556,7 +590,7 @@ mod tests {
         };
         let notify = state.handle_commit(a, vec![record], &mut ctx);
         assert_eq!(notify, vec![(2, b)]);
-        assert!(!state.core.ll.contains(a));
+        assert!(!state.core.ll.contains(1, a));
         assert!(state.core.ul.contains(a));
         assert_eq!(state.core.store.applied_version(), 1);
     }
@@ -566,15 +600,15 @@ mod tests {
         let mut state = state();
         let a = aid(1, 1);
         let stranger = aid(7, 7);
-        state.visit(a, SimTime::from_millis(1), 1);
-        let reply = state.handle_ll_query(stranger, 5, SimTime::from_millis(2));
+        state.visit(a, 1, SimTime::from_millis(1), 1);
+        let reply = state.handle_ll_query(stranger, 1, 5, SimTime::from_millis(2));
         match reply {
             AgentReply::LlInfo { snapshot, .. } => {
                 assert_eq!(snapshot.queue, vec![a]);
             }
             _ => panic!("expected LlInfo"),
         }
-        assert!(!state.core.ll.contains(stranger));
+        assert!(!state.core.ll.contains(1, stranger));
     }
 
     #[test]
@@ -586,7 +620,7 @@ mod tests {
             traced: vec![],
         };
         // a commits...
-        state.visit(a, SimTime::from_millis(1), 1);
+        state.visit(a, 1, SimTime::from_millis(1), 1);
         let record = marp_replica::CommitRecord {
             version: 1,
             key: 1,
@@ -598,8 +632,8 @@ mod tests {
         state.handle_commit(a, vec![record], &mut ctx);
         assert!(state.core.ul.contains(a));
         // ...and a stale clone of a tries to queue again: refused.
-        let info = state.visit(a, SimTime::from_millis(6), 2);
-        assert!(!state.core.ll.contains(a));
+        let info = state.visit(a, 1, SimTime::from_millis(6), 2);
+        assert!(!state.core.ll.contains(1, a));
         // The clone can see its own id in the returned UL and dispose.
         assert!(info.ul.contains(a));
     }
@@ -612,8 +646,8 @@ mod tests {
         // The stale agent is enqueued, then its commit arrives through
         // anti-entropy *after* a clone re-queued it: force the bad
         // state by inserting the UL record directly.
-        state.visit(stale, SimTime::from_millis(1), 1);
-        state.visit(claimant, SimTime::from_millis(2), 2);
+        state.visit(stale, 1, SimTime::from_millis(1), 1);
+        state.visit(claimant, 1, SimTime::from_millis(2), 2);
         state.core.ul.record(stale, SimTime::from_millis(3));
         let mut ctx = TestCtx {
             now: SimTime::from_millis(4),
@@ -630,8 +664,8 @@ mod tests {
     fn anti_entropy_commits_purge_queue_entries() {
         let mut state = state();
         let winner = aid(1, 1);
-        state.visit(winner, SimTime::from_millis(1), 1);
-        assert!(state.core.ll.contains(winner));
+        state.visit(winner, 9, SimTime::from_millis(1), 1);
+        assert!(state.core.ll.contains(9, winner));
         let mut ctx = TestCtx {
             now: SimTime::from_millis(2),
             traced: vec![],
@@ -655,7 +689,7 @@ mod tests {
         );
         assert_eq!(state.core.store.applied_version(), 1);
         assert!(
-            !state.core.ll.contains(winner),
+            !state.core.ll.contains(9, winner),
             "sync-applied commit left a stale queue entry"
         );
     }
@@ -679,9 +713,9 @@ mod tests {
                 queue: vec![aid(1, 1)],
             },
         );
-        state.deposit_gossip(&lt);
-        assert_eq!(state.board.known_servers(), 0);
-        let info = state.visit(aid(2, 2), SimTime::from_millis(2), 2);
+        state.deposit_gossip(1, &lt);
+        assert_eq!(state.board.known_servers(1), 0);
+        let info = state.visit(aid(2, 2), 1, SimTime::from_millis(2), 2);
         assert_eq!(info.board.known_servers(), 0);
     }
 
@@ -690,7 +724,7 @@ mod tests {
         let mut state = state();
         let original = aid(1, 1);
         let regenerated = aid(1, 5);
-        state.visit(regenerated, SimTime::from_millis(5), 1);
+        state.visit(regenerated, 1, SimTime::from_millis(5), 1);
         let mut ctx = TestCtx {
             now: SimTime::from_millis(6),
             traced: vec![],
@@ -705,8 +739,8 @@ mod tests {
         state.handle_release(regenerated);
         // The zombie original (incarnation 0) now claims — even from the
         // top of the queue it must be refused and told it is superseded.
-        state.visit(original, SimTime::from_millis(7), 2);
-        state.core.ll.remove(regenerated);
+        state.visit(original, 1, SimTime::from_millis(7), 2);
+        state.core.ll.remove(1, regenerated);
         let ack = state.handle_update(&update_msg(original, None), &mut ctx);
         assert!(!positive(&ack));
         assert!(fenced(&ack), "stale incarnation must get a fenced ack");
@@ -729,7 +763,7 @@ mod tests {
             now: SimTime::from_millis(5),
             traced: vec![],
         };
-        state.visit(winner, SimTime::from_millis(1), 1);
+        state.visit(winner, 1, SimTime::from_millis(1), 1);
         let record = marp_replica::CommitRecord {
             version: 1,
             key: 1,
@@ -741,7 +775,7 @@ mod tests {
         state.handle_commit(winner, vec![record], &mut ctx);
         // A different agent carrying the same (already committed)
         // request gets a fenced refusal regardless of queue position.
-        state.visit(zombie, SimTime::from_millis(6), 2);
+        state.visit(zombie, 1, SimTime::from_millis(6), 2);
         let ack = state.handle_update(&update_msg(zombie, None), &mut ctx);
         assert!(!positive(&ack));
         assert!(fenced(&ack), "committed work must fence late claimants");

@@ -75,7 +75,10 @@ pub enum NodeMsg {
         /// The aborting agent.
         agent: AgentId,
     },
-    /// A parked agent refreshing its lease and asking for fresh LL info.
+    /// A parked agent refreshing its lease and asking for fresh LL info
+    /// about object key 0 (the legacy single-key form; agents for other
+    /// keys send [`NodeMsg::LlQueryKeyed`] so single-key traffic stays
+    /// byte-identical).
     LlQuery {
         /// The asking agent.
         agent: AgentId,
@@ -87,6 +90,16 @@ pub enum NodeMsg {
     /// Read-agent runtime traffic (the consistent-read extension runs
     /// its agents in a separate runtime with its own envelope space).
     RAgent(AgentEnvelope),
+    /// A parked agent refreshing its lease and asking for fresh LL info
+    /// about a specific object key (sent only when the key is not 0).
+    LlQueryKeyed {
+        /// The asking agent.
+        agent: AgentId,
+        /// The object key whose queue the agent waits on.
+        key: u64,
+        /// Where it is parked (replies go there).
+        reply_to: NodeId,
+    },
 }
 
 const TAG_CLIENT: u8 = 0;
@@ -97,6 +110,7 @@ const TAG_RELEASE: u8 = 4;
 const TAG_LL_QUERY: u8 = 5;
 const TAG_SYNC: u8 = 6;
 const TAG_RAGENT: u8 = 7;
+const TAG_LL_QUERY_KEYED: u8 = 8;
 
 impl Wire for NodeMsg {
     fn encode(&self, buf: &mut BytesMut) {
@@ -134,6 +148,16 @@ impl Wire for NodeMsg {
                 TAG_RAGENT.encode(buf);
                 env.encode(buf);
             }
+            NodeMsg::LlQueryKeyed {
+                agent,
+                key,
+                reply_to,
+            } => {
+                TAG_LL_QUERY_KEYED.encode(buf);
+                agent.encode(buf);
+                key.encode(buf);
+                reply_to.encode(buf);
+            }
         }
     }
 
@@ -152,6 +176,11 @@ impl Wire for NodeMsg {
             }),
             TAG_SYNC => Ok(NodeMsg::Sync(SyncMsg::decode(buf)?)),
             TAG_RAGENT => Ok(NodeMsg::RAgent(AgentEnvelope::decode(buf)?)),
+            TAG_LL_QUERY_KEYED => Ok(NodeMsg::LlQueryKeyed {
+                agent: AgentId::decode(buf)?,
+                key: u64::decode(buf)?,
+                reply_to: NodeId::decode(buf)?,
+            }),
             tag => Err(WireError::InvalidTag {
                 type_name: "NodeMsg",
                 tag: u32::from(tag),
@@ -168,6 +197,11 @@ impl Wire for NodeMsg {
             NodeMsg::Release { agent } => agent.encoded_len(),
             NodeMsg::LlQuery { agent, reply_to } => agent.encoded_len() + reply_to.encoded_len(),
             NodeMsg::Sync(msg) => msg.encoded_len(),
+            NodeMsg::LlQueryKeyed {
+                agent,
+                key,
+                reply_to,
+            } => agent.encoded_len() + key.encoded_len() + reply_to.encoded_len(),
         }
     }
 }
@@ -370,6 +404,11 @@ mod tests {
         roundtrip(NodeMsg::Release { agent: aid(1) });
         roundtrip(NodeMsg::LlQuery {
             agent: aid(1),
+            reply_to: 2,
+        });
+        roundtrip(NodeMsg::LlQueryKeyed {
+            agent: aid(1),
+            key: 6,
             reply_to: 2,
         });
         roundtrip(NodeMsg::Sync(SyncMsg::Pull { from_version: 0 }));

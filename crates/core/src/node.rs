@@ -58,7 +58,11 @@ pub struct MarpNode {
 impl MarpNode {
     /// Build the node for server `me` with the given routing table.
     pub fn new(me: NodeId, cfg: MarpConfig, routing: RoutingTable) -> Self {
-        let core = ServerCore::new(me, cfg.server, wrap_sync);
+        // MARP orders commits per object key (independent keys never
+        // contend), so the store runs the per-key chain discipline.
+        // Single-key workloads only ever touch chain 0 and remain
+        // byte-identical to the global discipline.
+        let core = ServerCore::keyed(me, cfg.server, wrap_sync);
         MarpNode {
             state: MarpServerState::new(core, routing, &cfg),
             runtime: AgentRuntime::new(cfg.migration, wrap_agent_envelope),
@@ -108,8 +112,43 @@ impl MarpNode {
         self.state.core.me()
     }
 
+    /// Dispatch agents for a ripe batch. Agents are key-uniform — one
+    /// agent per object key present in the batch — so a batch mixing
+    /// keys fans out into independent agents whose lock acquisitions
+    /// cannot block each other. Single-key batches (every paper
+    /// scenario) pass through as exactly one launch.
+    ///
+    /// SEAM(sharding): this is also where a key→replica-subset mapping
+    /// would take effect — each per-key agent would receive an
+    /// itinerary drawn from `replica_set_for_key(key)` instead of the
+    /// full server set. Partial replication is intentionally *not*
+    /// implemented; see `docs/KEYSPACE.md` §"The sharding seam".
     fn dispatch_agent(&mut self, batch: Vec<WriteRequest>, ctx: &mut dyn Context) {
-        self.launch(batch, 0, 1, ctx);
+        if batch.windows(2).all(|w| w[0].key == w[1].key) {
+            self.launch(batch, 0, 1, ctx);
+            return;
+        }
+        let mut by_key: BTreeMap<u64, Vec<WriteRequest>> = BTreeMap::new();
+        for req in batch {
+            by_key.entry(req.key).or_default().push(req);
+        }
+        for (_, group) in by_key {
+            self.launch(group, 0, 1, ctx);
+        }
+    }
+
+    /// The replica subset holding `key` — today, every server: MARP as
+    /// reproduced here is fully replicated, exactly as in the paper.
+    ///
+    /// SEAM(sharding): a real keyspace partitioning scheme (consistent
+    /// hashing, range tables, ...) would plug in here and return a
+    /// proper subset; itineraries, UPDATE/COMMIT broadcast targets, and
+    /// quorum sizes would all need to draw from it. Left unimplemented
+    /// on purpose — the protocol layers above are already keyed, so
+    /// this function is the single point where placement policy enters.
+    #[allow(dead_code)]
+    fn replica_set_for_key(&self, _key: u64) -> Vec<NodeId> {
+        (0..self.cfg.n_servers as NodeId).collect()
     }
 
     /// Launch one update agent for `batch` (original dispatch or a
@@ -247,11 +286,12 @@ impl MarpNode {
                 self.send_to_agent(update.reply_to, update.agent, &ack, ctx);
             }
             NodeMsg::Commit(commit) => {
+                let key = commit.records.first().map_or(0, |r| r.key);
                 let notify = self.state.handle_commit(commit.agent, commit.records, ctx);
                 // Push the LL change to the remaining queued agents so
                 // parked agents learn promptly that the winner is gone.
                 if !notify.is_empty() {
-                    let info = self.state.ll_info(ctx.now());
+                    let info = self.state.ll_info(key, ctx.now());
                     for (host, agent) in notify {
                         self.send_to_agent(host, agent, &info, ctx);
                     }
@@ -259,7 +299,16 @@ impl MarpNode {
             }
             NodeMsg::Release { agent } => self.state.handle_release(agent),
             NodeMsg::LlQuery { agent, reply_to } => {
-                let info = self.state.handle_ll_query(agent, reply_to, ctx.now());
+                // Legacy query form: always the key-0 locking list.
+                let info = self.state.handle_ll_query(agent, 0, reply_to, ctx.now());
+                self.send_to_agent(reply_to, agent, &info, ctx);
+            }
+            NodeMsg::LlQueryKeyed {
+                agent,
+                key,
+                reply_to,
+            } => {
+                let info = self.state.handle_ll_query(agent, key, reply_to, ctx.now());
                 self.send_to_agent(reply_to, agent, &info, ctx);
             }
             NodeMsg::Sync(sync) => self.state.core.handle_sync(from, sync, ctx),

@@ -192,7 +192,7 @@ impl AgentBehavior for ReadAgent {
             env.here(),
             true,
             (
-                store.applied_version(),
+                store.applied_version_for(self.key),
                 stored.map_or(0, |s| s.version),
                 stored.map(|s| s.value),
             ),

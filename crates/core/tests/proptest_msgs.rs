@@ -65,7 +65,7 @@ fn arb_node_msg() -> impl Strategy<Value = NodeMsg> {
         (
             arb_agent_id(),
             any::<u32>(),
-            proptest::collection::btree_map(any::<u16>(), any::<u64>(), 0..4),
+            proptest::collection::btree_map(any::<u64>(), any::<u64>(), 0..4),
         )
             .prop_map(
                 |(agent, hop, horizon)| NodeMsg::Agent(AgentEnvelope::MigrateAck {
@@ -102,6 +102,13 @@ fn arb_node_msg() -> impl Strategy<Value = NodeMsg> {
         arb_agent_id().prop_map(|agent| NodeMsg::Release { agent }),
         (arb_agent_id(), any::<u16>())
             .prop_map(|(agent, reply_to)| NodeMsg::LlQuery { agent, reply_to }),
+        (arb_agent_id(), 1u64..1_000_000, any::<u16>()).prop_map(|(agent, key, reply_to)| {
+            NodeMsg::LlQueryKeyed {
+                agent,
+                key,
+                reply_to,
+            }
+        }),
         any::<u64>().prop_map(|v| NodeMsg::Sync(SyncMsg::Pull { from_version: v })),
     ]
 }

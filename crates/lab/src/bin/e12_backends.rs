@@ -4,7 +4,7 @@
 //! matching results.
 
 use marp_core::{build_cluster, wrap_client_request, MarpConfig, MarpNode};
-use marp_metrics::{audit, fmt_ms, PaperMetrics, Table};
+use marp_metrics::{audit_keyed, fmt_ms, PaperMetrics, Table};
 use marp_net::{LinkModel, SimTransport, Topology};
 use marp_replica::ClientProcess;
 use marp_sim::{Process, SimRng, SimTime, Simulation, TraceLevel};
@@ -61,7 +61,7 @@ fn main() {
     sim.run_until(SimTime::from_secs(30));
     let des_trace = sim.into_trace();
     let des = PaperMetrics::from_trace(&des_trace);
-    audit(&des_trace, N).assert_ok();
+    audit_keyed(&des_trace, N).assert_ok();
     // This binary drives the sim directly (no Scenario), so dump its own
     // DES trace rather than re-running a representative one.
     match obs.write(&des_trace) {
@@ -85,7 +85,7 @@ fn main() {
         },
     );
     let threaded = PaperMetrics::from_trace(&run.trace);
-    audit(&run.trace, N).assert_ok();
+    audit_keyed(&run.trace, N).assert_ok();
 
     let mut table = Table::new(
         "E12 — DES vs threaded backend (N = 3, 45 writes)",

@@ -23,6 +23,7 @@
 //! | `e13_read_mix` | E13 — read-dominated mixes vs quorum reads |
 //! | `e14_adaptive` | E14 — adaptive batching under bursty arrivals |
 //! | `e15_chaos` | E15 — randomized chaos sweep: exactly-once writes |
+//! | `e16_keyspace` | E16 — key distributions over the keyed store |
 //!
 //! Run one with `cargo run -p marp-lab --release --bin fig2_alt`.
 

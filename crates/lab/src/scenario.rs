@@ -12,7 +12,7 @@ use marp_baselines::{
     WvNode,
 };
 use marp_core::{build_cluster, wrap_client_request as wrap_marp_client_request, MarpConfig};
-use marp_metrics::{audit, audit_relaxed, AuditReport, PaperMetrics, Samples};
+use marp_metrics::{audit, audit_keyed, audit_relaxed, AuditReport, PaperMetrics, Samples};
 use marp_net::{FaultPlan, LinkModel, SimTransport, Topology};
 use marp_replica::ClientProcess;
 use marp_sim::{NodeId, RunStats, SimRng, SimTime, Simulation, TraceLevel};
@@ -473,10 +473,12 @@ pub fn run_scenario_traced(scenario: &Scenario) -> (RunOutcome, marp_sim::TraceL
         .copied()
         .filter(|id| !committed.contains(id))
         .collect();
-    // Dense-global-version protocols get the strict order audit; the
-    // LWW/per-key baselines (AC, WV) get the relaxed one.
+    // MARP orders commits per object key (keyed store), so its audit
+    // checks order preservation and denseness per key; the dense
+    // *global*-version baselines (MCV, PC) get the strict global
+    // audit; the LWW/per-key baselines (AC, WV) get the relaxed one.
     let audit = match scenario.protocol {
-        ProtocolKind::Marp { .. } => audit(&trace, n),
+        ProtocolKind::Marp { .. } => audit_keyed(&trace, n),
         ProtocolKind::Mcv | ProtocolKind::PrimaryCopy => audit(&trace, 0),
         ProtocolKind::AvailableCopy | ProtocolKind::WeightedVoting { .. } => audit_relaxed(&trace),
     };

@@ -3,7 +3,8 @@
 //! ```text
 //! marp-mcheck check   [--family marp|mcv|pc] [--replicas N] [--agents N]
 //!                     [--crashes N] [--chaos none|lifo|blind-acks|lifo-blind]
-//!                     [--preemptions N|full] [--budget N|smoke] [--out FILE]
+//!                     [--distinct-keys] [--preemptions N|full]
+//!                     [--budget N|smoke] [--out FILE]
 //! marp-mcheck replay  <FILE>
 //! marp-mcheck sample  [model options] --out FILE
 //! marp-mcheck selftest [--out FILE]
@@ -28,8 +29,9 @@ fn usage() -> ExitCode {
         "usage: marp-mcheck <check|replay|sample|selftest> [options]\n\
          \n\
          check    [--family marp|mcv|pc] [--replicas N] [--agents N] [--crashes N]\n\
-         \x20        [--chaos none|lifo|blind-acks|lifo-blind] [--preemptions N|full]\n\
-         \x20        [--budget N|smoke] [--depth N] [--timers N] [--out FILE]\n\
+         \x20        [--chaos none|lifo|blind-acks|lifo-blind] [--distinct-keys]\n\
+         \x20        [--preemptions N|full] [--budget N|smoke] [--depth N]\n\
+         \x20        [--timers N] [--out FILE]\n\
          replay   <FILE>\n\
          sample   [model options] --out FILE\n\
          selftest [--out FILE]"
@@ -50,6 +52,7 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
     let mut replicas = 3usize;
     let mut agents = 2usize;
     let mut chaos = marp_core::ChaosMode::None;
+    let mut distinct_keys = false;
     let mut cfg = CheckConfig::default();
     let mut out = None;
     let mut positional = Vec::new();
@@ -115,6 +118,7 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
                     .parse()
                     .map_err(|_| "--timers: not a number".to_string())?;
             }
+            "--distinct-keys" => distinct_keys = true,
             "--out" => out = Some(value("--out")?),
             other if other.starts_with("--") => return Err(format!("unknown option {other}")),
             other => positional.push(other.to_string()),
@@ -122,6 +126,7 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
     }
     let mut spec = ModelSpec::new(family, replicas, agents);
     spec.chaos = chaos;
+    spec.distinct_keys = distinct_keys;
     Ok(Opts {
         spec,
         cfg,
@@ -171,10 +176,15 @@ fn write_counterexample(
 
 fn cmd_check(opts: &Opts) -> ExitCode {
     println!(
-        "checking {} replicas={} agents={} chaos={} crashes<={} preemptions={}",
+        "checking {} replicas={} agents={} keys={} chaos={} crashes<={} preemptions={}",
         opts.spec.family.name(),
         opts.spec.replicas,
         opts.spec.agents,
+        if opts.spec.distinct_keys {
+            "distinct"
+        } else {
+            "shared"
+        },
         schedule::chaos_name(opts.spec.chaos),
         opts.cfg.max_crashes,
         opts.cfg

@@ -71,6 +71,12 @@ pub struct ModelSpec {
     /// to prove a crashed host really strands its resident agent's
     /// write without the dispatch registry.
     pub regeneration: bool,
+    /// Key assignment for the writers. Off (the default), every writer
+    /// targets key 1, so all agents conflict on one lock queue — the
+    /// adversarial case Theorems 1–3 are about. On, writer `k` targets
+    /// key `k + 1`: the disjoint-key family, which must commit with
+    /// per-key chains and no cross-key interference.
+    pub distinct_keys: bool,
 }
 
 impl ModelSpec {
@@ -84,6 +90,7 @@ impl ModelSpec {
             agents,
             chaos: ChaosMode::None,
             regeneration: true,
+            distinct_keys: false,
         }
     }
 
@@ -132,9 +139,10 @@ impl ModelSpec {
         };
         for k in 0..self.agents {
             let server = (k % n) as NodeId;
+            let key = if self.distinct_keys { k as u64 + 1 } else { 1 };
             sim.add_process(Box::new(OneShotWriter::new(
                 server,
-                1,
+                key,
                 100 + k as u64,
                 wrap,
             )));
@@ -146,8 +154,9 @@ impl ModelSpec {
     /// selection as the experiment harness's post-run audit).
     pub fn monitor(&self) -> InvariantMonitor {
         match self.family {
-            // MARP grants are subject to the Theorem 3 visit bounds.
-            Family::Marp => InvariantMonitor::strict(self.replicas),
+            // MARP grants are subject to the Theorem 3 visit bounds,
+            // and its store keeps one dense version chain per key.
+            Family::Marp => InvariantMonitor::keyed(self.replicas),
             // Message-passing baselines keep the dense version order but
             // report no visits.
             Family::Mcv | Family::PrimaryCopy => InvariantMonitor::strict(0),
@@ -209,6 +218,23 @@ mod tests {
     #[test]
     fn marp_model_runs_clean_under_the_default_scheduler() {
         let spec = ModelSpec::new(Family::Marp, 3, 2);
+        let mut sim = spec.build();
+        sim.run_until(marp_sim::SimTime::from_secs(30));
+        let mut monitor = spec.monitor();
+        monitor.observe_all(sim.trace().records());
+        assert!(monitor.ok(), "violations: {:?}", monitor.violations());
+        assert_eq!(monitor.completed_requests(), 2);
+        assert!(monitor.quiescent_violations().is_empty());
+        for k in 0..2u16 {
+            let w: &OneShotWriter = sim.process(3 + k).unwrap();
+            assert!(w.done);
+        }
+    }
+
+    #[test]
+    fn distinct_key_model_runs_clean_and_commits_both_writes() {
+        let mut spec = ModelSpec::new(Family::Marp, 3, 2);
+        spec.distinct_keys = true;
         let mut sim = spec.build();
         sim.run_until(marp_sim::SimTime::from_secs(30));
         let mut monitor = spec.monitor();

@@ -70,6 +70,10 @@ pub fn to_text(spec: &ModelSpec, schedule: &[Choice], note: &str) -> String {
         // Omitted when on: older schedule files stay byte-identical.
         out.push_str("regeneration 0\n");
     }
+    if spec.distinct_keys {
+        // Omitted when off (the conflicting default), same reason.
+        out.push_str("distinct-keys 1\n");
+    }
     for choice in schedule {
         out.push_str(&fmt_choice(choice));
         out.push('\n');
@@ -84,6 +88,7 @@ pub fn from_text(text: &str) -> Result<(ModelSpec, Vec<Choice>), String> {
     let mut agents = None;
     let mut chaos = ChaosMode::None;
     let mut regeneration = true;
+    let mut distinct_keys = false;
     let mut schedule = Vec::new();
     for (lineno, raw) in text.lines().enumerate() {
         let line = raw.trim();
@@ -103,6 +108,7 @@ pub fn from_text(text: &str) -> Result<(ModelSpec, Vec<Choice>), String> {
                 chaos = parse_chaos(fields[1]).ok_or_else(|| err("unknown chaos mode"))?;
             }
             "regeneration" if fields.len() == 2 => regeneration = num(fields[1])? != 0,
+            "distinct-keys" if fields.len() == 2 => distinct_keys = num(fields[1])? != 0,
             "crash" if fields.len() == 2 => {
                 schedule.push(Choice::Crash {
                     node: num(fields[1])? as u16,
@@ -151,6 +157,7 @@ pub fn from_text(text: &str) -> Result<(ModelSpec, Vec<Choice>), String> {
     let mut spec = ModelSpec::new(family, replicas, agents);
     spec.chaos = chaos;
     spec.regeneration = regeneration;
+    spec.distinct_keys = distinct_keys;
     Ok((spec, schedule))
 }
 

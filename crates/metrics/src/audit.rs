@@ -78,6 +78,17 @@ pub fn audit(trace: &TraceLog, n_servers: usize) -> AuditReport {
     monitor.report()
 }
 
+/// Replay a trace and check the invariants for MARP's keyed store:
+/// every object key carries its own dense version chain, so order
+/// preservation, single-committer-per-version, and denseness are all
+/// checked *per key*. Single-key traces audit identically under
+/// [`audit`] and `audit_keyed`.
+pub fn audit_keyed(trace: &TraceLog, n_servers: usize) -> AuditReport {
+    let mut monitor = InvariantMonitor::keyed(n_servers);
+    monitor.observe_all(trace.records());
+    monitor.report()
+}
+
 /// Audit for protocols *without* a dense global version order (the
 /// Available Copy and weighted-voting baselines use last-writer-wins
 /// timestamps and per-key versions): version-order rules are skipped,

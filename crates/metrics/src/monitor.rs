@@ -37,10 +37,20 @@ use std::collections::{BTreeMap, HashMap, HashSet};
 pub struct InvariantMonitor {
     n_servers: usize,
     check_order: bool,
-    /// version -> (agent, key) from the first replica to apply it.
-    version_owner: BTreeMap<u64, (AgentKey, u64)>,
-    /// Per-node last applied version.
-    last_applied: HashMap<NodeId, u64>,
+    /// Whether version order is tracked per object key (MARP's keyed
+    /// store: one dense chain per key) or globally (one dense chain
+    /// across all keys — MCV, primary copy). The chain id is the key
+    /// in per-key mode and 0 otherwise.
+    per_key: bool,
+    /// (chain, version) -> (agent, key) from the first replica to
+    /// apply it.
+    version_owner: BTreeMap<(u64, u64), (AgentKey, u64)>,
+    /// Per-(node, chain) last applied version.
+    last_applied: HashMap<(NodeId, u64), u64>,
+    /// request -> object key, learned from applies; routes
+    /// `commit-suppressed` slots (which carry only version + request)
+    /// to the right chain in per-key mode.
+    request_key: HashMap<u64, u64>,
     /// request -> completion count.
     completions: HashMap<u64, u64>,
     /// Requests some replica has applied a commit for.
@@ -60,7 +70,16 @@ impl InvariantMonitor {
     /// visit bounds; pass 0 to skip visit checking (message-passing
     /// protocols report 0 visits).
     pub fn strict(n_servers: usize) -> Self {
-        Self::new(n_servers, true)
+        Self::new(n_servers, true, false)
+    }
+
+    /// Full checking for MARP's keyed store: each object key has its
+    /// own dense version chain, so order-preservation, single committer
+    /// per version, and denseness all hold *per key* rather than
+    /// globally. Single-key traces audit identically under `strict`
+    /// and `keyed`.
+    pub fn keyed(n_servers: usize) -> Self {
+        Self::new(n_servers, true, true)
     }
 
     /// Checking for protocols *without* a dense version order (the
@@ -68,15 +87,17 @@ impl InvariantMonitor {
     /// last-writer-wins timestamps and per-key versions): version-order
     /// rules are skipped, counters still accumulate.
     pub fn relaxed() -> Self {
-        Self::new(0, false)
+        Self::new(0, false, false)
     }
 
-    fn new(n_servers: usize, check_order: bool) -> Self {
+    fn new(n_servers: usize, check_order: bool, per_key: bool) -> Self {
         InvariantMonitor {
             n_servers,
             check_order,
+            per_key,
             version_owner: BTreeMap::new(),
             last_applied: HashMap::new(),
+            request_key: HashMap::new(),
             completions: HashMap::new(),
             committed_requests: HashSet::new(),
             applied_at: HashSet::new(),
@@ -98,10 +119,14 @@ impl InvariantMonitor {
                 request,
             } => {
                 self.committed_requests.insert(*request);
+                let chain = if self.per_key { *key } else { 0 };
                 if !self.check_order {
-                    self.version_owner.entry(*version).or_insert((*agent, *key));
+                    self.version_owner
+                        .entry((chain, *version))
+                        .or_insert((*agent, *key));
                     return;
                 }
+                self.request_key.insert(*request, *key);
                 if !self.applied_at.insert((*node, *request)) {
                     self.violations.push(Violation {
                         rule: "duplicate-apply",
@@ -111,27 +136,30 @@ impl InvariantMonitor {
                         ),
                     });
                 }
-                match self.version_owner.get(version) {
+                match self.version_owner.get(&(chain, *version)) {
                     Some(&(owner, owner_key)) => {
                         if owner != *agent || owner_key != *key {
                             self.violations.push(Violation {
                                 rule: "order-preservation",
                                 detail: format!(
-                                    "version {version} applied as agent={agent:#x} key={key} \
-                                     at node {node}, but first seen as agent={owner:#x} key={owner_key}"
+                                    "version {version} (chain {chain}) applied as \
+                                     agent={agent:#x} key={key} at node {node}, but first \
+                                     seen as agent={owner:#x} key={owner_key}"
                                 ),
                             });
                         }
                     }
                     None => {
-                        self.version_owner.insert(*version, (*agent, *key));
+                        self.version_owner.insert((chain, *version), (*agent, *key));
                     }
                 }
-                let last = self.last_applied.entry(*node).or_insert(0);
+                let last = self.last_applied.entry((*node, chain)).or_insert(0);
                 if *version != *last + 1 {
                     self.violations.push(Violation {
                         rule: "in-order-application",
-                        detail: format!("node {node} applied version {version} after {last}"),
+                        detail: format!(
+                            "node {node} applied version {version} on chain {chain} after {last}"
+                        ),
                     });
                 }
                 *last = (*last).max(*version);
@@ -170,17 +198,29 @@ impl InvariantMonitor {
             TraceEvent::Custom {
                 kind: "commit-suppressed",
                 a: version,
-                ..
+                b: request,
             } => {
                 if !self.check_order {
                     return;
                 }
-                let last = self.last_applied.entry(record.node).or_insert(0);
+                // The event carries no key; in per-key mode the chain is
+                // recovered from the request's first observed apply
+                // (suppression implies the node applied it before, so
+                // the mapping is always known by now).
+                let chain = if self.per_key {
+                    match self.request_key.get(request) {
+                        Some(&key) => key,
+                        None => return,
+                    }
+                } else {
+                    0
+                };
+                let last = self.last_applied.entry((record.node, chain)).or_insert(0);
                 if *version != *last + 1 {
                     self.violations.push(Violation {
                         rule: "in-order-application",
                         detail: format!(
-                            "node {} suppressed version {version} after {last}",
+                            "node {} suppressed version {version} on chain {chain} after {last}",
                             record.node
                         ),
                     });
@@ -394,6 +434,77 @@ mod tests {
             .violations()
             .iter()
             .any(|v| v.rule == "in-order-application"));
+    }
+
+    fn commit_key(
+        node: NodeId,
+        key: u64,
+        version: u64,
+        agent: AgentKey,
+        request: u64,
+    ) -> TraceRecord {
+        rec(TraceEvent::CommitApplied {
+            node,
+            version,
+            agent,
+            key,
+            request,
+        })
+    }
+
+    #[test]
+    fn keyed_mode_tracks_versions_per_key() {
+        // Two keys, each with its own dense chain starting at 1: a
+        // global monitor would flag the second v1 as a divergent owner
+        // and a denseness violation; the keyed monitor accepts it.
+        let mut mon = InvariantMonitor::keyed(3);
+        mon.observe(&commit_key(0, 1, 1, 7, 0xa));
+        mon.observe(&commit_key(0, 2, 1, 9, 0xb));
+        mon.observe(&commit_key(0, 1, 2, 7, 0xc));
+        assert!(mon.ok(), "{:?}", mon.violations());
+        assert_eq!(mon.committed_versions(), 3);
+        // Within one key the rules still bite: key 1 skipping v3 → v5
+        // is a gap...
+        mon.observe(&commit_key(0, 1, 5, 7, 0xd));
+        assert!(!mon.ok());
+        assert_eq!(mon.violations()[0].rule, "in-order-application");
+        // ...and a second agent claiming key 2's v1 diverges.
+        let mut mon = InvariantMonitor::keyed(3);
+        mon.observe(&commit_key(0, 2, 1, 9, 0xb));
+        mon.observe(&commit_key(1, 2, 1, 8, 0xe));
+        assert!(mon
+            .violations()
+            .iter()
+            .any(|v| v.rule == "order-preservation"));
+    }
+
+    #[test]
+    fn keyed_and_strict_agree_on_single_key_traces() {
+        let records = [
+            commit(0, 1, 7, 0xa),
+            commit(1, 1, 7, 0xa),
+            commit(0, 2, 9, 0xb),
+            suppressed(0, 3, 0xa),
+        ];
+        let mut strict = InvariantMonitor::strict(3);
+        let mut keyed = InvariantMonitor::keyed(3);
+        strict.observe_all(&records);
+        keyed.observe_all(&records);
+        assert_eq!(strict.violations(), keyed.violations());
+        assert_eq!(strict.committed_versions(), keyed.committed_versions());
+    }
+
+    #[test]
+    fn keyed_mode_routes_suppressed_slots_to_the_request_chain() {
+        let mut mon = InvariantMonitor::keyed(3);
+        mon.observe(&commit_key(0, 4, 1, 7, 0xa));
+        mon.observe(&commit_key(0, 9, 1, 8, 0xb));
+        // Request 0xa was applied on key 4's chain; its suppressed
+        // duplicate burns key 4's v2 slot without touching key 9.
+        mon.observe(&suppressed(0, 2, 0xa));
+        mon.observe(&commit_key(0, 4, 3, 9, 0xc));
+        mon.observe(&commit_key(0, 9, 2, 9, 0xd));
+        assert!(mon.ok(), "{:?}", mon.violations());
     }
 
     #[test]

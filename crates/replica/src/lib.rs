@@ -4,10 +4,12 @@
 //! itself, shared between the MARP implementation (`marp-core`) and the
 //! message-passing baselines (`marp-baselines`):
 //!
-//! * [`VersionedStore`] — in-order application of globally versioned
-//!   commits, with buffering and anti-entropy for recovering replicas.
-//! * [`LockingList`] / [`UpdatedList`] — the paper's per-server
-//!   coordination structures (§3.2), with lock leases for crash safety.
+//! * [`VersionedStore`] — in-order application of versioned commits
+//!   (one global chain for the baselines, or one chain per object key
+//!   for MARP), with buffering and anti-entropy for recovering replicas.
+//! * [`LockingList`] / [`LockTable`] / [`UpdatedList`] — the paper's
+//!   per-server coordination structures (§3.2) generalized to one FIFO
+//!   queue per object key, with lock leases for crash safety.
 //! * [`ServerCore`] — client intake (local reads, queued writes), commit
 //!   application with client replies, recovery pulls.
 //! * [`RequestBatcher`] — the paper's "after a pre-defined number of
@@ -28,7 +30,7 @@ pub use batch::{BatchConfig, RequestBatcher};
 pub use client::{
     ClientProcess, ClientStats, ClientWrapFn, RequestSource, RetryConfig, ScriptedSource,
 };
-pub use locking::{LlSnapshot, LockEntry, LockingList, UpdatedList};
+pub use locking::{LlSnapshot, LockEntry, LockTable, LockingList, UpdatedList};
 pub use msg::{request_id, ClientReply, ClientRequest, Operation, SyncMsg, WriteRequest};
 pub use server::{ClientAction, FreshReadRequest, ServerConfig, ServerCore, SyncWrapFn};
 pub use store::{CommitRecord, StoredValue, VersionedStore};

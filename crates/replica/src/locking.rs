@@ -15,6 +15,7 @@
 
 use marp_agent::AgentId;
 use marp_sim::SimTime;
+use std::collections::BTreeMap;
 
 /// One Locking List entry.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -129,12 +130,14 @@ impl LockingList {
         removed
     }
 
-    /// Remove by compact trace key (commit records carry the key, not
-    /// the full id): used when commits arrive through anti-entropy
-    /// rather than the winner's COMMIT broadcast.
-    pub fn remove_by_key(&mut self, key: marp_sim::AgentKey) -> bool {
+    /// Remove by compact agent trace key (commit records carry the
+    /// agent's trace key, not the full id): used when commits arrive
+    /// through anti-entropy rather than the winner's COMMIT broadcast.
+    /// ("Key" here always means *agent* key — object keys select the
+    /// list inside a [`LockTable`], never an entry within one.)
+    pub fn remove_by_agent(&mut self, agent: marp_sim::AgentKey) -> bool {
         let before = self.entries.len();
-        self.entries.retain(|e| e.agent.key() != key);
+        self.entries.retain(|e| e.agent.key() != agent);
         let removed = self.entries.len() != before;
         if removed {
             self.version += 1;
@@ -202,6 +205,153 @@ impl LockingList {
             taken_at,
             queue: self.entries.iter().map(|e| e.agent).collect(),
         }
+    }
+}
+
+/// The per-server lock table: one independent FIFO [`LockingList`] per
+/// *object key*.
+///
+/// The paper describes a single replicated object, so its LL is one
+/// queue. Generalizing to a keyspace, mutual exclusion is needed per
+/// object: agents batching writes to key *k* contend only with other
+/// key-*k* agents, and Theorems 1–3 hold independently within each
+/// queue. Each key's list keeps its own monotonic content version (the
+/// delta-encoding horizon is per `(key, server)`).
+///
+/// Lists are created on first use and never dropped, even when they
+/// drain empty — dropping one would reset its content version and break
+/// the monotonicity that snapshot ordering and horizon pruning rely on.
+/// The key universe of a deployment is bounded, so this does not leak.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct LockTable {
+    lists: BTreeMap<u64, LockingList>,
+}
+
+impl LockTable {
+    /// An empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The list for `key`, if any agent ever enqueued there.
+    pub fn list(&self, key: u64) -> Option<&LockingList> {
+        self.lists.get(&key)
+    }
+
+    /// The list for `key`, created empty on first touch.
+    pub fn list_mut(&mut self, key: u64) -> &mut LockingList {
+        self.lists.entry(key).or_default()
+    }
+
+    /// Append `agent` to `key`'s queue (see [`LockingList::request`]).
+    pub fn request(
+        &mut self,
+        key: u64,
+        agent: AgentId,
+        now: SimTime,
+        lease: std::time::Duration,
+        last_host: marp_sim::NodeId,
+    ) {
+        self.list_mut(key).request(agent, now, lease, last_host);
+    }
+
+    /// Refresh `agent`'s lease in `key`'s queue without enqueueing.
+    pub fn refresh(
+        &mut self,
+        key: u64,
+        agent: AgentId,
+        now: SimTime,
+        lease: std::time::Duration,
+        last_host: marp_sim::NodeId,
+    ) -> bool {
+        match self.lists.get_mut(&key) {
+            Some(ll) => ll.refresh(agent, now, lease, last_host),
+            None => false,
+        }
+    }
+
+    /// Remove `agent` from `key`'s queue.
+    pub fn remove(&mut self, key: u64, agent: AgentId) -> bool {
+        self.lists.get_mut(&key).is_some_and(|ll| ll.remove(agent))
+    }
+
+    /// Remove an agent (by compact trace key) from `key`'s queue.
+    pub fn remove_by_agent(&mut self, key: u64, agent: marp_sim::AgentKey) -> bool {
+        self.lists
+            .get_mut(&key)
+            .is_some_and(|ll| ll.remove_by_agent(agent))
+    }
+
+    /// Remove `agent` from every queue it occupies (a RELEASE names the
+    /// agent but no object key; agent ids are globally unique, so a
+    /// full scan is unambiguous). Returns the keys it was removed from.
+    pub fn remove_agent_everywhere(&mut self, agent: AgentId) -> Vec<u64> {
+        let mut keys = Vec::new();
+        for (&key, ll) in self.lists.iter_mut() {
+            if ll.remove(agent) {
+                keys.push(key);
+            }
+        }
+        keys
+    }
+
+    /// Purge expired entries from every queue; returns `(key, agent)`
+    /// pairs purged.
+    pub fn purge_expired(&mut self, now: SimTime) -> Vec<(u64, AgentId)> {
+        let mut purged = Vec::new();
+        for (&key, ll) in self.lists.iter_mut() {
+            for agent in ll.purge_expired(now) {
+                purged.push((key, agent));
+            }
+        }
+        purged
+    }
+
+    /// `key`'s queue-content version (0 while never touched).
+    pub fn version(&self, key: u64) -> u64 {
+        self.lists.get(&key).map_or(0, LockingList::version)
+    }
+
+    /// Top-ranked agent of `key`'s queue.
+    pub fn top(&self, key: u64) -> Option<AgentId> {
+        self.lists.get(&key).and_then(LockingList::top)
+    }
+
+    /// 0-based rank of `agent` in `key`'s queue.
+    pub fn rank_of(&self, key: u64, agent: AgentId) -> Option<usize> {
+        self.lists.get(&key).and_then(|ll| ll.rank_of(agent))
+    }
+
+    /// Whether `agent` is queued under `key`.
+    pub fn contains(&self, key: u64, agent: AgentId) -> bool {
+        self.rank_of(key, agent).is_some()
+    }
+
+    /// Snapshot `key`'s queue (empty virgin snapshot if never touched).
+    pub fn snapshot(&self, key: u64, taken_at: SimTime) -> LlSnapshot {
+        match self.lists.get(&key) {
+            Some(ll) => ll.snapshot(taken_at),
+            None => LlSnapshot {
+                version: 0,
+                taken_at,
+                queue: Vec::new(),
+            },
+        }
+    }
+
+    /// Keys with a (possibly empty) list.
+    pub fn keys(&self) -> impl Iterator<Item = u64> + '_ {
+        self.lists.keys().copied()
+    }
+
+    /// Total queued entries across all keys.
+    pub fn total_len(&self) -> usize {
+        self.lists.values().map(LockingList::len).sum()
+    }
+
+    /// True when no agent is queued under any key.
+    pub fn is_empty(&self) -> bool {
+        self.lists.values().all(LockingList::is_empty)
     }
 }
 
@@ -428,6 +578,82 @@ mod tests {
         assert!(a.contains(agent(2, 0)));
         let bytes = marp_wire::to_bytes(&a);
         assert_eq!(marp_wire::from_bytes::<UpdatedList>(&bytes).unwrap(), a);
+    }
+
+    #[test]
+    fn lock_table_keys_are_independent() {
+        let mut table = LockTable::new();
+        table.request(1, agent(1, 0), SimTime::from_millis(1), LEASE, 9);
+        table.request(2, agent(2, 0), SimTime::from_millis(2), LEASE, 9);
+        table.request(1, agent(3, 0), SimTime::from_millis(3), LEASE, 9);
+        // Each key's queue is its own FIFO: key 2's sole agent is top
+        // despite two older entries under key 1.
+        assert_eq!(table.top(1), Some(agent(1, 0)));
+        assert_eq!(table.top(2), Some(agent(2, 0)));
+        assert_eq!(table.rank_of(1, agent(3, 0)), Some(1));
+        assert_eq!(table.rank_of(2, agent(3, 0)), None);
+        assert_eq!(table.total_len(), 3);
+        // Removing under one key leaves the other untouched.
+        assert!(table.remove(1, agent(1, 0)));
+        assert_eq!(table.top(1), Some(agent(3, 0)));
+        assert_eq!(table.top(2), Some(agent(2, 0)));
+        assert!(!table.remove(7, agent(2, 0)));
+    }
+
+    #[test]
+    fn lock_table_versions_survive_draining() {
+        let mut table = LockTable::new();
+        table.request(5, agent(1, 0), SimTime::from_millis(1), LEASE, 9);
+        assert_eq!(table.version(5), 1);
+        assert!(table.remove(5, agent(1, 0)));
+        assert!(table.is_empty());
+        // The drained list keeps its content version: a later snapshot
+        // still supersedes the pre-drain one.
+        assert_eq!(table.version(5), 2);
+        let snap = table.snapshot(5, SimTime::from_millis(3));
+        assert_eq!(snap.version, 2);
+        assert!(snap.queue.is_empty());
+        // Untouched keys answer with a virgin snapshot.
+        assert_eq!(table.snapshot(9, SimTime::from_millis(3)).version, 0);
+        assert_eq!(table.version(9), 0);
+    }
+
+    #[test]
+    fn lock_table_release_scans_every_key() {
+        let mut table = LockTable::new();
+        let a = agent(1, 0);
+        table.request(1, a, SimTime::from_millis(1), LEASE, 9);
+        table.request(2, a, SimTime::from_millis(1), LEASE, 9);
+        table.request(3, agent(2, 0), SimTime::from_millis(1), LEASE, 9);
+        assert_eq!(table.remove_agent_everywhere(a), vec![1, 2]);
+        assert!(!table.contains(1, a));
+        assert!(!table.contains(2, a));
+        assert!(table.contains(3, agent(2, 0)));
+    }
+
+    #[test]
+    fn lock_table_purge_reports_keys() {
+        let mut table = LockTable::new();
+        table.request(
+            1,
+            agent(1, 0),
+            SimTime::from_millis(1),
+            Duration::from_millis(10),
+            9,
+        );
+        table.request(2, agent(2, 0), SimTime::from_millis(2), LEASE, 9);
+        let purged = table.purge_expired(SimTime::from_millis(100));
+        assert_eq!(purged, vec![(1, agent(1, 0))]);
+        assert_eq!(table.top(2), Some(agent(2, 0)));
+    }
+
+    #[test]
+    fn remove_by_agent_matches_trace_key() {
+        let mut table = LockTable::new();
+        let a = agent(4, 7);
+        table.request(1, a, SimTime::from_millis(1), LEASE, 9);
+        assert!(table.remove_by_agent(1, a.key()));
+        assert!(!table.remove_by_agent(1, a.key()));
     }
 
     #[test]

@@ -231,8 +231,17 @@ pub enum SyncMsg {
     },
     /// The requested commit-log suffix.
     Push {
-        /// Records in version order.
+        /// Records in version order (within each chain).
         records: Vec<CommitRecord>,
+    },
+    /// "Send me everything my chains are missing." Sent instead of
+    /// [`SyncMsg::Pull`] only by stores holding per-key chains beyond
+    /// chain 0, so single-key deployments keep the legacy exchange
+    /// byte-for-byte. A chain absent from the map means "send it in
+    /// full".
+    PullKeyed {
+        /// Highest applied version per chain at the requester.
+        versions: std::collections::BTreeMap<u64, u64>,
     },
 }
 
@@ -247,6 +256,10 @@ impl Wire for SyncMsg {
                 1u8.encode(buf);
                 records.encode(buf);
             }
+            SyncMsg::PullKeyed { versions } => {
+                2u8.encode(buf);
+                versions.encode(buf);
+            }
         }
     }
     fn decode(buf: &mut Bytes) -> Result<Self, WireError> {
@@ -256,6 +269,9 @@ impl Wire for SyncMsg {
             }),
             1 => Ok(SyncMsg::Push {
                 records: Vec::decode(buf)?,
+            }),
+            2 => Ok(SyncMsg::PullKeyed {
+                versions: std::collections::BTreeMap::decode(buf)?,
             }),
             tag => Err(WireError::InvalidTag {
                 type_name: "SyncMsg",
@@ -267,6 +283,7 @@ impl Wire for SyncMsg {
         1 + match self {
             SyncMsg::Pull { from_version } => from_version.encoded_len(),
             SyncMsg::Push { records } => records.encoded_len(),
+            SyncMsg::PullKeyed { versions } => versions.encoded_len(),
         }
     }
 }
@@ -335,6 +352,9 @@ mod tests {
     #[test]
     fn sync_messages_roundtrip() {
         roundtrip(SyncMsg::Pull { from_version: 12 });
+        roundtrip(SyncMsg::PullKeyed {
+            versions: std::collections::BTreeMap::from([(0u64, 3u64), (7, 1)]),
+        });
         roundtrip(SyncMsg::Push {
             records: vec![CommitRecord {
                 version: 1,

@@ -5,7 +5,7 @@
 //! paper's Locking List and Updated List, client request intake with
 //! reply bookkeeping, and the anti-entropy recovery exchange.
 
-use crate::locking::{LockingList, UpdatedList};
+use crate::locking::{LockTable, UpdatedList};
 use crate::msg::{ClientReply, ClientRequest, Operation, SyncMsg, WriteRequest};
 use crate::store::{CommitRecord, VersionedStore};
 use bytes::Bytes;
@@ -62,25 +62,38 @@ pub struct ServerCore {
     cfg: ServerConfig,
     /// The replicated data.
     pub store: VersionedStore,
-    /// The paper's Locking List.
-    pub ll: LockingList,
-    /// The paper's Updated List.
+    /// The paper's Locking List, generalized to one FIFO queue per
+    /// object key.
+    pub ll: LockTable,
+    /// The paper's Updated List (global: agent ids are unique, and a
+    /// finished agent is finished for whatever key it served).
     pub ul: UpdatedList,
     sync_wrap: SyncWrapFn,
     pending_clients: HashMap<u64, NodeId>,
 }
 
 impl ServerCore {
-    /// Create a server core for node `me`.
+    /// Create a server core for node `me` with the baselines' global
+    /// version chain (see [`VersionedStore::new`]).
     pub fn new(me: NodeId, cfg: ServerConfig, sync_wrap: SyncWrapFn) -> Self {
         ServerCore {
             me,
             cfg,
             store: VersionedStore::new(),
-            ll: LockingList::new(),
+            ll: LockTable::new(),
             ul: UpdatedList::new(),
             sync_wrap,
             pending_clients: HashMap::new(),
+        }
+    }
+
+    /// Create a server core with per-key version chains (MARP's
+    /// discipline under the keyed lock table — see
+    /// [`VersionedStore::per_key`]).
+    pub fn keyed(me: NodeId, cfg: ServerConfig, sync_wrap: SyncWrapFn) -> Self {
+        ServerCore {
+            store: VersionedStore::per_key(),
+            ..Self::new(me, cfg, sync_wrap)
         }
     }
 
@@ -122,7 +135,7 @@ impl ServerCore {
                     id: request.id,
                     key,
                     value: stored.map(|s| s.value),
-                    version: self.store.applied_version(),
+                    version: self.store.applied_version_for(key),
                 };
                 ctx.send(from, marp_wire::to_bytes(&reply));
                 ClientAction::Done
@@ -199,7 +212,7 @@ impl ServerCore {
             id: read.id,
             key: read.key,
             value: stored.map(|s| s.value),
-            version: self.store.applied_version(),
+            version: self.store.applied_version_for(read.key),
         };
         ctx.send(read.client, marp_wire::to_bytes(&reply));
     }
@@ -222,8 +235,9 @@ impl ServerCore {
             for (rec, suppressed) in applied {
                 // However the record reached us (COMMIT broadcast or
                 // anti-entropy), its agent's lock request is over:
-                // purge any Locking List entry it may still hold here.
-                self.ll.remove_by_key(rec.agent);
+                // purge any Locking List entry it may still hold here
+                // on the committed key's queue.
+                self.ll.remove_by_agent(rec.key, rec.agent);
                 if suppressed {
                     ctx.trace(TraceEvent::Custom {
                         kind: "commit-suppressed",
@@ -268,7 +282,14 @@ impl ServerCore {
     pub fn handle_sync(&mut self, from: NodeId, msg: SyncMsg, ctx: &mut dyn Context) {
         match msg {
             SyncMsg::Pull { from_version } => {
-                let records = self.store.log_suffix(from_version);
+                // A legacy pull comes from a store tracking only chain 0
+                // (single-key, or empty after recovery): serve chain 0
+                // from its version plus every other chain in full. On a
+                // single-key store no other chains exist, so the reply
+                // is exactly the old chain-0 suffix.
+                let records = self
+                    .store
+                    .suffix_for_versions(&std::collections::BTreeMap::from([(0, from_version)]));
                 if !records.is_empty() {
                     let reply = (self.sync_wrap)(SyncMsg::Push { records });
                     ctx.send(from, reply);
@@ -277,6 +298,29 @@ impl ServerCore {
             SyncMsg::Push { records } => {
                 self.apply_commits(records, ctx);
             }
+            SyncMsg::PullKeyed { versions } => {
+                let records = self.store.suffix_for_versions(&versions);
+                if !records.is_empty() {
+                    let reply = (self.sync_wrap)(SyncMsg::Push { records });
+                    ctx.send(from, reply);
+                }
+            }
+        }
+    }
+
+    /// The pull message matching this store's discipline: the legacy
+    /// single-cursor [`SyncMsg::Pull`] unless we actually hold per-key
+    /// chains beyond chain 0, so single-key deployments stay
+    /// byte-identical on the wire.
+    fn pull_msg(&self) -> SyncMsg {
+        if self.store.has_keyed_chains() {
+            SyncMsg::PullKeyed {
+                versions: self.store.chain_versions(),
+            }
+        } else {
+            SyncMsg::Pull {
+                from_version: self.store.applied_version(),
+            }
         }
     }
 
@@ -284,10 +328,8 @@ impl ServerCore {
     /// apply), pull the missing suffix from `peer`. Returns true if a
     /// pull was sent.
     pub fn pull_if_behind(&mut self, peer: NodeId, ctx: &mut dyn Context) -> bool {
-        if self.store.gap().is_some() {
-            let msg = (self.sync_wrap)(SyncMsg::Pull {
-                from_version: self.store.applied_version(),
-            });
+        if self.store.has_gap() {
+            let msg = (self.sync_wrap)(self.pull_msg());
             ctx.send(peer, msg);
             true
         } else {
@@ -298,9 +340,7 @@ impl ServerCore {
     /// Unconditionally pull history newer than ours from `peer` (used on
     /// recovery, when we do not yet know whether we missed anything).
     pub fn pull_from(&mut self, peer: NodeId, ctx: &mut dyn Context) {
-        let msg = (self.sync_wrap)(SyncMsg::Pull {
-            from_version: self.store.applied_version(),
-        });
+        let msg = (self.sync_wrap)(self.pull_msg());
         ctx.send(peer, msg);
     }
 
@@ -308,7 +348,7 @@ impl ServerCore {
     /// the owner can trace or react.
     pub fn purge_expired_locks(&mut self, ctx: &mut dyn Context) -> usize {
         let purged = self.ll.purge_expired(ctx.now());
-        for agent in &purged {
+        for (_key, agent) in &purged {
             ctx.trace(TraceEvent::Custom {
                 kind: "lock-lease-expired",
                 a: agent.key(),
@@ -323,7 +363,7 @@ impl ServerCore {
     /// List, buffered commits, and client bookkeeping are volatile.
     pub fn on_recover(&mut self) {
         self.store.clear_volatile();
-        self.ll = LockingList::new();
+        self.ll = LockTable::new();
         self.pending_clients.clear();
     }
 
@@ -589,6 +629,7 @@ mod tests {
         let mut ctx = TestCtx::new(0);
         core.apply_commits(vec![commit(1, 100)], &mut ctx);
         core.ll.request(
+            1,
             marp_agent::AgentId::new(1, SimTime::ZERO, 0),
             ctx.now(),
             Duration::from_secs(30),
@@ -614,6 +655,7 @@ mod tests {
         let mut ctx = TestCtx::new(0);
         ctx.now = SimTime::from_millis(1);
         core.ll.request(
+            1,
             marp_agent::AgentId::new(1, SimTime::ZERO, 0),
             ctx.now,
             Duration::from_millis(5),

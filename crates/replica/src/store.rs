@@ -1,12 +1,24 @@
 //! The versioned replica store.
 //!
-//! Every committed update carries a *global* version number — MARP's
-//! single-writer lock means updates are totally ordered, and the paper's
-//! "order preserving" property says every replica applies them in that
-//! order. The store enforces it: commits apply strictly in version order;
-//! out-of-order arrivals (a replica that missed some commits while down)
-//! are buffered until the gap is filled by anti-entropy
-//! ([`VersionedStore::log_suffix`] answers a recovering peer's request).
+//! Every committed update carries a version number within its *chain* —
+//! MARP's per-object lock means updates to one key are totally ordered,
+//! and the paper's "order preserving" property says every replica
+//! applies them in that order. The store enforces it: commits apply
+//! strictly in version order within their chain; out-of-order arrivals
+//! (a replica that missed some commits while down) are buffered until
+//! the gap is filled by anti-entropy ([`VersionedStore::log_suffix`]
+//! answers a recovering peer's request).
+//!
+//! Two chain disciplines exist, fixed at construction:
+//!
+//! * **Global** ([`VersionedStore::new`]) — one chain for everything,
+//!   whatever keys the records carry. This is the discipline of the
+//!   message-passing baselines (MCV, primary copy), whose coordinators
+//!   allocate one dense version sequence across all keys.
+//! * **Per-key** ([`VersionedStore::per_key`]) — one independent chain
+//!   per object key. This is MARP's discipline once the lock table is
+//!   keyed: winners of *different* keys commit concurrently, so their
+//!   version sequences must not share a counter.
 
 use marp_sim::{AgentKey, SimTime};
 use std::collections::BTreeMap;
@@ -15,7 +27,9 @@ use std::collections::BTreeMap;
 /// commit log.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CommitRecord {
-    /// Global commit sequence number (1-based; version 0 is "empty").
+    /// Commit sequence number within the record's chain (1-based;
+    /// version 0 is "empty"). Under the global discipline the chain is
+    /// system-wide; under per-key chains it is `key`'s own sequence.
     pub version: u64,
     /// Updated key.
     pub key: u64,
@@ -43,38 +57,88 @@ marp_wire::wire_struct!(CommitRecord {
 pub struct StoredValue {
     /// Current value.
     pub value: u64,
-    /// Version that wrote it.
+    /// Version (within the key's chain) that wrote it.
     pub version: u64,
     /// When it was applied locally.
     pub applied_at: SimTime,
 }
 
-/// Versioned key-value store with strict in-order application.
+/// One version chain: a dense applied prefix plus a gap buffer.
 #[derive(Debug, Default)]
-pub struct VersionedStore {
+struct Chain {
     applied: u64,
     last_update: SimTime,
-    data: BTreeMap<u64, StoredValue>,
     log: Vec<CommitRecord>,
     pending: BTreeMap<u64, CommitRecord>,
+}
+
+/// Versioned key-value store with strict in-order application per
+/// chain.
+#[derive(Debug, Default)]
+pub struct VersionedStore {
+    per_key: bool,
+    chains: BTreeMap<u64, Chain>,
+    data: BTreeMap<u64, StoredValue>,
     applied_requests: BTreeMap<u64, u64>,
 }
 
 impl VersionedStore {
-    /// An empty store at version 0.
+    /// An empty store with one global chain (the baselines'
+    /// discipline).
     pub fn new() -> Self {
         Self::default()
     }
 
-    /// Highest version applied so far.
-    pub fn applied_version(&self) -> u64 {
-        self.applied
+    /// An empty store with an independent chain per object key (MARP's
+    /// discipline under the keyed lock table).
+    pub fn per_key() -> Self {
+        VersionedStore {
+            per_key: true,
+            ..Self::default()
+        }
     }
 
-    /// Time of the most recent local application (the paper's "time of
-    /// last update", which the winning agent compares across the quorum).
+    /// Whether this store keeps per-key chains.
+    pub fn is_per_key(&self) -> bool {
+        self.per_key
+    }
+
+    /// The chain a record for `key` belongs to.
+    fn chain_of(&self, key: u64) -> u64 {
+        if self.per_key {
+            key
+        } else {
+            0
+        }
+    }
+
+    /// Highest version applied on chain 0 (the whole store under the
+    /// global discipline; key 0's chain under per-key chains). Prefer
+    /// [`VersionedStore::applied_version_for`] in keyed protocol paths.
+    pub fn applied_version(&self) -> u64 {
+        self.chains.get(&0).map_or(0, |c| c.applied)
+    }
+
+    /// Highest version applied on `key`'s chain.
+    pub fn applied_version_for(&self, key: u64) -> u64 {
+        self.chains
+            .get(&self.chain_of(key))
+            .map_or(0, |c| c.applied)
+    }
+
+    /// Time of the most recent local application on chain 0 (see
+    /// [`VersionedStore::applied_version`] for the chain-0 convention).
     pub fn last_update_time(&self) -> SimTime {
-        self.last_update
+        self.chains.get(&0).map_or(SimTime::ZERO, |c| c.last_update)
+    }
+
+    /// Time of the most recent local application on `key`'s chain (the
+    /// paper's "time of last update", which the winning agent compares
+    /// across the quorum — per object once chains are keyed).
+    pub fn last_update_time_for(&self, key: u64) -> SimTime {
+        self.chains
+            .get(&self.chain_of(key))
+            .map_or(SimTime::ZERO, |c| c.last_update)
     }
 
     /// Current value of a key, if any.
@@ -93,46 +157,48 @@ impl VersionedStore {
     }
 
     /// Offer a commit. Returns every record that became applicable (the
-    /// offered one plus any buffered successors), in application order,
-    /// each tagged with whether its data write was *suppressed* — the
-    /// record's request was already applied under an earlier version, so
-    /// the slot is burned (version advances, the log stays dense for
-    /// anti-entropy) but the data and the client reply are exactly-once.
-    /// Records at or below the applied version are duplicates and are
-    /// ignored.
+    /// offered one plus any buffered successors on the same chain), in
+    /// application order, each tagged with whether its data write was
+    /// *suppressed* — the record's request was already applied under an
+    /// earlier version, so the slot is burned (the chain advances, its
+    /// log stays dense for anti-entropy) but the data and the client
+    /// reply are exactly-once. Records at or below their chain's
+    /// applied version are duplicates and are ignored.
     pub fn offer(&mut self, record: CommitRecord, now: SimTime) -> Vec<(CommitRecord, bool)> {
-        if record.version <= self.applied {
+        let cid = self.chain_of(record.key);
+        let chain = self.chains.entry(cid).or_default();
+        if record.version <= chain.applied {
             return Vec::new();
         }
-        self.pending.insert(record.version, record);
+        chain.pending.insert(record.version, record);
         let mut applied = Vec::new();
-        while let Some(next) = self.pending.remove(&(self.applied + 1)) {
-            let suppressed = self.apply(next.clone(), now);
+        loop {
+            let chain = self.chains.get_mut(&cid).expect("chain just touched");
+            let Some(next) = chain.pending.remove(&(chain.applied + 1)) else {
+                break;
+            };
+            chain.applied = next.version;
+            chain.last_update = now;
+            let suppressed = self.applied_requests.contains_key(&next.request);
+            if !suppressed {
+                self.data.insert(
+                    next.key,
+                    StoredValue {
+                        value: next.value,
+                        version: next.version,
+                        applied_at: now,
+                    },
+                );
+                self.applied_requests.insert(next.request, next.version);
+            }
+            self.chains
+                .get_mut(&cid)
+                .expect("chain just touched")
+                .log
+                .push(next.clone());
             applied.push((next, suppressed));
         }
         applied
-    }
-
-    /// Apply one in-order record; returns true when the data write was
-    /// suppressed as a duplicate of an already-applied request.
-    fn apply(&mut self, record: CommitRecord, now: SimTime) -> bool {
-        debug_assert_eq!(record.version, self.applied + 1);
-        self.applied = record.version;
-        self.last_update = now;
-        let suppressed = self.applied_requests.contains_key(&record.request);
-        if !suppressed {
-            self.data.insert(
-                record.key,
-                StoredValue {
-                    value: record.value,
-                    version: record.version,
-                    applied_at: now,
-                },
-            );
-            self.applied_requests.insert(record.request, record.version);
-        }
-        self.log.push(record);
-        suppressed
     }
 
     /// Whether a client request has already been applied here (used to
@@ -141,46 +207,91 @@ impl VersionedStore {
         self.applied_requests.contains_key(&request)
     }
 
-    /// The version under which a client request first committed, if it
-    /// has been applied here — the answer an idempotent resend gets.
+    /// The version (within its chain) under which a client request
+    /// first committed, if it has been applied here — the answer an
+    /// idempotent resend gets.
     pub fn request_version(&self, request: u64) -> Option<u64> {
         self.applied_requests.get(&request).copied()
     }
 
-    /// Lowest missing version if the store is waiting on a gap.
+    /// Lowest missing version if chain 0 is waiting on a gap.
     pub fn gap(&self) -> Option<u64> {
-        if self.pending.is_empty() {
-            None
-        } else {
-            Some(self.applied + 1)
-        }
+        self.chains.get(&0).and_then(|c| {
+            if c.pending.is_empty() {
+                None
+            } else {
+                Some(c.applied + 1)
+            }
+        })
     }
 
-    /// Number of buffered out-of-order commits.
+    /// Whether any chain is waiting on a gap (drives anti-entropy
+    /// pulls).
+    pub fn has_gap(&self) -> bool {
+        self.chains.values().any(|c| !c.pending.is_empty())
+    }
+
+    /// Number of buffered out-of-order commits across all chains.
     pub fn pending_len(&self) -> usize {
-        self.pending.len()
+        self.chains.values().map(|c| c.pending.len()).sum()
     }
 
-    /// The commit log from `from_version` (exclusive) onwards — the
-    /// anti-entropy payload for a recovering peer.
+    /// Applied version of every chain this store has touched — the
+    /// horizon map a keyed anti-entropy pull advertises.
+    pub fn chain_versions(&self) -> BTreeMap<u64, u64> {
+        self.chains.iter().map(|(&c, ch)| (c, ch.applied)).collect()
+    }
+
+    /// Whether any chain other than chain 0 exists (a single-key or
+    /// global-discipline store can keep using the legacy chain-0 pull).
+    pub fn has_keyed_chains(&self) -> bool {
+        self.chains.keys().any(|&c| c != 0)
+    }
+
+    /// Chain 0's commit log from `from_version` (exclusive) onwards —
+    /// the legacy anti-entropy payload for a recovering peer.
     pub fn log_suffix(&self, from_version: u64) -> Vec<CommitRecord> {
+        self.log_suffix_for(0, from_version)
+    }
+
+    /// One chain's commit log from `from_version` (exclusive) onwards.
+    pub fn log_suffix_for(&self, chain: u64, from_version: u64) -> Vec<CommitRecord> {
+        let Some(chain) = self.chains.get(&chain) else {
+            return Vec::new();
+        };
         let start = usize::try_from(from_version).unwrap_or(usize::MAX);
-        if start >= self.log.len() {
+        if start >= chain.log.len() {
             Vec::new()
         } else {
-            self.log[start..].to_vec()
+            chain.log[start..].to_vec()
         }
     }
 
-    /// Full applied history (for audits and tests).
+    /// Everything the peer behind `versions` is missing: for each local
+    /// chain, the suffix past the peer's advertised applied version
+    /// (absent = 0, i.e. the full chain) — the keyed anti-entropy
+    /// payload.
+    pub fn suffix_for_versions(&self, versions: &BTreeMap<u64, u64>) -> Vec<CommitRecord> {
+        let mut records = Vec::new();
+        for &chain in self.chains.keys() {
+            let from = versions.get(&chain).copied().unwrap_or(0);
+            records.extend(self.log_suffix_for(chain, from));
+        }
+        records
+    }
+
+    /// Chain 0's full applied history (for audits and tests; the whole
+    /// store under the global discipline).
     pub fn log(&self) -> &[CommitRecord] {
-        &self.log
+        self.chains.get(&0).map_or(&[], |c| c.log.as_slice())
     }
 
     /// Drop buffered out-of-order commits (volatile state) after a
-    /// crash; the applied log is "stable storage" and survives.
+    /// crash; the applied logs are "stable storage" and survive.
     pub fn clear_volatile(&mut self) {
-        self.pending.clear();
+        for chain in self.chains.values_mut() {
+            chain.pending.clear();
+        }
     }
 }
 
@@ -194,7 +305,7 @@ mod tests {
             key,
             value,
             agent: 7,
-            request: version * 100,
+            request: version * 100 + key,
             committed_at: SimTime::from_millis(version),
         }
     }
@@ -215,6 +326,7 @@ mod tests {
         assert!(store.offer(record(3, 1, 30), SimTime::ZERO).is_empty());
         assert!(store.offer(record(2, 1, 20), SimTime::ZERO).is_empty());
         assert_eq!(store.gap(), Some(1));
+        assert!(store.has_gap());
         assert_eq!(store.pending_len(), 2);
         let applied = store.offer(record(1, 1, 10), SimTime::from_millis(5));
         assert_eq!(
@@ -224,6 +336,7 @@ mod tests {
         assert_eq!(store.applied_version(), 3);
         assert_eq!(store.get(1).unwrap().value, 30);
         assert_eq!(store.gap(), None);
+        assert!(!store.has_gap());
     }
 
     #[test]
@@ -263,6 +376,81 @@ mod tests {
     }
 
     #[test]
+    fn global_discipline_spans_keys_on_one_chain() {
+        // The baselines allocate one dense sequence across all keys.
+        let mut store = VersionedStore::new();
+        store.offer(record(1, 10, 1), SimTime::ZERO);
+        store.offer(record(2, 20, 2), SimTime::ZERO);
+        store.offer(record(3, 10, 3), SimTime::ZERO);
+        assert_eq!(store.applied_version(), 3);
+        assert_eq!(store.applied_version_for(20), 3);
+        assert_eq!(store.log().len(), 3);
+        assert!(!store.has_keyed_chains());
+    }
+
+    #[test]
+    fn per_key_chains_are_independent() {
+        let mut store = VersionedStore::per_key();
+        assert!(store.is_per_key());
+        // Keys 1 and 2 each start their own chain at version 1 —
+        // concurrent winners on disjoint keys never collide.
+        store.offer(record(1, 1, 10), SimTime::from_millis(1));
+        store.offer(record(1, 2, 20), SimTime::from_millis(2));
+        store.offer(record(2, 1, 11), SimTime::from_millis(3));
+        assert_eq!(store.applied_version_for(1), 2);
+        assert_eq!(store.applied_version_for(2), 1);
+        assert_eq!(store.get(1).unwrap().value, 11);
+        assert_eq!(store.get(2).unwrap().value, 20);
+        assert_eq!(store.last_update_time_for(1), SimTime::from_millis(3));
+        assert_eq!(store.last_update_time_for(2), SimTime::from_millis(2));
+        assert!(store.has_keyed_chains());
+        assert_eq!(
+            store.chain_versions(),
+            BTreeMap::from([(1u64, 2u64), (2, 1)])
+        );
+    }
+
+    #[test]
+    fn per_key_gap_buffers_only_its_chain() {
+        let mut store = VersionedStore::per_key();
+        // Key 1 has a gap; key 2 keeps applying.
+        assert!(store.offer(record(2, 1, 12), SimTime::ZERO).is_empty());
+        let applied = store.offer(record(1, 2, 20), SimTime::ZERO);
+        assert_eq!(applied.len(), 1);
+        assert!(store.has_gap());
+        assert_eq!(store.pending_len(), 1);
+        // Filling key 1's gap releases its buffered successor.
+        let applied = store.offer(record(1, 1, 11), SimTime::ZERO);
+        assert_eq!(
+            applied.iter().map(|(r, _)| r.version).collect::<Vec<_>>(),
+            vec![1, 2]
+        );
+        assert!(!store.has_gap());
+    }
+
+    #[test]
+    fn keyed_suffix_serves_recovery_per_chain() {
+        let mut source = VersionedStore::per_key();
+        for v in 1..=3 {
+            source.offer(record(v, 1, v * 10), SimTime::ZERO);
+        }
+        for v in 1..=2 {
+            source.offer(record(v, 2, v * 100), SimTime::ZERO);
+        }
+        let mut target = VersionedStore::per_key();
+        target.offer(record(1, 1, 10), SimTime::ZERO);
+        // The peer advertises {1: 1} (chain 2 unknown → full chain).
+        let missing = source.suffix_for_versions(&target.chain_versions());
+        for rec in missing {
+            target.offer(rec, SimTime::ZERO);
+        }
+        assert_eq!(target.applied_version_for(1), 3);
+        assert_eq!(target.applied_version_for(2), 2);
+        assert_eq!(target.get(1).unwrap().value, 30);
+        assert_eq!(target.get(2).unwrap().value, 200);
+    }
+
+    #[test]
     fn duplicate_request_burns_the_slot_without_rewriting_data() {
         let mut store = VersionedStore::new();
         // Version 1 commits request 100 writing key 5 = 50.
@@ -293,6 +481,26 @@ mod tests {
         let applied = store.offer(record(3, 6, 60), SimTime::from_millis(3));
         assert!(!applied[0].1, "fresh request must not be suppressed");
         assert_eq!(store.get(6).unwrap().value, 60);
+    }
+
+    #[test]
+    fn request_dedup_spans_chains() {
+        // A regenerated agent's re-commit may land on the same chain at
+        // a later version; dedup is by request id, chain-wide.
+        let mut store = VersionedStore::per_key();
+        let first = CommitRecord {
+            request: 100,
+            ..record(1, 5, 50)
+        };
+        store.offer(first, SimTime::from_millis(1));
+        let dup = CommitRecord {
+            request: 100,
+            ..record(2, 5, 99)
+        };
+        let applied = store.offer(dup, SimTime::from_millis(2));
+        assert!(applied[0].1);
+        assert_eq!(store.get(5).unwrap().value, 50);
+        assert_eq!(store.applied_version_for(5), 2);
     }
 
     #[test]
