@@ -1,0 +1,379 @@
+//! A minimal Rust lexer: just enough to turn source text into a token
+//! stream that comment/string false positives cannot leak through.
+//!
+//! The token model is deliberately coarse — every punctuation byte is
+//! its own token, numeric literals keep their suffixes as one text blob
+//! — because the passes match shapes (`self . field . encode (`) rather
+//! than full expressions. What matters is that comments, doc comments,
+//! string/char literals, and lifetimes are classified correctly, since
+//! those are exactly where the old regex lints produced false positives.
+
+/// Token classification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (including a bare `_`).
+    Ident,
+    /// Numeric literal, suffix included (`0u8`, `0x1F`, `1_000`, `1.5`).
+    Num,
+    /// String literal (regular, raw, or byte), quotes included.
+    Str,
+    /// Character literal.
+    Char,
+    /// Lifetime (`'a`, `'static`).
+    Lifetime,
+    /// Single punctuation byte.
+    Punct,
+}
+
+/// One token with its 1-based source line.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    pub kind: TokKind,
+    pub text: String,
+    pub line: u32,
+}
+
+impl Tok {
+    /// Is this an identifier with exactly this text?
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+
+    /// Is this a punctuation token with exactly this byte?
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct && self.text.len() == 1 && self.text.as_bytes()[0] == c as u8
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b == b'_' || b.is_ascii_alphabetic()
+}
+
+fn is_ident_cont(b: u8) -> bool {
+    b == b'_' || b.is_ascii_alphanumeric()
+}
+
+/// Tokenize `src`. Unterminated constructs (string, block comment) are
+/// tolerated by consuming to end of input — the analyzer must never
+/// panic on weird-but-compiling source.
+pub fn lex(src: &str) -> Vec<Tok> {
+    let b = src.as_bytes();
+    let mut toks = Vec::new();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+
+    macro_rules! bump_lines {
+        ($range:expr) => {
+            line += b[$range].iter().filter(|&&c| c == b'\n').count() as u32
+        };
+    }
+
+    while i < b.len() {
+        let c = b[i];
+        // Whitespace.
+        if c.is_ascii_whitespace() {
+            if c == b'\n' {
+                line += 1;
+            }
+            i += 1;
+            continue;
+        }
+        // Line comment (incl. doc comments).
+        if c == b'/' && i + 1 < b.len() && b[i + 1] == b'/' {
+            while i < b.len() && b[i] != b'\n' {
+                i += 1;
+            }
+            continue;
+        }
+        // Block comment, nested.
+        if c == b'/' && i + 1 < b.len() && b[i + 1] == b'*' {
+            let start = i;
+            let mut depth = 1;
+            i += 2;
+            while i < b.len() && depth > 0 {
+                if b[i] == b'/' && i + 1 < b.len() && b[i + 1] == b'*' {
+                    depth += 1;
+                    i += 2;
+                } else if b[i] == b'*' && i + 1 < b.len() && b[i + 1] == b'/' {
+                    depth -= 1;
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+            }
+            bump_lines!(start..i.min(b.len()));
+            continue;
+        }
+        // Raw strings: r"..." / r#"..."# / br#"..."# with any # count.
+        if (c == b'r' || c == b'b') && {
+            let mut j = i;
+            if b[j] == b'b' && j + 1 < b.len() && b[j + 1] == b'r' {
+                j += 1;
+            }
+            b[j] == b'r' && {
+                let mut k = j + 1;
+                while k < b.len() && b[k] == b'#' {
+                    k += 1;
+                }
+                k < b.len() && b[k] == b'"'
+            }
+        } {
+            let start = i;
+            let start_line = line;
+            if b[i] == b'b' {
+                i += 1;
+            }
+            i += 1; // r
+            let mut hashes = 0usize;
+            while i < b.len() && b[i] == b'#' {
+                hashes += 1;
+                i += 1;
+            }
+            i += 1; // opening quote
+            loop {
+                if i >= b.len() {
+                    break;
+                }
+                if b[i] == b'"' {
+                    let mut k = i + 1;
+                    let mut seen = 0usize;
+                    while k < b.len() && b[k] == b'#' && seen < hashes {
+                        seen += 1;
+                        k += 1;
+                    }
+                    if seen == hashes {
+                        i = k;
+                        break;
+                    }
+                }
+                i += 1;
+            }
+            bump_lines!(start..i.min(b.len()));
+            toks.push(Tok {
+                kind: TokKind::Str,
+                text: src[start..i.min(b.len())].to_string(),
+                line: start_line,
+            });
+            continue;
+        }
+        // Regular / byte strings.
+        if c == b'"' || (c == b'b' && i + 1 < b.len() && b[i + 1] == b'"') {
+            let start = i;
+            let start_line = line;
+            if c == b'b' {
+                i += 1;
+            }
+            i += 1; // opening quote
+            while i < b.len() {
+                match b[i] {
+                    b'\\' => i += 2,
+                    b'"' => {
+                        i += 1;
+                        break;
+                    }
+                    _ => i += 1,
+                }
+            }
+            bump_lines!(start..i.min(b.len()));
+            toks.push(Tok {
+                kind: TokKind::Str,
+                text: src[start..i.min(b.len())].to_string(),
+                line: start_line,
+            });
+            continue;
+        }
+        // Char literal vs lifetime.
+        if c == b'\'' {
+            // Lifetime: 'ident not followed by a closing quote.
+            if i + 1 < b.len() && is_ident_start(b[i + 1]) {
+                let mut k = i + 1;
+                while k < b.len() && is_ident_cont(b[k]) {
+                    k += 1;
+                }
+                if k >= b.len() || b[k] != b'\'' {
+                    toks.push(Tok {
+                        kind: TokKind::Lifetime,
+                        text: src[i..k].to_string(),
+                        line,
+                    });
+                    i = k;
+                    continue;
+                }
+            }
+            // Char literal: '<escape or byte>'.
+            let start = i;
+            i += 1;
+            if i < b.len() && b[i] == b'\\' {
+                i += 2;
+            } else {
+                // Possibly multi-byte UTF-8; consume until quote.
+                while i < b.len() && b[i] != b'\'' {
+                    i += 1;
+                }
+            }
+            if i < b.len() && b[i] == b'\'' {
+                i += 1;
+            } else {
+                i = (start + 2).min(b.len());
+            }
+            toks.push(Tok {
+                kind: TokKind::Char,
+                text: src[start..i.min(b.len())].to_string(),
+                line,
+            });
+            continue;
+        }
+        // Identifier / keyword.
+        if is_ident_start(c) {
+            let start = i;
+            while i < b.len() && is_ident_cont(b[i]) {
+                i += 1;
+            }
+            toks.push(Tok {
+                kind: TokKind::Ident,
+                text: src[start..i].to_string(),
+                line,
+            });
+            continue;
+        }
+        // Numeric literal: digits, `_`, suffix letters, hex digits, and
+        // a `.` only when directly followed by a digit (so `0..n` does
+        // not glue the range dots onto the number).
+        if c.is_ascii_digit() {
+            let start = i;
+            i += 1;
+            while i < b.len() {
+                let d = b[i];
+                if is_ident_cont(d) || (d == b'.' && i + 1 < b.len() && b[i + 1].is_ascii_digit()) {
+                    i += 1;
+                } else {
+                    break;
+                }
+            }
+            toks.push(Tok {
+                kind: TokKind::Num,
+                text: src[start..i].to_string(),
+                line,
+            });
+            continue;
+        }
+        // Everything else: one punctuation byte per token.
+        toks.push(Tok {
+            kind: TokKind::Punct,
+            text: (c as char).to_string(),
+            line,
+        });
+        i += 1;
+    }
+    toks
+}
+
+/// Does the token at `i` begin the exact sequence of idents/puncts given
+/// by `pat`? Pattern elements are matched as: identifier text if the
+/// element starts with an alphabetic char or `_`, punctuation bytes
+/// otherwise (each byte its own token).
+pub fn seq_at(toks: &[Tok], i: usize, pat: &[&str]) -> bool {
+    let mut j = i;
+    for p in pat {
+        let first = p.as_bytes()[0];
+        if is_ident_start(first) || first.is_ascii_digit() {
+            let Some(t) = toks.get(j) else { return false };
+            if !(t.kind == TokKind::Ident || t.kind == TokKind::Num) || t.text != *p {
+                return false;
+            }
+            j += 1;
+        } else {
+            for &pb in p.as_bytes() {
+                let Some(t) = toks.get(j) else { return false };
+                if t.kind != TokKind::Punct || t.text.as_bytes() != [pb] {
+                    return false;
+                }
+                j += 1;
+            }
+        }
+    }
+    true
+}
+
+/// Find the index of the matching closing delimiter for the opener at
+/// `open` (which must be `(`, `[` or `{`). Returns `toks.len() - 1`
+/// clamped if unbalanced.
+pub fn matching_close(toks: &[Tok], open: usize) -> usize {
+    let (o, c) = match toks[open].text.as_str() {
+        "(" => ('(', ')'),
+        "[" => ('[', ']'),
+        "{" => ('{', '}'),
+        _ => return open,
+    };
+    let mut depth = 0i64;
+    for (j, t) in toks.iter().enumerate().skip(open) {
+        if t.kind == TokKind::Punct {
+            if t.is_punct(o) {
+                depth += 1;
+            } else if t.is_punct(c) {
+                depth -= 1;
+                if depth == 0 {
+                    return j;
+                }
+            }
+        }
+    }
+    toks.len().saturating_sub(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comments_and_strings_do_not_leak_idents() {
+        let toks = lex("// Instant\n/* SystemTime */ let x = \"Instant\"; 'a'");
+        assert!(!toks.iter().any(|t| t.is_ident("Instant")));
+        assert!(!toks.iter().any(|t| t.is_ident("SystemTime")));
+        assert_eq!(toks.iter().filter(|t| t.kind == TokKind::Str).count(), 1);
+        assert_eq!(toks.iter().filter(|t| t.kind == TokKind::Char).count(), 1);
+    }
+
+    #[test]
+    fn lifetimes_are_not_chars() {
+        let toks = lex("fn f<'a>(x: &'a str) {}");
+        assert_eq!(
+            toks.iter().filter(|t| t.kind == TokKind::Lifetime).count(),
+            2
+        );
+        assert_eq!(toks.iter().filter(|t| t.kind == TokKind::Char).count(), 0);
+    }
+
+    #[test]
+    fn raw_strings_and_nesting() {
+        let toks = lex(r##"let s = r#"a " b"#; /* a /* b */ c */ x"##);
+        assert!(toks.iter().any(|t| t.is_ident("x")));
+        assert_eq!(toks.iter().filter(|t| t.kind == TokKind::Str).count(), 1);
+    }
+
+    #[test]
+    fn numbers_keep_suffixes_and_ranges_split() {
+        let toks = lex("0u8 1_000 0x1F 1.5 0..n");
+        let nums: Vec<&str> = toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Num)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(nums, vec!["0u8", "1_000", "0x1F", "1.5", "0"]);
+    }
+
+    #[test]
+    fn line_numbers_advance() {
+        let toks = lex("a\nb\n\nc");
+        let lines: Vec<u32> = toks.iter().map(|t| t.line).collect();
+        assert_eq!(lines, vec![1, 2, 4]);
+    }
+
+    #[test]
+    fn seq_and_matching_close() {
+        let toks = lex("self.ll.top(key)");
+        assert!(seq_at(&toks, 0, &["self", ".", "ll", ".", "top", "("]));
+        let open = toks.iter().position(|t| t.is_punct('(')).unwrap();
+        assert_eq!(matching_close(&toks, open), toks.len() - 1);
+    }
+}
