@@ -1,11 +1,14 @@
-//! Workspace automation tasks. Currently one: `lint`.
+//! Workspace automation tasks: `lint` and `analyze`.
 //!
-//! `cargo run -p xtask -- lint` enforces the sans-io discipline with a
-//! dependency-free text scan over the protocol crates (`core`,
-//! `quorum`, `baselines`, `agent`, `replica` — the crates whose logic
-//! must be a pure function of delivered events so the simulator, the
-//! threaded runtime, and the model checker all execute identical
-//! behaviour):
+//! Both delegate to the `marp-analyzer` crate, which parses every
+//! protocol crate into a token/item model and runs the checks over it
+//! (see `crates/analyzer/` and `docs/ANALYSIS.md`).
+//!
+//! `cargo run -p xtask -- lint` enforces the sans-io discipline on the
+//! protocol crates (`core`, `quorum`, `baselines`, `agent`, `replica`,
+//! `wire` — the crates whose logic must be a pure function of delivered
+//! events so the simulator, the threaded runtime, and the model checker
+//! all execute identical behaviour):
 //!
 //! * **no-wall-clock** — `std::time::Instant` / `SystemTime`: reading
 //!   host time desynchronizes simulated and real executions.
@@ -26,320 +29,31 @@
 //!   `TAG_*` constant or a `TimerMux`-minted tag (an `.arm(` /
 //!   `TimerMux::tag(` nearby), so every fired timer is attributable
 //!   and stale fires are rejected by epoch.
+//! * **no-wildcard-match** (crates/obs only) — no standalone `_ =>`
+//!   arms: exporters must match `TraceEvent` exhaustively so adding a
+//!   variant is a loud failure, not silently dropped data.
 //!
-//! The observability crate (`crates/obs`) gets one extra rule:
+//! `cargo run -p xtask -- analyze` runs the five protocol-aware passes:
+//! wire symmetry, handler exhaustiveness, timer-tag registry, span
+//! balance, and lease discipline.
 //!
-//! * **no-wildcard-match** — no standalone `_ =>` arms. Exporters must
-//!   match `TraceEvent` exhaustively (listing uninteresting variants
-//!   explicitly) so adding a variant is a compile error in every
-//!   exporter rather than silently dropped data. Fallbacks that carry
-//!   information use a named binding (`other =>`, `tag =>`).
-//!
-//! Doc comments, `//` comments, and `#[cfg(test)]` modules (tracked by
-//! brace depth) are skipped. Known-good exceptions live in
-//! `lint-allow.txt` at the workspace root: lines of
-//! `<path-suffix> <rule> <substring>`.
+//! Known-good exceptions for either command live in `lint-allow.txt` at
+//! the workspace root: lines of `<path-suffix> <rule> <substring>`.
 
-use std::fmt::Write as _;
-use std::path::{Path, PathBuf};
+use marp_analyzer::{allowed, load_allowlist, load_workspace, render, run_analyze, run_lint};
 use std::process::ExitCode;
 
-/// Crates whose `src/` must stay sans-io. `crates/wire` rides along:
-/// a codec is trivially sans-io, and the scan also enforces the
-/// encode-reservation rule there.
-const SANS_IO_CRATES: &[&str] = &[
-    "crates/core",
-    "crates/quorum",
-    "crates/baselines",
-    "crates/agent",
-    "crates/replica",
-    "crates/wire",
-];
-
-/// Crates whose `src/` must not contain wildcard match arms.
-const EXHAUSTIVE_MATCH_CRATES: &[&str] = &["crates/obs"];
-
-#[derive(Debug)]
-struct Finding {
-    file: PathBuf,
-    line: usize,
-    rule: &'static str,
-    text: String,
-}
-
-/// One allowlist entry: suppress `rule` findings on lines containing
-/// `substring` in files whose path ends with `path_suffix`.
-struct Allow {
-    path_suffix: String,
-    rule: String,
-    substring: String,
-}
-
-fn load_allowlist(root: &Path) -> Vec<Allow> {
-    let Ok(text) = std::fs::read_to_string(root.join("lint-allow.txt")) else {
-        return Vec::new();
-    };
-    let mut allows = Vec::new();
-    for line in text.lines() {
-        let line = line.trim();
-        if line.is_empty() || line.starts_with('#') {
-            continue;
-        }
-        let mut parts = line.splitn(3, char::is_whitespace);
-        if let (Some(path_suffix), Some(rule), Some(substring)) =
-            (parts.next(), parts.next(), parts.next())
-        {
-            allows.push(Allow {
-                path_suffix: path_suffix.to_string(),
-                rule: rule.to_string(),
-                substring: substring.trim().to_string(),
-            });
-        }
-    }
-    allows
-}
-
-fn allowed(allows: &[Allow], finding: &Finding) -> bool {
-    let path = finding.file.to_string_lossy();
-    allows.iter().any(|a| {
-        path.ends_with(&a.path_suffix)
-            && a.rule == finding.rule
-            && finding.text.contains(&a.substring)
-    })
-}
-
-/// Does `line` contain `word` as a standalone identifier (not as a
-/// fragment of a longer one, so `Instantiate` does not trip `Instant`)?
-fn has_ident(line: &str, word: &str) -> bool {
-    let bytes = line.as_bytes();
-    let is_ident = |b: u8| b == b'_' || b.is_ascii_alphanumeric();
-    let mut from = 0;
-    while let Some(pos) = line[from..].find(word) {
-        let start = from + pos;
-        let end = start + word.len();
-        let before_ok = start == 0 || !is_ident(bytes[start - 1]);
-        let after_ok = end >= bytes.len() || !is_ident(bytes[end]);
-        if before_ok && after_ok {
-            return true;
-        }
-        from = end;
-    }
-    false
-}
-
-/// Strip `//` comments (doc comments included). Quote-aware enough for
-/// this codebase: a `//` inside a string literal is kept.
-fn strip_comment(line: &str) -> &str {
-    let bytes = line.as_bytes();
-    let mut in_str = false;
-    let mut i = 0;
-    while i < bytes.len() {
-        match bytes[i] {
-            b'\\' if in_str => i += 1,
-            b'"' => in_str = !in_str,
-            b'/' if !in_str && i + 1 < bytes.len() && bytes[i + 1] == b'/' => {
-                return &line[..i];
-            }
-            _ => {}
-        }
-        i += 1;
-    }
-    line
-}
-
-fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) {
-    let Ok(entries) = std::fs::read_dir(dir) else {
-        return;
-    };
-    for entry in entries.flatten() {
-        let path = entry.path();
-        if path.is_dir() {
-            collect_rs_files(&path, out);
-        } else if path.extension().is_some_and(|e| e == "rs") {
-            out.push(path);
-        }
-    }
-    out.sort();
-}
-
-fn lint_file(path: &Path, text: &str, core_crate: bool, findings: &mut Vec<Finding>) {
-    let mut report = |line: usize, rule: &'static str, text: &str| {
-        findings.push(Finding {
-            file: path.to_path_buf(),
-            line,
-            rule,
-            text: text.trim().to_string(),
-        });
-    };
-
-    let lines: Vec<&str> = text.lines().collect();
-    // Test-module tracking: from a `#[cfg(test)]` attribute, skip until
-    // the brace opened after it closes again.
-    let mut in_test = false;
-    let mut test_depth: i64 = 0;
-    let mut test_entered_body = false;
-
-    for (i, raw) in lines.iter().enumerate() {
-        let lineno = i + 1;
-        if in_test {
-            let opens = raw.matches('{').count() as i64;
-            let closes = raw.matches('}').count() as i64;
-            test_depth += opens - closes;
-            if opens > 0 {
-                test_entered_body = true;
-            }
-            if test_entered_body && test_depth <= 0 {
-                in_test = false;
-            }
-            continue;
-        }
-        if raw.trim_start().starts_with("#[cfg(test)]") {
-            in_test = true;
-            test_depth = 0;
-            test_entered_body = false;
-            continue;
-        }
-
-        let line = strip_comment(raw);
-        if line.trim().is_empty() {
-            continue;
-        }
-
-        if has_ident(line, "Instant") || has_ident(line, "SystemTime") {
-            report(lineno, "no-wall-clock", line);
-        }
-        if line.contains("thread::sleep") || line.contains("sleep(Duration") {
-            report(lineno, "no-sleep", line);
-        }
-        if line.contains("std::net") {
-            report(lineno, "no-net", line);
-        }
-        if line.contains("rand::")
-            || has_ident(line, "thread_rng")
-            || has_ident(line, "from_entropy")
-        {
-            report(lineno, "no-ambient-rand", line);
-        }
-        if core_crate && (line.contains(".unwrap()") || line.contains(".expect(")) {
-            report(lineno, "no-unwrap-core", line);
-        }
-
-        // Encode paths reserve before writing: `BytesMut::new()` starts
-        // at capacity zero, so the first `encode` into it reallocates —
-        // possibly several times for nested messages. `Wire::encoded_len`
-        // makes the exact size knowable up front; use
-        // `BytesMut::with_capacity` (or `marp_wire::to_bytes`, which
-        // reserves from the hint) instead.
-        if line.contains("BytesMut::new()") {
-            report(lineno, "no-unreserved-encode", line);
-        }
-
-        // Timer tag discipline: a `set_timer` *call* (not the trait
-        // method's declaration) must name a TAG_* constant or use a
-        // tag minted by TimerMux within the preceding few lines.
-        if line.contains("set_timer(") && !line.contains("fn set_timer") {
-            let minted_nearby = (i.saturating_sub(3)..=i).any(|j| {
-                let l = strip_comment(lines[j]);
-                l.contains(".arm(") || l.contains("TimerMux::tag(")
-            });
-            if !line.contains("TAG_") && !minted_nearby {
-                report(lineno, "timer-tag-discipline", line);
-            }
-        }
-    }
-}
-
-/// Does `line` contain a standalone wildcard match arm (`_ =>`)? The
-/// underscore must be its own token: `(_, x) =>`, `Some(_) =>`, and
-/// identifiers ending in `_` are all fine; only a bare `_` pattern
-/// (optionally whitespace-separated from `=>`) trips the rule.
-fn has_wildcard_arm(line: &str) -> bool {
-    let bytes = line.as_bytes();
-    let is_ident = |b: u8| b == b'_' || b.is_ascii_alphanumeric();
-    for (i, &b) in bytes.iter().enumerate() {
-        if b != b'_' {
-            continue;
-        }
-        let before_ok = i == 0 || !is_ident(bytes[i - 1]);
-        let after = &line[i + 1..];
-        let after_ok = !after.starts_with(|c: char| c == '_' || c.is_ascii_alphanumeric());
-        if before_ok && after_ok && after.trim_start().starts_with("=>") {
-            return true;
-        }
-    }
-    false
-}
-
-/// The `no-wildcard-match` pass for [`EXHAUSTIVE_MATCH_CRATES`]. Unlike
-/// the sans-io pass this also scans `#[cfg(test)]` code: a wildcard in
-/// a test hides new variants from the assertions just as effectively.
-fn lint_exhaustive(path: &Path, text: &str, findings: &mut Vec<Finding>) {
-    for (i, raw) in text.lines().enumerate() {
-        let line = strip_comment(raw);
-        if has_wildcard_arm(line) {
-            findings.push(Finding {
-                file: path.to_path_buf(),
-                line: i + 1,
-                rule: "no-wildcard-match",
-                text: line.trim().to_string(),
-            });
-        }
-    }
-}
-
-fn workspace_root() -> PathBuf {
-    // xtask runs via `cargo run -p xtask`, so the manifest dir is
-    // <root>/crates/xtask.
-    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
-    manifest
-        .parent()
-        .and_then(Path::parent)
-        .map_or(manifest.clone(), Path::to_path_buf)
-}
-
 fn cmd_lint() -> ExitCode {
-    let root = workspace_root();
+    let root = marp_analyzer::workspace_root_from(env!("CARGO_MANIFEST_DIR"));
     let allows = load_allowlist(&root);
-    let mut findings = Vec::new();
-    let mut files_scanned = 0usize;
-    for krate in SANS_IO_CRATES {
-        let src = root.join(krate).join("src");
-        let mut files = Vec::new();
-        collect_rs_files(&src, &mut files);
-        let core_crate = *krate == "crates/core";
-        for file in files {
-            let Ok(text) = std::fs::read_to_string(&file) else {
-                eprintln!("warning: cannot read {}", file.display());
-                continue;
-            };
-            files_scanned += 1;
-            lint_file(&file, &text, core_crate, &mut findings);
-        }
-    }
-    for krate in EXHAUSTIVE_MATCH_CRATES {
-        let src = root.join(krate).join("src");
-        let mut files = Vec::new();
-        collect_rs_files(&src, &mut files);
-        for file in files {
-            let Ok(text) = std::fs::read_to_string(&file) else {
-                eprintln!("warning: cannot read {}", file.display());
-                continue;
-            };
-            files_scanned += 1;
-            lint_exhaustive(&file, &text, &mut findings);
-        }
-    }
+    let ws = load_workspace(&root);
+    let (mut findings, files_scanned) = run_lint(&ws);
     findings.retain(|f| !allowed(&allows, f));
     if findings.is_empty() {
         println!("xtask lint: {files_scanned} files clean");
         return ExitCode::SUCCESS;
     }
-    let mut msg = String::new();
-    for f in &findings {
-        let rel = f.file.strip_prefix(&root).unwrap_or(&f.file).display();
-        let _ = writeln!(msg, "{rel}:{}: [{}] {}", f.line, f.rule, f.text);
-    }
-    eprint!("{msg}");
+    eprint!("{}", render(&findings));
     eprintln!(
         "xtask lint: {} violation(s) in {files_scanned} files \
          (allowlist: lint-allow.txt — '<path-suffix> <rule> <substring>')",
@@ -348,126 +62,38 @@ fn cmd_lint() -> ExitCode {
     ExitCode::FAILURE
 }
 
+fn cmd_analyze() -> ExitCode {
+    let root = marp_analyzer::workspace_root_from(env!("CARGO_MANIFEST_DIR"));
+    let allows = load_allowlist(&root);
+    let ws = load_workspace(&root);
+    let impls = marp_analyzer::passes::wire::inventory(&ws).len();
+    let mut findings = run_analyze(&ws);
+    findings.retain(|f| !allowed(&allows, f));
+    if findings.is_empty() {
+        println!(
+            "xtask analyze: clean ({} files, {impls} Wire impls)",
+            ws.files.len()
+        );
+        return ExitCode::SUCCESS;
+    }
+    eprint!("{}", render(&findings));
+    eprintln!(
+        "xtask analyze: {} finding(s) in {} files \
+         (allowlist: lint-allow.txt — '<path-suffix> <rule> <substring>')",
+        findings.len(),
+        ws.files.len()
+    );
+    ExitCode::FAILURE
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("lint") => cmd_lint(),
+        Some("analyze") => cmd_analyze(),
         _ => {
-            eprintln!("usage: cargo run -p xtask -- lint");
+            eprintln!("usage: cargo run -p xtask -- <lint|analyze>");
             ExitCode::from(2)
         }
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn ident_matching_respects_boundaries() {
-        assert!(has_ident("let t = Instant::now();", "Instant"));
-        assert!(!has_ident("// Instantiate the cluster", "Instant"));
-        assert!(!has_ident("let my_Instant_like = 0;", "Instant"));
-        assert!(has_ident("use std::time::SystemTime;", "SystemTime"));
-    }
-
-    #[test]
-    fn comments_are_stripped_but_strings_keep_slashes() {
-        assert_eq!(strip_comment("code(); // Instant"), "code(); ");
-        assert_eq!(strip_comment("/// SystemTime docs"), "");
-        assert_eq!(
-            strip_comment(r#"let u = "http://x"; // c"#),
-            r#"let u = "http://x"; "#
-        );
-    }
-
-    #[test]
-    fn test_modules_are_skipped() {
-        let text = "fn live() { x.unwrap(); }\n\
-                    #[cfg(test)]\n\
-                    mod tests {\n\
-                    fn t() { y.unwrap(); let i = Instant::now(); }\n\
-                    }\n\
-                    fn live2() { let s = SystemTime::now(); }\n";
-        let mut findings = Vec::new();
-        lint_file(Path::new("crates/core/src/x.rs"), text, true, &mut findings);
-        let rules: Vec<&str> = findings.iter().map(|f| f.rule).collect();
-        assert_eq!(rules, vec!["no-unwrap-core", "no-wall-clock"]);
-        assert_eq!(findings[0].line, 1);
-        assert_eq!(findings[1].line, 6);
-    }
-
-    #[test]
-    fn timer_discipline_accepts_tags_and_mux_minted() {
-        let ok = "ctx.set_timer(wait, TAG_BATCH_TICK);\n\
-                  let tag = self.timers.arm(TIMER_ACK, epoch);\n\
-                  env.set_timer(delay, tag);\n";
-        let mut findings = Vec::new();
-        lint_file(Path::new("crates/core/src/x.rs"), ok, false, &mut findings);
-        assert!(findings.is_empty(), "{findings:?}",);
-
-        let bad = "ctx.set_timer(wait, 42);\n";
-        lint_file(Path::new("crates/core/src/x.rs"), bad, false, &mut findings);
-        assert_eq!(findings.len(), 1);
-        assert_eq!(findings[0].rule, "timer-tag-discipline");
-    }
-
-    #[test]
-    fn unreserved_encode_buffers_are_flagged() {
-        let bad = "let mut buf = BytesMut::new();\n";
-        let mut findings = Vec::new();
-        lint_file(Path::new("crates/core/src/x.rs"), bad, false, &mut findings);
-        assert_eq!(findings.len(), 1);
-        assert_eq!(findings[0].rule, "no-unreserved-encode");
-
-        let ok = "let mut buf = BytesMut::with_capacity(msg.encoded_len());\n";
-        findings.clear();
-        lint_file(Path::new("crates/core/src/x.rs"), ok, false, &mut findings);
-        assert!(findings.is_empty(), "{findings:?}");
-    }
-
-    #[test]
-    fn wildcard_arm_detection_is_token_aware() {
-        assert!(has_wildcard_arm("            _ => {}"));
-        assert!(has_wildcard_arm("_ =>"));
-        assert!(has_wildcard_arm("_=> foo(),"));
-        assert!(!has_wildcard_arm("(_, x) => foo(),"));
-        assert!(!has_wildcard_arm("Some(_) => foo(),"));
-        assert!(!has_wildcard_arm("other => foo(),"));
-        assert!(!has_wildcard_arm("tag => Err(..),"));
-        assert!(!has_wildcard_arm("let my_ = 1; f(x_ , y)"));
-        // Commented-out wildcards are stripped before the check.
-        let mut findings = Vec::new();
-        lint_exhaustive(
-            Path::new("crates/obs/src/x.rs"),
-            "// _ => {}\nmatch e {\n    _ => {}\n}\n",
-            &mut findings,
-        );
-        assert_eq!(findings.len(), 1);
-        assert_eq!(findings[0].rule, "no-wildcard-match");
-        assert_eq!(findings[0].line, 3);
-    }
-
-    #[test]
-    fn allowlist_suppresses_matching_findings() {
-        let allows = vec![Allow {
-            path_suffix: "src/x.rs".into(),
-            rule: "no-wall-clock".into(),
-            substring: "SystemTime".into(),
-        }];
-        let hit = Finding {
-            file: PathBuf::from("crates/core/src/x.rs"),
-            line: 1,
-            rule: "no-wall-clock",
-            text: "let s = SystemTime::now();".into(),
-        };
-        let miss = Finding {
-            file: PathBuf::from("crates/core/src/y.rs"),
-            rule: "no-wall-clock",
-            line: 1,
-            text: "let s = SystemTime::now();".into(),
-        };
-        assert!(allowed(&allows, &hit));
-        assert!(!allowed(&allows, &miss));
     }
 }
