@@ -1,0 +1,16 @@
+//! Deliberately broken dispatch for the handler-exhaustiveness pass:
+//! `BrokenEvent::Late` is never named in the dispatch surface, so a
+//! spec pinning this file must flag it. Never compiled — parsed by
+//! `crates/analyzer/tests/passes.rs`.
+
+pub enum BrokenEvent {
+    Deliver { to: u64 },
+    Late { to: u64, deadline: u64 },
+}
+
+pub fn dispatch(ev: BrokenEvent) {
+    match ev {
+        BrokenEvent::Deliver { to } => deliver(to),
+        other => queue(other),
+    }
+}

@@ -1,0 +1,28 @@
+//! Deliberately broken span discipline for the span-balance pass: a
+//! `SpanKind::Migrate` start is emitted but no emission anywhere closes
+//! that kind (the only `SpanEnd` closes `Dispatch`). Never compiled —
+//! parsed by `crates/analyzer/tests/passes.rs`.
+
+pub fn hop(tr: &mut Trace) {
+    tr.emit(TraceEvent::SpanStart {
+        id: span,
+        parent: cause,
+        kind: SpanKind::Migrate,
+        a: from,
+        b: to,
+    });
+    tr.emit(TraceEvent::SpanStart {
+        id: other,
+        parent: cause,
+        kind: SpanKind::Dispatch,
+        a: from,
+        b: to,
+    });
+}
+
+pub fn done(tr: &mut Trace) {
+    tr.emit(TraceEvent::SpanEnd {
+        id: other,
+        kind: SpanKind::Dispatch,
+    });
+}

@@ -1,0 +1,21 @@
+//! Deliberately broken timer discipline for the timers pass:
+//! * `TAG_RETRY` and `TAG_LEASE_SWEEP` both evaluate to 3 in the same
+//!   file + type domain (collision);
+//! * `Regenerator` arms timers but its `on_recover` hook never re-arms,
+//!   cancels, or clears them (crash-path leak).
+//! Never compiled — parsed by `crates/analyzer/tests/passes.rs`.
+
+pub const TAG_RETRY: u64 = 3;
+pub const TAG_LEASE_SWEEP: u64 = 1 | 2;
+pub const TAG_DISTINCT: u64 = 4;
+
+pub struct Regenerator;
+
+impl Regenerator {
+    fn kick(&mut self, ctx: &mut Ctx) {
+        ctx.set_timer(after, TAG_RETRY);
+    }
+    fn on_recover(&mut self, ctx: &mut Ctx) {
+        self.pending.truncate(0);
+    }
+}
