@@ -91,6 +91,17 @@ pub trait AgentBehavior: Wire + Send + 'static {
     /// shed state the destination already knows (delta-encoded Locking
     /// Tables). Runs on the source host, *before* `Wire::encode`.
     fn before_migrate(&mut self, _dest: NodeId, _host: &mut Self::Host) {}
+
+    /// How many locking-knowledge entries this agent is carrying right
+    /// now (Locking Table queue entries plus Updated List entries for
+    /// MARP update agents). Sampled by the runtime at each migration —
+    /// after [`Self::before_migrate`] sheds state — and emitted as a
+    /// `Custom { kind: "lt-entries-carried" }` trace event so profiling
+    /// can attribute wire growth to carried state. Behaviours with no
+    /// such tables report 0 and emit nothing.
+    fn carried_lt_entries(&self) -> u64 {
+        0
+    }
 }
 
 /// Encodes an [`AgentEnvelope`] into the owner process's message space.

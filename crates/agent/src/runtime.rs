@@ -369,6 +369,15 @@ impl<B: AgentBehavior> AgentRuntime<B> {
         self.drop_agent_timers(id, ctx);
         let hop = resident.hops + 1;
         let state = marp_wire::to_bytes(&resident.behavior);
+        // Sampled post-`before_migrate`, so this is what actually ships.
+        let carried = resident.behavior.carried_lt_entries();
+        if carried > 0 {
+            ctx.trace(TraceEvent::Custom {
+                kind: "lt-entries-carried",
+                a: carried,
+                b: id.key(),
+            });
+        }
         ctx.trace(TraceEvent::AgentStateShipped {
             agent: id.key(),
             bytes: state.len(),

@@ -50,6 +50,24 @@ pub const SPECS: &[HandlerSpec] = &[
         enum_name: "TraceEvent",
         dispatch: &["crates/obs/src/spans.rs"],
     },
+    // The marp-prof modules each consume the full trace stream
+    // independently of the span collector; separate rows keep each one
+    // honest on its own (one shared row would let a variant handled in
+    // any of them pass for all).
+    HandlerSpec {
+        enum_name: "TraceEvent",
+        dispatch: &["crates/obs/src/profile.rs"],
+    },
+    HandlerSpec {
+        enum_name: "TraceEvent",
+        dispatch: &["crates/obs/src/sweep.rs"],
+    },
+    // The profiler orders and anchors spans by kind; every SpanKind must
+    // appear in its ranking match.
+    HandlerSpec {
+        enum_name: "SpanKind",
+        dispatch: &["crates/obs/src/profile.rs"],
+    },
 ];
 
 pub fn check(ws: &Workspace, out: &mut Vec<Finding>) {

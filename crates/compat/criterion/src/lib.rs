@@ -12,7 +12,10 @@
 //!
 //! Running a bench binary with `--test` (as `cargo test` does for
 //! `harness = false` benches) executes each benchmark exactly once to
-//! smoke-test it, without timing loops.
+//! smoke-test it. The single shot is still timed and lands in the JSON
+//! snapshot (median = min = max), so smoke-mode CI runs have every row
+//! a full run has — just with single-sample noise instead of a median
+//! over `sample_size` samples.
 //!
 //! Set `CRITERION_JSON=<path>` to also write the measured results as a
 //! JSON array (`[{"id", "median_ns", "min_ns", "max_ns"}, ...]`) when
@@ -88,7 +91,7 @@ pub struct Bencher {
 enum Mode {
     /// Warm up, then record `sample_size` samples.
     Measure { sample_size: usize },
-    /// `--test`: run the routine once, record nothing.
+    /// `--test`: run the routine once, recording the single-shot time.
     Smoke,
 }
 
@@ -97,7 +100,10 @@ impl Bencher {
     /// sample takes roughly a millisecond.
     pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
         if self.mode == Mode::Smoke {
+            let start = Instant::now();
             black_box(routine());
+            self.samples.clear();
+            self.samples.push(start.elapsed());
             return;
         }
         let Mode::Measure { sample_size } = self.mode else {
@@ -253,7 +259,18 @@ fn run_one<F: FnMut(&mut Bencher)>(
     };
     f(&mut bencher);
     if smoke {
-        println!("{id}: ok (smoke)");
+        match bencher.samples.first() {
+            Some(&shot) => {
+                RESULTS.lock().expect("results mutex").push((
+                    id.to_string(),
+                    shot.as_nanos(),
+                    shot.as_nanos(),
+                    shot.as_nanos(),
+                ));
+                println!("{id}: ok (smoke, single shot {shot:?})");
+            }
+            None => println!("{id}: ok (smoke)"),
+        }
         return;
     }
     let mut samples = bencher.samples;
@@ -335,6 +352,7 @@ mod tests {
         let mut count = 0u64;
         b.iter(|| count += 1);
         assert_eq!(count, 1);
-        assert!(b.samples.is_empty());
+        // The single shot is timed so smoke runs still snapshot a row.
+        assert_eq!(b.samples.len(), 1);
     }
 }

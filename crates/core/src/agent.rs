@@ -751,6 +751,11 @@ impl AgentBehavior for UpdateAgent {
         self.ual
             .retain(|agent| agent == self.id || named.binary_search(&agent).is_ok());
     }
+
+    fn carried_lt_entries(&self) -> u64 {
+        let queued: usize = self.lt.iter().map(|(_, snap)| snap.queue.len()).sum();
+        queued as u64 + self.ual.len() as u64
+    }
 }
 
 #[cfg(test)]

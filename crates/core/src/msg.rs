@@ -112,6 +112,30 @@ const TAG_SYNC: u8 = 6;
 const TAG_RAGENT: u8 = 7;
 const TAG_LL_QUERY_KEYED: u8 = 8;
 
+/// Leading wire-tag byte of [`NodeMsg::Sync`] frames — the anti-entropy
+/// (gossip reconciliation) channel. The sim kernel buckets sent bytes by
+/// this leading byte (`RunStats::bytes_by_kind`), so observability code
+/// needs the tag value to attribute that slot without re-decoding frames.
+pub const WIRE_TAG_SYNC: u8 = TAG_SYNC;
+
+/// Human-readable name for a leading [`NodeMsg`] wire-tag byte, for
+/// byte-accounting tables indexed by `RunStats::bytes_by_kind` slot.
+/// Unassigned slots come back as `"other"`.
+pub fn wire_tag_name(tag: u8) -> &'static str {
+    match tag {
+        TAG_CLIENT => "client",
+        TAG_AGENT => "agent",
+        TAG_UPDATE => "update",
+        TAG_COMMIT => "commit",
+        TAG_RELEASE => "release",
+        TAG_LL_QUERY => "ll-query",
+        TAG_SYNC => "sync",
+        TAG_RAGENT => "ragent",
+        TAG_LL_QUERY_KEYED => "ll-query-keyed",
+        _ => "other",
+    }
+}
+
 impl Wire for NodeMsg {
     fn encode(&self, buf: &mut BytesMut) {
         match self {

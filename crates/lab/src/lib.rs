@@ -29,14 +29,16 @@
 
 #![warn(missing_docs)]
 
+mod prof;
 mod scenario;
 mod sweep;
 
 pub use marp_obs::ObsOptions;
+pub use prof::{scale_sweep, SweepConfig};
 pub use scenario::{
     run_scenario, run_scenario_traced, LinkKind, ProtocolKind, RunOutcome, Scenario, TopologyKind,
 };
-pub use sweep::{run_seeds, run_sweep};
+pub use sweep::{run_seeds, run_sweep, run_sweep_traced};
 
 /// Honor `--trace-out` / `--metrics-out` for an experiment binary: when
 /// either flag is present, re-run the given representative scenario with

@@ -5,14 +5,18 @@
 //! over worker threads (crossbeam scoped threads pulling from a shared
 //! atomic cursor), and results come back in input order.
 
-use crate::scenario::{run_scenario, RunOutcome, Scenario};
+use crate::scenario::{run_scenario, run_scenario_traced, RunOutcome, Scenario};
+use marp_sim::TraceLog;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
-/// Run all scenarios, fanning out across up to `workers` threads
-/// (`None` = one per available core). Results are returned in the same
-/// order as the input.
-pub fn run_sweep(scenarios: &[Scenario], workers: Option<usize>) -> Vec<RunOutcome> {
+/// Shared fan-out skeleton: distribute scenarios over worker threads
+/// pulling from an atomic cursor, collect results in input order.
+fn fan_out<T, F>(scenarios: &[Scenario], workers: Option<usize>, run: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(&Scenario) -> T + Sync,
+{
     let worker_count = workers
         .unwrap_or_else(|| {
             std::thread::available_parallelism()
@@ -22,12 +26,11 @@ pub fn run_sweep(scenarios: &[Scenario], workers: Option<usize>) -> Vec<RunOutco
         .clamp(1, scenarios.len().max(1));
 
     if worker_count <= 1 || scenarios.len() <= 1 {
-        return scenarios.iter().map(run_scenario).collect();
+        return scenarios.iter().map(run).collect();
     }
 
     let cursor = AtomicUsize::new(0);
-    let slots: Vec<Mutex<Option<RunOutcome>>> =
-        scenarios.iter().map(|_| Mutex::new(None)).collect();
+    let slots: Vec<Mutex<Option<T>>> = scenarios.iter().map(|_| Mutex::new(None)).collect();
 
     crossbeam::thread::scope(|scope| {
         for _ in 0..worker_count {
@@ -36,7 +39,7 @@ pub fn run_sweep(scenarios: &[Scenario], workers: Option<usize>) -> Vec<RunOutco
                 if idx >= scenarios.len() {
                     break;
                 }
-                let outcome = run_scenario(&scenarios[idx]);
+                let outcome = run(&scenarios[idx]);
                 *slots[idx].lock().expect("poisoned slot") = Some(outcome);
             });
         }
@@ -51,6 +54,22 @@ pub fn run_sweep(scenarios: &[Scenario], workers: Option<usize>) -> Vec<RunOutco
                 .expect("every slot filled")
         })
         .collect()
+}
+
+/// Run all scenarios, fanning out across up to `workers` threads
+/// (`None` = one per available core). Results are returned in the same
+/// order as the input.
+pub fn run_sweep(scenarios: &[Scenario], workers: Option<usize>) -> Vec<RunOutcome> {
+    fan_out(scenarios, workers, run_scenario)
+}
+
+/// Like [`run_sweep`], but each run also hands back its recorded trace
+/// (the profiling pipeline folds these into per-phase cost tables).
+pub fn run_sweep_traced(
+    scenarios: &[Scenario],
+    workers: Option<usize>,
+) -> Vec<(RunOutcome, TraceLog)> {
+    fan_out(scenarios, workers, run_scenario_traced)
 }
 
 /// Run the same scenario at several seeds and pool the outcomes

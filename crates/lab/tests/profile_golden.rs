@@ -1,0 +1,90 @@
+//! Golden-file and determinism tests for the marp-prof aggregator on a
+//! small 3-replica MARP scenario.
+//!
+//! The simulation is deterministic and the profile folds into sorted
+//! maps with fixed-precision rendering, so every output form (table,
+//! collapsed stacks, JSON, diff) is byte-stable. If a deliberate
+//! protocol or profiler change shifts the output, regenerate with:
+//!
+//! ```text
+//! BLESS=1 cargo test -p marp-lab --test profile_golden
+//! ```
+
+use marp_lab::{run_scenario_traced, Scenario};
+use marp_obs::{Json, Profile, ProfileDiff};
+use marp_sim::TraceLog;
+use std::path::PathBuf;
+
+fn small_run(seed: u64) -> TraceLog {
+    let mut scenario = Scenario::paper(3, 40.0, seed);
+    scenario.requests_per_client = 2;
+    run_scenario_traced(&scenario).1
+}
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join(format!("tests/golden/{name}"))
+}
+
+fn check_golden(name: &str, produced: &str) {
+    let path = golden_path(name);
+    if std::env::var_os("BLESS").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, produced).unwrap();
+        return;
+    }
+    let golden = std::fs::read_to_string(&path)
+        .expect("golden file missing — run with BLESS=1 to create it");
+    assert_eq!(
+        produced, golden,
+        "{name} drifted from the golden file; if intentional, re-bless with BLESS=1"
+    );
+}
+
+#[test]
+fn collapsed_stacks_match_golden_file() {
+    let profile = Profile::from_trace(&small_run(7));
+    check_golden("profile_3replica.collapsed.txt", &profile.collapsed());
+}
+
+#[test]
+fn profile_json_matches_golden_file() {
+    let profile = Profile::from_trace(&small_run(7));
+    check_golden("profile_3replica.json", &profile.to_json().render());
+}
+
+#[test]
+fn diff_output_matches_golden_file() {
+    // Same scenario at two seeds: a realistic "two runs of the same
+    // workload" diff with small share movements.
+    let before = Profile::from_trace(&small_run(7));
+    let after = Profile::from_trace(&small_run(8));
+    let diff = ProfileDiff::between(&before, &after);
+    check_golden("profile_3replica.diff.json", &diff.to_json().render());
+}
+
+#[test]
+fn same_trace_profiles_byte_identically_twice() {
+    let trace = small_run(7);
+    let a = Profile::from_trace(&trace);
+    let b = Profile::from_trace(&trace);
+    assert_eq!(a.render(), b.render());
+    assert_eq!(a.collapsed(), b.collapsed());
+    assert_eq!(a.to_json().render(), b.to_json().render());
+    let diff_ab = ProfileDiff::between(&a, &b);
+    let diff_ba = ProfileDiff::between(&b, &a);
+    assert_eq!(diff_ab.to_json().render(), diff_ba.to_json().render());
+}
+
+#[test]
+fn profile_json_roundtrips_losslessly() {
+    let profile = Profile::from_trace(&small_run(7));
+    let text = profile.to_json().render();
+    let parsed = Json::parse(&text).expect("profile JSON must parse");
+    let back = Profile::from_json(&parsed).expect("profile JSON must load");
+    assert_eq!(back.to_json().render(), text);
+    // A diff of a profile against its own round-trip is all zeros.
+    let diff = ProfileDiff::between(&profile, &back);
+    for delta in &diff.paths {
+        assert_eq!(delta.share_delta(), 0.0, "path {} drifted", delta.path);
+    }
+}

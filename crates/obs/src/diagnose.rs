@@ -1,0 +1,445 @@
+//! Automated cliff diagnosis (`marp-trace diagnose`, and the tail end
+//! of `marp-trace sweep`).
+//!
+//! Rule-based detectors over a [`SweepReport`]: each rule inspects the
+//! fitted growth exponents and the top-point cost shares, and — when it
+//! fires — produces a [`Verdict`] whose evidence cites concrete table
+//! rows. Verdicts are ranked by score so the first entry is the best
+//! explanation of *why commit cost grows with the replica count*.
+//!
+//! The rules encode the three ways a MARP cluster is known to fall off
+//! a cliff:
+//!
+//! * **lock-queue convoy** — lock-wait time per commit grows
+//!   superlinearly: agents serialize behind ever-longer Locking Lists;
+//! * **gossip amplification** — bytes per commit grow superlinearly,
+//!   with the anti-entropy / carried-state share called out;
+//! * **migration storm** — migrations per commit exceed Theorem 3's
+//!   `⌈(N+1)/2⌉ ≤ m ≤ N` bound, i.e. agents tour more than the
+//!   protocol's worst case per won lock;
+//!
+//! plus a generic **superlinear-phase** detector that flags any
+//! critical-path phase with a fitted exponent above threshold, so a new
+//! kind of blowup still gets named.
+
+use crate::json::Json;
+use crate::sweep::SweepReport;
+use std::fmt::Write as _;
+
+/// Exponent above which a per-commit metric counts as superlinear
+/// (costs that merely track cluster size fit k ≈ 1).
+pub const SUPERLINEAR_K: f64 = 1.2;
+
+/// Exponent above which a firing rule escalates to `critical`.
+pub const CRITICAL_K: f64 = 1.8;
+
+/// How loud a verdict is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Worth knowing, not the headline.
+    Info,
+    /// A real scaling problem.
+    Warning,
+    /// The dominant explanation of the cliff.
+    Critical,
+}
+
+impl Severity {
+    /// Stable lowercase name (used in text and JSON output).
+    pub fn name(self) -> &'static str {
+        match self {
+            Severity::Info => "info",
+            Severity::Warning => "warning",
+            Severity::Critical => "critical",
+        }
+    }
+}
+
+/// One fired rule with its ranked score and cited evidence.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Verdict {
+    /// Stable rule identifier.
+    pub rule: &'static str,
+    /// How loud the finding is.
+    pub severity: Severity,
+    /// Ranking score (higher = more explanatory).
+    pub score: f64,
+    /// One-line statement of the finding.
+    pub summary: String,
+    /// Concrete table rows backing the finding.
+    pub evidence: Vec<String>,
+}
+
+/// The ranked output of a diagnosis run.
+#[derive(Debug, Default, PartialEq)]
+pub struct Diagnosis {
+    /// Fired rules, highest score first.
+    pub verdicts: Vec<Verdict>,
+}
+
+fn round3(x: f64) -> f64 {
+    (x * 1000.0).round() / 1000.0
+}
+
+/// Per-point evidence row for one phase: value per commit and share of
+/// the total.
+fn phase_rows(
+    report: &SweepReport,
+    phase: &str,
+    value: fn(&crate::sweep::SweepPoint) -> f64,
+) -> Vec<String> {
+    report
+        .points
+        .iter()
+        .map(|p| {
+            let share = if p.total_ms > 0.0 {
+                value(p) / p.total_ms * 100.0
+            } else {
+                0.0
+            };
+            format!(
+                "n={}: {phase} {:.3} ms/commit ({:.1}% of total)",
+                p.n,
+                p.per_commit(value(p)),
+                share
+            )
+        })
+        .collect()
+}
+
+impl Diagnosis {
+    /// Run every rule over a sweep.
+    pub fn from_sweep(report: &SweepReport) -> Self {
+        let mut verdicts = Vec::new();
+        lock_queue_convoy(report, &mut verdicts);
+        gossip_amplification(report, &mut verdicts);
+        migration_storm(report, &mut verdicts);
+        superlinear_phases(report, &mut verdicts);
+        verdicts.sort_by(|a, b| {
+            b.score
+                .partial_cmp(&a.score)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| a.rule.cmp(b.rule))
+        });
+        Diagnosis { verdicts }
+    }
+
+    /// Render the ranked verdict list.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        if self.verdicts.is_empty() {
+            let _ = writeln!(out, "diagnosis: no superlinear cost growth detected");
+            return out;
+        }
+        let _ = writeln!(
+            out,
+            "diagnosis: {} finding(s), ranked:",
+            self.verdicts.len()
+        );
+        for (rank, v) in self.verdicts.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "{}. [{}] {} (score {:.3}): {}",
+                rank + 1,
+                v.severity.name(),
+                v.rule,
+                v.score,
+                v.summary
+            );
+            for line in &v.evidence {
+                let _ = writeln!(out, "     - {line}");
+            }
+        }
+        out
+    }
+
+    /// Serialize as deterministic JSON (schema `marp-prof/diagnosis/v1`).
+    pub fn to_json(&self) -> Json {
+        let verdicts: Vec<Json> = self
+            .verdicts
+            .iter()
+            .map(|v| {
+                Json::obj([
+                    ("rule", Json::Str(String::from(v.rule))),
+                    ("severity", Json::Str(String::from(v.severity.name()))),
+                    ("score", Json::Num(v.score)),
+                    ("summary", Json::Str(v.summary.clone())),
+                    (
+                        "evidence",
+                        Json::Arr(v.evidence.iter().map(|e| Json::Str(e.clone())).collect()),
+                    ),
+                ])
+            })
+            .collect();
+        Json::obj([
+            ("schema", Json::Str(String::from("marp-prof/diagnosis/v1"))),
+            ("verdicts", Json::Arr(verdicts)),
+        ])
+    }
+}
+
+fn severity_for(k: f64) -> Severity {
+    if k > CRITICAL_K {
+        Severity::Critical
+    } else {
+        Severity::Warning
+    }
+}
+
+fn lock_queue_convoy(report: &SweepReport, out: &mut Vec<Verdict>) {
+    let Some(k) = report.exponent("lock-wait-ms") else {
+        return;
+    };
+    if k <= SUPERLINEAR_K {
+        return;
+    }
+    let top_share = report
+        .top_point()
+        .filter(|p| p.total_ms > 0.0)
+        .map(|p| p.lock_wait_ms / p.total_ms)
+        .unwrap_or(0.0);
+    let mut evidence = phase_rows(report, "lock-wait", |p| p.lock_wait_ms);
+    evidence.push(format!(
+        "fitted exponent k={k:.4} (superlinear above {SUPERLINEAR_K})"
+    ));
+    out.push(Verdict {
+        rule: "lock-queue-convoy",
+        severity: severity_for(k),
+        score: round3(k * (1.0 + top_share)),
+        summary: format!(
+            "lock-wait per commit grows as n^{k:.2} and is {:.1}% of commit latency at n={}: \
+             agents convoy behind growing Locking List queues",
+            top_share * 100.0,
+            report.top_point().map(|p| p.n).unwrap_or(0)
+        ),
+        evidence,
+    });
+}
+
+fn gossip_amplification(report: &SweepReport, out: &mut Vec<Verdict>) {
+    let Some(k) = report.exponent("bytes") else {
+        return;
+    };
+    if k <= SUPERLINEAR_K {
+        return;
+    }
+    let mut evidence: Vec<String> = report
+        .points
+        .iter()
+        .map(|p| {
+            format!(
+                "n={}: {:.0} bytes/commit ({:.0} migrated-state, {:.0} gossip, {:.1} LT entries/migration)",
+                p.n,
+                p.per_commit(p.total_bytes as f64),
+                p.per_commit(p.migrated_bytes as f64),
+                p.per_commit(p.gossip_bytes as f64),
+                if p.migrations == 0 {
+                    0.0
+                } else {
+                    p.lt_entries_carried as f64 / p.migrations as f64
+                }
+            )
+        })
+        .collect();
+    evidence.push(format!(
+        "fitted exponent k={k:.4} (superlinear above {SUPERLINEAR_K})"
+    ));
+    if let Some(k_lt) = report.exponent("lt-entries") {
+        evidence.push(format!("carried LT entries per commit grow as n^{k_lt:.4}"));
+    }
+    out.push(Verdict {
+        rule: "gossip-amplification",
+        severity: severity_for(k),
+        score: round3(k),
+        summary: format!(
+            "wire bytes per commit grow as n^{k:.2}: carried locking state and \
+             reconciliation traffic amplify with every added replica"
+        ),
+        evidence,
+    });
+}
+
+fn migration_storm(report: &SweepReport, out: &mut Vec<Verdict>) {
+    let Some(top) = report.top_point().filter(|p| p.commits > 0) else {
+        return;
+    };
+    // Theorem 3: a winning agent migrates between ⌈(N+1)/2⌉ and N times.
+    let bound_hi = top.n as f64;
+    let bound_lo = ((top.n + 1) as f64 / 2.0).ceil();
+    let per_commit = top.migrations as f64 / top.commits as f64;
+    let k = report.exponent("migrations");
+    let exceeds = per_commit > bound_hi;
+    let superlinear = k.is_some_and(|k| k > SUPERLINEAR_K);
+    if !exceeds && !superlinear {
+        return;
+    }
+    let mut evidence: Vec<String> = report
+        .points
+        .iter()
+        .filter(|p| p.commits > 0)
+        .map(|p| {
+            format!(
+                "n={}: {:.2} migrations/commit (Theorem 3 bound: {:.0}..{:.0} per won lock)",
+                p.n,
+                p.migrations as f64 / p.commits as f64,
+                ((p.n + 1) as f64 / 2.0).ceil(),
+                p.n as f64
+            )
+        })
+        .collect();
+    if let Some(k) = k {
+        evidence.push(format!("fitted exponent k={k:.4}"));
+    }
+    out.push(Verdict {
+        rule: "migration-storm",
+        severity: if exceeds {
+            Severity::Critical
+        } else {
+            Severity::Warning
+        },
+        score: round3(per_commit / bound_hi + k.unwrap_or(0.0)),
+        summary: if exceeds {
+            format!(
+                "{per_commit:.2} migrations per commit at n={} exceeds Theorem 3's upper bound \
+                 of {bound_hi:.0}: agents re-tour (aborted claims / regenerations) before winning",
+                top.n
+            )
+        } else {
+            format!(
+                "migrations per commit grow superlinearly (within Theorem 3's \
+                 {bound_lo:.0}..{bound_hi:.0} bound at n={}, but trending out of it)",
+                top.n
+            )
+        },
+        evidence,
+    });
+}
+
+fn superlinear_phases(report: &SweepReport, out: &mut Vec<Verdict>) {
+    const PHASES: &[(&str, &str, crate::sweep::MetricFn)] = &[
+        ("queueing-ms", "queueing", |p| p.queueing_ms),
+        ("network-ms", "network", |p| p.network_ms),
+        ("lock-wait-ms", "lock-wait", |p| p.lock_wait_ms),
+        ("quorum-wait-ms", "quorum-wait", |p| p.quorum_wait_ms),
+    ];
+    for &(metric, phase, value) in PHASES {
+        let Some(k) = report.exponent(metric) else {
+            continue;
+        };
+        if k <= SUPERLINEAR_K {
+            continue;
+        }
+        let mut evidence = phase_rows(report, phase, value);
+        evidence.push(format!(
+            "fitted exponent k={k:.4} (superlinear above {SUPERLINEAR_K})"
+        ));
+        out.push(Verdict {
+            rule: "superlinear-phase",
+            severity: Severity::Info,
+            score: round3(k / 2.0),
+            summary: format!("the {phase} phase grows as n^{k:.2} per commit"),
+            evidence,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sweep::SweepPoint;
+
+    /// A sweep whose lock-wait dominates and grows with `power`, while
+    /// the other phases stay linear.
+    fn convoy_sweep(power: f64) -> SweepReport {
+        let point = |n: usize| {
+            let v = (n as f64).powf(power);
+            let linear = n as f64;
+            SweepPoint {
+                n,
+                seeds: vec![1, 2],
+                commits: 100,
+                total_ms: 100.0 * v + 300.0 * linear,
+                queueing_ms: 100.0 * linear,
+                network_ms: 100.0 * linear,
+                lock_wait_ms: 100.0 * v,
+                quorum_wait_ms: 100.0 * linear,
+                migrations: 100 * n as u64, // within Theorem 3's bound
+                migrated_bytes: (1000.0 * linear) as u64,
+                gossip_bytes: (100.0 * linear) as u64,
+                total_bytes: (2000.0 * linear) as u64,
+                messages: (50.0 * linear) as u64,
+                lt_entries_carried: (20.0 * linear) as u64,
+            }
+        };
+        SweepReport::new(vec![point(3), point(5), point(9)])
+    }
+
+    #[test]
+    fn convoy_is_detected_and_ranked_first() {
+        let diagnosis = Diagnosis::from_sweep(&convoy_sweep(2.5));
+        assert!(!diagnosis.verdicts.is_empty());
+        assert_eq!(diagnosis.verdicts[0].rule, "lock-queue-convoy");
+        assert!(diagnosis.verdicts[0].score >= 1.0);
+        assert!(diagnosis.verdicts[0]
+            .evidence
+            .iter()
+            .any(|e| e.starts_with("n=9:")));
+        // The generic detector also names the phase.
+        assert!(diagnosis
+            .verdicts
+            .iter()
+            .any(|v| v.rule == "superlinear-phase" && v.summary.contains("lock-wait")));
+    }
+
+    #[test]
+    fn linear_sweep_is_clean() {
+        let diagnosis = Diagnosis::from_sweep(&convoy_sweep(1.0));
+        assert!(diagnosis.verdicts.is_empty());
+        assert!(diagnosis.render().contains("no superlinear cost growth"));
+    }
+
+    #[test]
+    fn migration_storm_fires_past_theorem3_bound() {
+        let mut report = convoy_sweep(1.0);
+        for p in &mut report.points {
+            p.migrations = p.commits * (p.n as u64 + 3); // > N per commit
+        }
+        let diagnosis = Diagnosis::from_sweep(&report);
+        let storm = diagnosis
+            .verdicts
+            .iter()
+            .find(|v| v.rule == "migration-storm")
+            .expect("storm rule should fire");
+        assert_eq!(storm.severity, Severity::Critical);
+        assert!(storm.summary.contains("Theorem 3"));
+        assert!(storm.evidence.iter().any(|e| e.contains("bound: 5..9")));
+    }
+
+    #[test]
+    fn gossip_amplification_cites_byte_rows() {
+        let mut report = convoy_sweep(1.0);
+        for p in &mut report.points {
+            p.total_bytes = (2000.0 * (p.n as f64).powf(2.2)) as u64;
+        }
+        let diagnosis = Diagnosis::from_sweep(&report);
+        let gossip = diagnosis
+            .verdicts
+            .iter()
+            .find(|v| v.rule == "gossip-amplification")
+            .expect("gossip rule should fire");
+        assert!(gossip.evidence.iter().any(|e| e.contains("bytes/commit")));
+    }
+
+    #[test]
+    fn json_schema_is_stable_and_parses() {
+        let diagnosis = Diagnosis::from_sweep(&convoy_sweep(2.0));
+        let text = diagnosis.to_json().render();
+        let doc = Json::parse(&text).unwrap();
+        assert_eq!(
+            doc.get("schema").and_then(Json::as_str),
+            Some("marp-prof/diagnosis/v1")
+        );
+        assert!(doc.get("verdicts").and_then(Json::as_arr).is_some());
+        assert_eq!(diagnosis.to_json().render(), text);
+    }
+}

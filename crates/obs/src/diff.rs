@@ -1,0 +1,374 @@
+//! Run comparison (`marp-trace diff`).
+//!
+//! Compares two [`Profile`]s path-by-path or two [`SweepReport`]s
+//! phase-by-phase, reporting which cost centres *grew in share* — the
+//! question a perf PR gets judged on. Both comparisons render a text
+//! table and a deterministic JSON document so CI can gate on the
+//! machine-readable form.
+
+use crate::json::Json;
+use crate::profile::Profile;
+use crate::sweep::{SweepReport, METRICS};
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
+
+/// Share change of one kind path between two profiles.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PathDelta {
+    /// The kind path (e.g. `dispatch;migrate`).
+    pub path: String,
+    /// Exclusive time in the old profile, ns.
+    pub before_ns: u64,
+    /// Exclusive time in the new profile, ns.
+    pub after_ns: u64,
+    /// Share of total exclusive time before (0..=1).
+    pub before_share: f64,
+    /// Share of total exclusive time after (0..=1).
+    pub after_share: f64,
+}
+
+impl PathDelta {
+    /// Signed share change (positive = the path grew in share).
+    pub fn share_delta(&self) -> f64 {
+        self.after_share - self.before_share
+    }
+}
+
+/// Path-level comparison of two profiles.
+#[derive(Debug, Default, PartialEq)]
+pub struct ProfileDiff {
+    /// Every path present in either profile, sorted by absolute share
+    /// change descending (ties by path).
+    pub paths: Vec<PathDelta>,
+}
+
+/// Round a share to 6 decimals so output stays byte-stable and small.
+fn round_share(x: f64) -> f64 {
+    (x * 1e6).round() / 1e6
+}
+
+impl ProfileDiff {
+    /// Compare `before` against `after`.
+    pub fn between(before: &Profile, after: &Profile) -> Self {
+        let before_total = before.total_excl_ns().max(1) as f64;
+        let after_total = after.total_excl_ns().max(1) as f64;
+        let all_paths: BTreeSet<&String> =
+            before.by_path.keys().chain(after.by_path.keys()).collect();
+        let mut paths: Vec<PathDelta> = all_paths
+            .into_iter()
+            .map(|path| {
+                let b = before.by_path.get(path).map(|s| s.excl_ns).unwrap_or(0);
+                let a = after.by_path.get(path).map(|s| s.excl_ns).unwrap_or(0);
+                PathDelta {
+                    path: path.clone(),
+                    before_ns: b,
+                    after_ns: a,
+                    before_share: round_share(b as f64 / before_total),
+                    after_share: round_share(a as f64 / after_total),
+                }
+            })
+            .collect();
+        paths.sort_by(|x, y| {
+            y.share_delta()
+                .abs()
+                .partial_cmp(&x.share_delta().abs())
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| x.path.cmp(&y.path))
+        });
+        ProfileDiff { paths }
+    }
+
+    /// Paths whose share grew by more than `threshold` (e.g. 0.01 for
+    /// one percentage point).
+    pub fn grew(&self, threshold: f64) -> Vec<&PathDelta> {
+        self.paths
+            .iter()
+            .filter(|d| d.share_delta() > threshold)
+            .collect()
+    }
+
+    /// Render the comparison table.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:<48} {:>12} {:>12} {:>9} {:>9} {:>8}",
+            "path", "before_ms", "after_ms", "before%", "after%", "Δshare"
+        );
+        for d in &self.paths {
+            let _ = writeln!(
+                out,
+                "{:<48} {:>12.3} {:>12.3} {:>8.1}% {:>8.1}% {:>+7.1}%",
+                d.path,
+                d.before_ns as f64 / 1e6,
+                d.after_ns as f64 / 1e6,
+                d.before_share * 100.0,
+                d.after_share * 100.0,
+                d.share_delta() * 100.0
+            );
+        }
+        out
+    }
+
+    /// Serialize as deterministic JSON (schema
+    /// `marp-prof/profile-diff/v1`).
+    pub fn to_json(&self) -> Json {
+        let rows: Vec<Json> = self
+            .paths
+            .iter()
+            .map(|d| {
+                Json::obj([
+                    ("path", Json::Str(d.path.clone())),
+                    ("before_ns", Json::Num(d.before_ns as f64)),
+                    ("after_ns", Json::Num(d.after_ns as f64)),
+                    ("before_share", Json::Num(d.before_share)),
+                    ("after_share", Json::Num(d.after_share)),
+                    ("share_delta", Json::Num(round_share(d.share_delta()))),
+                ])
+            })
+            .collect();
+        Json::obj([
+            (
+                "schema",
+                Json::Str(String::from("marp-prof/profile-diff/v1")),
+            ),
+            ("paths", Json::Arr(rows)),
+        ])
+    }
+}
+
+/// Exponent and top-point share change of one metric between two
+/// sweeps.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricDelta {
+    /// Metric name (see [`METRICS`]).
+    pub metric: String,
+    /// Fitted growth exponent before, if defined.
+    pub before_k: Option<f64>,
+    /// Fitted growth exponent after, if defined.
+    pub after_k: Option<f64>,
+    /// Per-commit value at the largest common replica count, before.
+    pub before_top: f64,
+    /// Per-commit value at the largest common replica count, after.
+    pub after_top: f64,
+}
+
+/// Phase-level comparison of two sweeps.
+#[derive(Debug, Default, PartialEq)]
+pub struct SweepDiff {
+    /// Largest replica count present in both sweeps (0 when disjoint).
+    pub top_n: usize,
+    /// One row per metric in [`METRICS`] order.
+    pub metrics: Vec<MetricDelta>,
+}
+
+impl SweepDiff {
+    /// Compare `before` against `after`.
+    pub fn between(before: &SweepReport, after: &SweepReport) -> Self {
+        let top_n = before
+            .points
+            .iter()
+            .map(|p| p.n)
+            .filter(|n| after.points.iter().any(|p| p.n == *n))
+            .max()
+            .unwrap_or(0);
+        let value_at = |report: &SweepReport, metric: &str| -> f64 {
+            let extract = METRICS
+                .iter()
+                .find(|(name, _)| *name == metric)
+                .map(|&(_, f)| f)
+                .expect("metric names come from METRICS");
+            report
+                .points
+                .iter()
+                .find(|p| p.n == top_n)
+                .map(|p| (extract(p) * 1000.0).round() / 1000.0)
+                .unwrap_or(0.0)
+        };
+        let metrics = METRICS
+            .iter()
+            .map(|&(name, _)| MetricDelta {
+                metric: String::from(name),
+                before_k: before.exponent(name),
+                after_k: after.exponent(name),
+                before_top: value_at(before, name),
+                after_top: value_at(after, name),
+            })
+            .collect();
+        SweepDiff { top_n, metrics }
+    }
+
+    /// Metrics whose growth exponent increased by more than
+    /// `threshold`.
+    pub fn steepened(&self, threshold: f64) -> Vec<&MetricDelta> {
+        self.metrics
+            .iter()
+            .filter(|m| match (m.before_k, m.after_k) {
+                (Some(b), Some(a)) => a - b > threshold,
+                (None, Some(a)) => a > threshold,
+                (Some(..), None) | (None, None) => false,
+            })
+            .collect()
+    }
+
+    /// Render the comparison table.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "comparison at n={} (largest common replica count):",
+            self.top_n
+        );
+        let _ = writeln!(
+            out,
+            "{:<16} {:>9} {:>9} {:>14} {:>14}",
+            "metric", "k_before", "k_after", "before/commit", "after/commit"
+        );
+        let fmt_k = |k: Option<f64>| {
+            k.map(|v| format!("{v:.4}"))
+                .unwrap_or_else(|| String::from("-"))
+        };
+        for m in &self.metrics {
+            let _ = writeln!(
+                out,
+                "{:<16} {:>9} {:>9} {:>14.3} {:>14.3}",
+                m.metric,
+                fmt_k(m.before_k),
+                fmt_k(m.after_k),
+                m.before_top,
+                m.after_top
+            );
+        }
+        out
+    }
+
+    /// Serialize as deterministic JSON (schema `marp-prof/sweep-diff/v1`).
+    pub fn to_json(&self) -> Json {
+        let rows: Vec<Json> = self
+            .metrics
+            .iter()
+            .map(|m| {
+                let k = |v: Option<f64>| v.map(Json::Num).unwrap_or(Json::Null);
+                Json::obj([
+                    ("metric", Json::Str(m.metric.clone())),
+                    ("before_k", k(m.before_k)),
+                    ("after_k", k(m.after_k)),
+                    ("before_top", Json::Num(m.before_top)),
+                    ("after_top", Json::Num(m.after_top)),
+                ])
+            })
+            .collect();
+        Json::obj([
+            ("schema", Json::Str(String::from("marp-prof/sweep-diff/v1"))),
+            ("top_n", Json::Num(self.top_n as f64)),
+            ("metrics", Json::Arr(rows)),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::PathStats;
+    use crate::sweep::SweepPoint;
+
+    fn profile_with(paths: &[(&str, u64)]) -> Profile {
+        let mut profile = Profile::default();
+        for &(path, excl) in paths {
+            profile.by_path.insert(
+                String::from(path),
+                PathStats {
+                    count: 1,
+                    open: 0,
+                    incl_ns: excl,
+                    excl_ns: excl,
+                    bytes: 0,
+                },
+            );
+        }
+        profile
+    }
+
+    #[test]
+    fn grown_paths_rank_first_and_cross_threshold() {
+        let before = profile_with(&[("dispatch", 600), ("dispatch;migrate", 400)]);
+        let after = profile_with(&[("dispatch", 200), ("dispatch;migrate", 800)]);
+        let diff = ProfileDiff::between(&before, &after);
+        assert_eq!(diff.paths[0].path, "dispatch;migrate");
+        assert!(diff.paths[0].share_delta() > 0.39);
+        let grew = diff.grew(0.01);
+        assert_eq!(grew.len(), 1);
+        assert_eq!(grew[0].path, "dispatch;migrate");
+    }
+
+    #[test]
+    fn paths_missing_on_one_side_still_appear() {
+        let before = profile_with(&[("request", 100)]);
+        let after = profile_with(&[("request", 50), ("request;read", 50)]);
+        let diff = ProfileDiff::between(&before, &after);
+        assert_eq!(diff.paths.len(), 2);
+        let new_path = diff
+            .paths
+            .iter()
+            .find(|d| d.path == "request;read")
+            .unwrap();
+        assert_eq!(new_path.before_ns, 0);
+        assert_eq!(new_path.after_share, 0.5);
+    }
+
+    #[test]
+    fn profile_diff_json_is_stable() {
+        let before = profile_with(&[("request", 100)]);
+        let after = profile_with(&[("request", 200)]);
+        let a = ProfileDiff::between(&before, &after).to_json().render();
+        let b = ProfileDiff::between(&before, &after).to_json().render();
+        assert_eq!(a, b);
+        assert!(a.contains("marp-prof/profile-diff/v1"));
+    }
+
+    fn sweep(power: f64) -> SweepReport {
+        let point = |n: usize| {
+            let v = (n as f64).powf(power);
+            SweepPoint {
+                n,
+                seeds: vec![1],
+                commits: 10,
+                total_ms: 10.0 * v,
+                queueing_ms: 1.0 * v,
+                network_ms: 2.0 * v,
+                lock_wait_ms: 6.0 * v,
+                quorum_wait_ms: 1.0 * v,
+                migrations: (10.0 * v) as u64,
+                migrated_bytes: (100.0 * v) as u64,
+                gossip_bytes: (10.0 * v) as u64,
+                total_bytes: (200.0 * v) as u64,
+                messages: (20.0 * v) as u64,
+                lt_entries_carried: (5.0 * v) as u64,
+            }
+        };
+        SweepReport::new(vec![point(3), point(5), point(9)])
+    }
+
+    #[test]
+    fn sweep_diff_reports_steepened_exponents() {
+        let before = sweep(1.0);
+        let after = sweep(2.0);
+        let diff = SweepDiff::between(&before, &after);
+        assert_eq!(diff.top_n, 9);
+        let steepened = diff.steepened(0.5);
+        assert!(steepened.iter().any(|m| m.metric == "lock-wait-ms"));
+        let same = SweepDiff::between(&before, &sweep(1.0));
+        assert!(same.steepened(0.5).is_empty());
+    }
+
+    #[test]
+    fn sweep_diff_render_and_json_name_every_metric() {
+        let diff = SweepDiff::between(&sweep(1.0), &sweep(1.5));
+        let text = diff.render();
+        let json = diff.to_json().render();
+        for (name, _) in METRICS {
+            assert!(text.contains(name), "render missing {name}");
+            assert!(json.contains(name), "json missing {name}");
+        }
+    }
+}

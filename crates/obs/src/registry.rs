@@ -207,10 +207,10 @@ impl MetricsRegistry {
     /// Render the registry as CSV: one row per (node, metric), counters
     /// first, then histogram quantiles, then the gauge samples.
     pub fn to_csv(&self) -> String {
-        let mut out = String::from("section,node,metric,count,p50,p90,p99,max_seen\n");
+        let mut out = String::from("section,node,metric,count,p50,p90,p99,p999,max_seen\n");
         for (&node, metrics) in &self.nodes {
             for (&name, &value) in &metrics.counters {
-                out.push_str(&format!("counter,{node},{name},{value},,,,\n"));
+                out.push_str(&format!("counter,{node},{name},{value},,,,,\n"));
             }
             for (&name, hist) in &metrics.histograms {
                 let q = |p: f64| {
@@ -219,18 +219,19 @@ impl MetricsRegistry {
                         .unwrap_or_default()
                 };
                 out.push_str(&format!(
-                    "histogram,{node},{name},{},{},{},{},{}\n",
+                    "histogram,{node},{name},{},{},{},{},{},{}\n",
                     hist.total(),
                     q(0.5),
                     q(0.9),
                     q(0.99),
+                    q(0.999),
                     q(1.0),
                 ));
             }
         }
         for sample in &self.samples {
             out.push_str(&format!(
-                "gauge,,t_ms={:.3},open_spans={},live_agents={},pending_writes={},,\n",
+                "gauge,,t_ms={:.3},open_spans={},live_agents={},pending_writes={},,,\n",
                 sample.at.as_millis_f64(),
                 sample.open_spans,
                 sample.live_agents,
@@ -349,9 +350,82 @@ mod tests {
     fn csv_has_counter_histogram_and_gauge_sections() {
         let registry = MetricsRegistry::from_trace(&sample_log(), Duration::from_millis(100));
         let csv = registry.to_csv();
-        assert!(csv.starts_with("section,node,metric"));
+        assert!(csv.starts_with("section,node,metric,count,p50,p90,p99,p999,max_seen"));
         assert!(csv.contains("counter,0,agent.dispatched,1"));
         assert!(csv.contains("histogram,0,write.total_ms,1"));
         assert!(csv.contains("gauge,,t_ms=100.000"));
+        // Every row has the same number of columns as the header.
+        let columns = csv.lines().next().unwrap().split(',').count();
+        for line in csv.lines() {
+            assert_eq!(line.split(',').count(), columns, "ragged row: {line}");
+        }
+    }
+
+    /// `for_latency_ms` buckets grow 5% per step, so a quantile is the
+    /// lower bound of the bucket its sample landed in: within 5% below
+    /// the true value.
+    fn assert_within_bucket(q: f64, expected: f64) {
+        assert!(
+            q <= expected && q > expected / 1.05 - 1e-9,
+            "quantile {q} not within one bucket below {expected}"
+        );
+    }
+
+    #[test]
+    fn histogram_percentiles_pin_a_known_uniform_distribution() {
+        let mut hist = LogHistogram::for_latency_ms();
+        for i in 1..=1000 {
+            hist.record(i as f64);
+        }
+        assert_eq!(hist.total(), 1000);
+        let p50 = hist.quantile(0.5).unwrap();
+        let p99 = hist.quantile(0.99).unwrap();
+        let p999 = hist.quantile(0.999).unwrap();
+        assert_within_bucket(p50, 500.0);
+        assert_within_bucket(p99, 990.0);
+        assert_within_bucket(p999, 999.0);
+        assert!(p50 <= p99 && p99 <= p999);
+        assert!(p999 <= hist.quantile(1.0).unwrap());
+    }
+
+    #[test]
+    fn histogram_percentiles_pin_a_heavy_tail() {
+        // 990 fast samples at 1 ms, 10 stragglers at 1000 ms: the tail
+        // is invisible at p50 but dominates p999.
+        let mut hist = LogHistogram::for_latency_ms();
+        for _ in 0..990 {
+            hist.record(1.0);
+        }
+        for _ in 0..10 {
+            hist.record(1000.0);
+        }
+        assert_within_bucket(hist.quantile(0.5).unwrap(), 1.0);
+        assert_within_bucket(hist.quantile(0.999).unwrap(), 1000.0);
+        // p99 sits right at the boundary: 990 of 1000 samples are fast.
+        let p99 = hist.quantile(0.99).unwrap();
+        assert!(p99 <= 1000.0);
+    }
+
+    #[test]
+    fn histogram_quantile_edge_cases() {
+        // Empty histogram: no quantiles at all.
+        let empty = LogHistogram::for_latency_ms();
+        assert_eq!(empty.total(), 0);
+        assert_eq!(empty.quantile(0.5), None);
+        assert_eq!(empty.quantile(0.999), None);
+
+        // Single sample: every percentile is that sample's bucket.
+        let mut single = LogHistogram::for_latency_ms();
+        single.record(42.0);
+        let p50 = single.quantile(0.5).unwrap();
+        assert_eq!(single.quantile(0.99).unwrap(), p50);
+        assert_eq!(single.quantile(0.999).unwrap(), p50);
+        assert_within_bucket(p50, 42.0);
+
+        // A sample below the histogram floor lands in the underflow
+        // bucket and reports as 0.
+        let mut tiny = LogHistogram::for_latency_ms();
+        tiny.record(0.0001);
+        assert_eq!(tiny.quantile(0.999), Some(0.0));
     }
 }
